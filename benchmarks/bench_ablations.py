@@ -1,0 +1,40 @@
+"""E7 — the ablation suite (dispatch, metric, theta, misprediction,
+redirection).  Writes ``results/ablations.txt``."""
+
+import pytest
+
+from conftest import emit
+from repro.experiments.ablations import (
+    format_ablations,
+    run_dispatch_ablation,
+    run_metric_ablation,
+    run_misprediction,
+    run_redirection,
+    run_theta_sweep,
+)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_ablations(benchmark, bench_setup, results_dir):
+    def body():
+        return (
+            run_dispatch_ablation(bench_setup),
+            run_metric_ablation(bench_setup),
+            run_theta_sweep(bench_setup, thetas=(0.3, 0.5, 0.7, 0.9)),
+            run_misprediction(bench_setup),
+            run_redirection(bench_setup),
+        )
+
+    dispatch, metric, theta, mispred, redirect = benchmark.pedantic(
+        body, rounds=1, iterations=1
+    )
+    # Eq. (3) never exceeds Eq. (2); redirection never hurts.
+    for row in metric:
+        assert row["L_std_pct"] <= row["L_max_pct"] + 1e-9
+    curves = redirect["curves"]
+    assert sum(curves["backbone=7200"]) <= sum(curves["backbone=0"]) + 1e-9
+    emit(
+        results_dir,
+        "ablations",
+        format_ablations(dispatch, metric, theta, mispred, redirect),
+    )

@@ -1,0 +1,23 @@
+"""E4 — Adams vs Zipf replication: equivalence in quality, divergence in time.
+
+Writes ``results/adams_vs_zipf.txt``; asserts Adams hits the exact Eq. (8)
+optimum at every paper design point.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.experiments.adams_vs_zipf import format_report, run_quality, run_timing
+
+
+@pytest.mark.benchmark(group="figures")
+def test_adams_vs_zipf(benchmark, bench_setup, results_dir):
+    def body():
+        return run_quality(bench_setup), run_timing(
+            sizes=(200, 1000, 5000), repeats=2
+        )
+
+    quality, timing = benchmark.pedantic(body, rounds=1, iterations=1)
+    for row in quality:
+        assert row["adams_max_w"] == pytest.approx(row["optimal_max_w"], rel=1e-9)
+    emit(results_dir, "adams_vs_zipf", format_report(quality, timing))

@@ -1,0 +1,26 @@
+"""E1 — regenerate the paper's Figure 4 (rejection vs replication degree).
+
+The benchmark times one full Figure 4 sweep (4 subplots x 6 degrees x 8
+arrival rates, reduced to 3 runs/point) and writes the paper-comparable
+series to ``results/fig4.txt``.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.experiments.fig4 import format_fig4, run_fig4
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig4(benchmark, bench_setup, results_dir):
+    results = benchmark.pedantic(
+        run_fig4, args=(bench_setup,), rounds=1, iterations=1
+    )
+    # Headline claim: rejection is non-increasing in the replication degree
+    # at the saturation arrival rate (subplot a).
+    curves = results["subplots"]["a"]["curves"]
+    rates = results["arrival_rates"]
+    sat_index = rates.index(40)
+    at_saturation = [curves[d][sat_index] for d in sorted(curves)]
+    assert at_saturation[-1] <= at_saturation[0]
+    emit(results_dir, "fig4", format_fig4(results))

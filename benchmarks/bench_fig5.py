@@ -1,0 +1,24 @@
+"""E2 — regenerate the paper's Figure 5 (algorithm-combination comparison).
+
+Writes the series to ``results/fig5.txt`` and asserts the paper's headline
+ranking: Zipf+SLF never rejects more than classification+RR at saturation.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.experiments.fig5 import format_fig5, run_fig5
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig5(benchmark, bench_setup, results_dir):
+    results = benchmark.pedantic(
+        run_fig5, args=(bench_setup,), rounds=1, iterations=1
+    )
+    rates = results["arrival_rates"]
+    sat_index = rates.index(40)
+    for subplot in results["subplots"].values():
+        best = subplot["curves"]["zipf+slf"][sat_index]
+        base = subplot["curves"]["class+rr"][sat_index]
+        assert best <= base + 1e-9
+    emit(results_dir, "fig5", format_fig5(results))

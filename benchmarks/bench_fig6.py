@@ -1,0 +1,23 @@
+"""E3 — regenerate the paper's Figure 6 (load-imbalance degree L(%)).
+
+Writes the series to ``results/fig6.txt`` and asserts the paper's headline
+ranking: classification+RR shows markedly higher imbalance than Zipf+SLF.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.experiments.fig6 import format_fig6, run_fig6
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig6(benchmark, bench_setup, results_dir):
+    results = benchmark.pedantic(
+        run_fig6, args=(bench_setup,), rounds=1, iterations=1
+    )
+    subplot = results["subplots"]["a"]
+    mean_best = float(np.mean(subplot["curves"]["zipf+slf"]))
+    mean_base = float(np.mean(subplot["curves"]["class+rr"]))
+    assert mean_best < mean_base
+    emit(results_dir, "fig6", format_fig6(results))

@@ -1,0 +1,51 @@
+"""Kernel benchmarks: the placement algorithms (paper scale and 25x)."""
+
+import pytest
+
+from repro.placement import (
+    greedy_least_loaded_placement,
+    round_robin_placement,
+    smallest_load_first_placement,
+    theorem2_holds,
+)
+from repro.popularity import zipf_probabilities
+from repro.replication import adams_replication
+
+
+def _replication(m, n, degree):
+    return adams_replication(zipf_probabilities(m, 0.75), n, int(m * degree))
+
+
+@pytest.mark.benchmark(group="placement-paper-scale")
+class TestPaperScale:
+    M, N, CAP = 200, 8, 40
+
+    def test_slf(self, benchmark):
+        replication = _replication(self.M, self.N, 1.6)
+        layout = benchmark(smallest_load_first_placement, replication, self.CAP)
+        assert theorem2_holds(layout, replication)
+
+    def test_round_robin(self, benchmark):
+        replication = _replication(self.M, self.N, 1.6)
+        layout = benchmark(round_robin_placement, replication, self.CAP)
+        assert layout.total_replicas == replication.total_replicas
+
+    def test_greedy(self, benchmark):
+        replication = _replication(self.M, self.N, 1.6)
+        layout = benchmark(greedy_least_loaded_placement, replication, self.CAP)
+        assert layout.total_replicas == replication.total_replicas
+
+
+@pytest.mark.benchmark(group="placement-large")
+class TestLarge:
+    M, N, CAP = 5000, 16, 500
+
+    def test_slf(self, benchmark):
+        replication = _replication(self.M, self.N, 1.6)
+        layout = benchmark(smallest_load_first_placement, replication, self.CAP)
+        assert layout.total_replicas == replication.total_replicas
+
+    def test_round_robin(self, benchmark):
+        replication = _replication(self.M, self.N, 1.6)
+        layout = benchmark(round_robin_placement, replication, self.CAP)
+        assert layout.total_replicas == replication.total_replicas

@@ -1,0 +1,69 @@
+"""Kernel benchmarks: the replication algorithms.
+
+Times each algorithm at the paper scale (M = 200, N = 8, degree 1.6) and at
+a 100x catalogue to expose the complexity difference Sec. 4.1.2 claims:
+Adams is ``O(M + NC log M)`` (grows with storage), the Zipf-interval search
+``O(M log M)`` (does not).
+"""
+
+import pytest
+
+from repro.popularity import zipf_probabilities
+from repro.replication import (
+    adams_replication,
+    classification_replication,
+    optimal_min_max_weight,
+    proportional_replication,
+    zipf_interval_replication,
+)
+
+PAPER = (200, 8, 320)
+LARGE = (20_000, 8, 32_000)
+
+
+def _probs(m):
+    return zipf_probabilities(m, 0.75)
+
+
+@pytest.mark.benchmark(group="replication-paper-scale")
+class TestPaperScale:
+    def test_adams(self, benchmark):
+        probs = _probs(PAPER[0])
+        result = benchmark(adams_replication, probs, PAPER[1], PAPER[2])
+        assert result.total_replicas == PAPER[2]
+
+    def test_zipf_interval(self, benchmark):
+        probs = _probs(PAPER[0])
+        result = benchmark(zipf_interval_replication, probs, PAPER[1], PAPER[2])
+        assert result.total_replicas <= PAPER[2]
+
+    def test_classification(self, benchmark):
+        probs = _probs(PAPER[0])
+        result = benchmark(classification_replication, probs, PAPER[1], PAPER[2])
+        assert result.total_replicas <= PAPER[2]
+
+    def test_proportional(self, benchmark):
+        probs = _probs(PAPER[0])
+        result = benchmark(proportional_replication, probs, PAPER[1], PAPER[2])
+        assert result.total_replicas == PAPER[2]
+
+    def test_exact_oracle(self, benchmark):
+        probs = _probs(PAPER[0])
+        value = benchmark(optimal_min_max_weight, probs, PAPER[1], PAPER[2])
+        assert value > 0
+
+
+@pytest.mark.benchmark(group="replication-large-catalogue")
+class TestLargeCatalogue:
+    """M = 20k: the regime where the Zipf search's complexity advantage
+    over Adams (Sec. 4.1.2) becomes decisive."""
+
+    def test_adams(self, benchmark):
+        probs = _probs(LARGE[0])
+        result = benchmark(adams_replication, probs, LARGE[1], LARGE[2])
+        assert result.total_replicas == LARGE[2]
+
+    def test_zipf_interval(self, benchmark):
+        probs = _probs(LARGE[0])
+        result = benchmark(zipf_interval_replication, probs, LARGE[1], LARGE[2])
+        assert result.total_replicas <= LARGE[2]

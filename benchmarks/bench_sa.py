@@ -1,0 +1,49 @@
+"""E5 — the scalable-bit-rate simulated-annealing study.
+
+Times the full SA pipeline (chains + evaluation) at paper scale and writes
+``results/sa_experiment.txt``.  Also microbenchmarks the SA kernel
+(cost evaluation and one proposal) since they dominate the run.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.annealing import ScalableBitRateProblem
+from repro.experiments.sa_experiment import format_sa_report, run_sa_experiment
+
+
+@pytest.mark.benchmark(group="figures")
+def test_sa_experiment(benchmark, bench_setup, results_dir):
+    results = benchmark.pedantic(
+        run_sa_experiment,
+        kwargs=dict(
+            setup=bench_setup,
+            num_chains=2,
+            steps_per_level=150,
+            max_levels=60,
+            num_runs=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert results["best_objective"] > results["initial_objective"]
+    emit(results_dir, "sa_experiment", format_sa_report(results))
+
+
+@pytest.mark.benchmark(group="sa-kernel")
+class TestSAKernel:
+    @pytest.fixture()
+    def sa(self, bench_setup):
+        problem = bench_setup.problem(0.75, 1.6, scalable=True)
+        return ScalableBitRateProblem(problem)
+
+    def test_cost(self, benchmark, sa):
+        state = sa.initial_state(np.random.default_rng(0))
+        value = benchmark(sa.cost, state)
+        assert np.isfinite(value)
+
+    def test_propose(self, benchmark, sa):
+        state = sa.initial_state(np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        benchmark(sa.propose, state, rng)

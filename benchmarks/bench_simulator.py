@@ -1,0 +1,56 @@
+"""Kernel benchmarks: workload generation and one peak-period simulation."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterSpec, VideoCollection, ZipfPopularity
+from repro.cluster_sim import LeastLoadedDispatcher, VoDClusterSimulator
+from repro.placement import smallest_load_first_placement
+from repro.replication import zipf_interval_replication
+from repro.workload import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def paper_system():
+    popularity = ZipfPopularity(200, 0.75)
+    cluster = ClusterSpec.homogeneous(8, storage_gb=81.0, bandwidth_mbps=1800.0)
+    videos = VideoCollection.homogeneous(200)
+    replication = zipf_interval_replication(popularity.probabilities, 8, 240)
+    layout = smallest_load_first_placement(replication, 30)
+    return popularity, cluster, videos, layout
+
+
+@pytest.mark.benchmark(group="simulator")
+class TestSimulator:
+    def test_workload_generation(self, benchmark, paper_system):
+        popularity, *_ = paper_system
+        generator = WorkloadGenerator.poisson_zipf(popularity, 40.0)
+        rng = np.random.default_rng(1)
+        trace = benchmark(generator.generate, 90.0, rng)
+        assert trace.num_requests > 3000
+
+    def test_peak_period_at_saturation(self, benchmark, paper_system):
+        popularity, cluster, videos, layout = paper_system
+        simulator = VoDClusterSimulator(cluster, videos, layout)
+        generator = WorkloadGenerator.poisson_zipf(popularity, 40.0)
+        trace = generator.generate(90.0, np.random.default_rng(2))
+        result = benchmark(simulator.run, trace, horizon_min=90.0)
+        assert result.num_requests == trace.num_requests
+
+    def test_peak_period_overload(self, benchmark, paper_system):
+        popularity, cluster, videos, layout = paper_system
+        simulator = VoDClusterSimulator(cluster, videos, layout)
+        generator = WorkloadGenerator.poisson_zipf(popularity, 60.0)
+        trace = generator.generate(90.0, np.random.default_rng(3))
+        result = benchmark(simulator.run, trace, horizon_min=90.0)
+        assert result.num_rejected > 0
+
+    def test_peak_period_least_loaded_dispatch(self, benchmark, paper_system):
+        popularity, cluster, videos, layout = paper_system
+        simulator = VoDClusterSimulator(
+            cluster, videos, layout, dispatcher_factory=LeastLoadedDispatcher
+        )
+        generator = WorkloadGenerator.poisson_zipf(popularity, 40.0)
+        trace = generator.generate(90.0, np.random.default_rng(4))
+        result = benchmark(simulator.run, trace, horizon_min=90.0)
+        assert result.num_requests == trace.num_requests

@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+``pytest benchmarks/ --benchmark-only`` both times the kernels *and*
+regenerates every paper figure: each ``bench_fig*`` writes its
+paper-comparable series to ``results/<name>.txt`` (repo root) and prints it
+so the run doubles as the reproduction harness.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import PaperSetup
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory the figure benchmarks write their series into."""
+    path = Path(__file__).resolve().parent.parent / "results"
+    path.mkdir(exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def bench_setup() -> PaperSetup:
+    """Paper setup with a reduced run count (benchmarks re-run the body)."""
+    return PaperSetup().quick(num_runs=3)
+
+
+def emit(results_dir: Path, name: str, report: str) -> None:
+    """Write and echo one experiment report."""
+    (results_dir / f"{name}.txt").write_text(report + "\n")
+    print(f"\n{report}\n[written to results/{name}.txt]")

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Admission policies under overload: reject, wait, or batch.
+
+The paper's admission control rejects a request the instant its dispatched
+server lacks bandwidth.  This example pits three policies against the same
+2x-overload workload on the same replicated layout:
+
+* **instant reject** — the paper's policy (`VoDClusterSimulator`),
+* **wait queue** — blocked requests wait up to a patience bound for a
+  departure (`QueueingClusterSimulator`),
+* **multicast batching** — requests for the same video within a window
+  share one stream (`BatchingClusterSimulator`).
+
+It also anchors the unicast numbers with the Erlang-B pooled bound: no
+unicast policy can beat it, and batching is the only one that can.
+
+Run:  python examples/admission_policies.py
+"""
+
+import numpy as np
+
+from repro import ClusterSpec, VideoCollection, ZipfPopularity
+from repro.analysis import cluster_blocking_bound, format_table
+from repro.cluster_sim import (
+    BatchingClusterSimulator,
+    QueueingClusterSimulator,
+    VoDClusterSimulator,
+)
+from repro.placement import refine_placement, smallest_load_first_placement
+from repro.replication import zipf_interval_replication
+from repro.workload import WorkloadGenerator
+
+
+def run_scenario(
+    duration_min: float,
+    horizon_min: float,
+    lam: float,
+    load_label: str,
+    runs: int = 8,
+):
+    """Compare the three policies for one content length."""
+    num_servers, num_videos = 8, 200
+    popularity = ZipfPopularity(num_videos, 0.75)
+    cluster = ClusterSpec.homogeneous(
+        num_servers, storage_gb=81.0, bandwidth_mbps=1800.0
+    )
+    videos = VideoCollection.homogeneous(num_videos, duration_min=duration_min)
+    capacity = cluster.storage_capacity_replicas(videos[0].storage_gb)
+    budget = min(num_servers * capacity, num_servers * num_videos)
+
+    replication = zipf_interval_replication(
+        popularity.probabilities, num_servers, budget
+    )
+    layout = smallest_load_first_placement(replication, capacity)
+    layout = refine_placement(layout, popularity.probabilities, capacity).layout
+
+    generator = WorkloadGenerator.poisson_zipf(popularity, lam)
+    traces = list(generator.generate_runs(horizon_min, runs, seed=21))
+
+    rows = []
+    plain = VoDClusterSimulator(cluster, videos, layout)
+    rej = np.mean(
+        [plain.run(t, horizon_min=horizon_min).rejection_rate for t in traces]
+    )
+    rows.append(["instant reject (paper)", float(rej), 0.0, "-"])
+
+    for patience in (1.0, 3.0):
+        sim = QueueingClusterSimulator(
+            cluster, videos, layout, patience_min=patience
+        )
+        results = [sim.run(t, horizon_min=horizon_min) for t in traces]
+        rows.append(
+            [
+                f"wait queue ({patience:g} min patience)",
+                float(np.mean([r.rejection_rate for r in results])),
+                float(np.mean([r.mean_wait_min for r in results])),
+                "-",
+            ]
+        )
+
+    for window in (1.0, 3.0):
+        sim = BatchingClusterSimulator(cluster, videos, layout, window_min=window)
+        results = [sim.run(t, horizon_min=horizon_min) for t in traces]
+        rows.append(
+            [
+                f"batching ({window:g} min window)",
+                float(np.mean([r.rejection_rate for r in results])),
+                float(np.mean([r.mean_wait_min for r in results])),
+                f"{np.mean([r.batching_factor for r in results]):.2f}",
+            ]
+        )
+
+    slots = cluster.stream_capacity(4.0)
+    bound = cluster_blocking_bound(lam, duration_min, slots)
+    print(
+        format_table(
+            ["policy", "rejection", "mean wait (min)", "viewers/stream"],
+            rows,
+            floatfmt=".4f",
+            title=(
+                f"{duration_min:g}-minute content at lambda = {lam:g}/min "
+                f"({load_label}); Erlang-B pooled bound {bound:.4f}"
+            ),
+        )
+    )
+    print()
+
+
+def main() -> None:
+    # Scenario 1 — the paper's 90-minute movies over a 90-minute peak: no
+    # stream ends inside the window, so *waiting cannot help at all*; only
+    # multicast sharing creates capacity.
+    run_scenario(
+        duration_min=90.0, horizon_min=90.0, lam=60.0,
+        load_label="1.5x saturation",
+    )
+    print(
+        "With movies as long as the peak, the wait queue exactly matches\n"
+        "instant rejection — there are no departures to wait for.  And at\n"
+        "*sustained* overload waiting can never raise throughput anyway\n"
+        "(every freed slot is consumed instantly); batching is the only\n"
+        "lever that creates capacity.\n"
+    )
+    # Scenario 2 — 30-minute content at exactly the saturation rate over a
+    # 3-hour window: blocking is now variance-driven (the Erlang regime),
+    # departures flow continuously, and patience genuinely rescues
+    # requests that would otherwise hit a momentary full cluster.
+    run_scenario(
+        duration_min=30.0, horizon_min=180.0, lam=120.0,
+        load_label="at saturation",
+    )
+    print(
+        "At saturation with short content the blocking is variance-driven:\n"
+        "a few minutes of patience rescues most of it, and batching\n"
+        "removes the rest."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Extension: placement on a heterogeneous cluster.
+
+The paper assumes homogeneous servers.  Real clusters accrete generations
+of hardware; this example builds a cluster where half the servers have
+twice the bandwidth and storage, and compares two storage-feasible greedy
+placements:
+
+* *equal shares* — balances absolute load, the paper's homogeneous
+  assumption carried over unchanged (wrong here), against
+* *bandwidth shares* — balances load relative to each server's bandwidth.
+
+The share-aware placement keeps fat servers proportionally loaded and cuts
+rejections at high arrival rates.
+
+Run:  python examples/heterogeneous_cluster.py
+"""
+
+import numpy as np
+
+from repro import ClusterSpec, ServerSpec, VideoCollection, ZipfPopularity
+from repro.analysis import format_table
+from repro.cluster_sim import VoDClusterSimulator
+from repro.placement import greedy_least_loaded_placement
+from repro.replication import zipf_interval_replication
+from repro.workload import WorkloadGenerator
+
+
+def simulate(cluster, videos, layout, popularity, rate, runs=10):
+    simulator = VoDClusterSimulator(cluster, videos, layout)
+    generator = WorkloadGenerator.poisson_zipf(popularity, rate)
+    results = [
+        simulator.run(trace, horizon_min=90.0)
+        for trace in generator.generate_runs(90.0, runs, seed=5)
+    ]
+    rejection = float(np.mean([r.rejection_rate for r in results]))
+    utilization = np.mean(
+        [r.server_time_avg_load_mbps / r.server_bandwidth_mbps for r in results],
+        axis=0,
+    )
+    return rejection, utilization
+
+
+def main() -> None:
+    num_videos = 200
+    popularity = ZipfPopularity(num_videos, 0.75)
+    videos = VideoCollection.homogeneous(num_videos)
+
+    # 4 small servers + 4 big servers (2x bandwidth, 2x storage).
+    small = ServerSpec(storage_gb=54.0, bandwidth_mbps=1200.0)
+    big = ServerSpec(storage_gb=108.0, bandwidth_mbps=2400.0)
+    cluster = ClusterSpec([small] * 4 + [big] * 4)
+    print(f"cluster: {cluster} — total {cluster.total_bandwidth_mbps:.0f} Mb/s")
+
+    replica_gb = videos[0].storage_gb
+    capacities = np.array(
+        [spec.storage_replicas(replica_gb) for spec in cluster], dtype=np.int64
+    )
+    budget = int(capacities.sum())
+    replication = zipf_interval_replication(
+        popularity.probabilities, cluster.num_servers, budget
+    )
+    print(
+        f"replication: {replication.total_replicas} replicas "
+        f"(degree {replication.replication_degree:.2f})\n"
+    )
+
+    # Both placements respect per-server storage; they differ in whether
+    # load balancing is absolute (the paper's homogeneous assumption) or
+    # relative to each server's bandwidth share.
+    shares = cluster.bandwidth_mbps / cluster.bandwidth_mbps.sum()
+    layouts = {
+        "greedy, equal shares": greedy_least_loaded_placement(
+            replication, capacities
+        ),
+        "greedy, bandwidth shares": greedy_least_loaded_placement(
+            replication, capacities, server_shares=shares
+        ),
+    }
+
+    rows = []
+    for rate in (30.0, 35.0, 40.0):
+        for name, layout in layouts.items():
+            rejection, utilization = simulate(
+                cluster, videos, layout, popularity, rate
+            )
+            rows.append(
+                [
+                    f"{name} @ {rate:g}/min",
+                    rejection,
+                    float(utilization[:4].mean()),
+                    float(utilization[4:].mean()),
+                ]
+            )
+    print(
+        format_table(
+            ["placement @ lambda", "rejection", "small util", "big util"],
+            rows,
+            floatfmt=".4f",
+            title="Heterogeneous cluster: equal-share vs share-aware placement",
+        )
+    )
+    print()
+    print(
+        "Share-aware placement loads big servers ~2x as much as small ones\n"
+        "(equal utilization), avoiding the small-server hotspots that\n"
+        "absolute load balancing creates at high arrival rates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Closing the loop: estimate popularity from traces, then replicate.
+
+The paper assumes video popularities are known a priori and concludes the
+algorithms perform well "with the accurate prediction of video
+popularities".  A real operator estimates them from yesterday's traces.
+This example:
+
+1. generates a ground-truth workload (Zipf, theta = 0.75),
+2. estimates the popularity model from a one-day trace (MLE fit of theta,
+   smoothed empirical distribution),
+3. replicates/places using the *estimate*, and
+4. simulates against the *truth*, comparing rejection rates to planning
+   with perfect knowledge and with deliberately mispredicted popularity.
+
+Run:  python examples/popularity_estimation.py
+"""
+
+import numpy as np
+
+from repro import ClusterSpec, VideoCollection, ZipfPopularity
+from repro.analysis import (
+    estimate_popularity,
+    format_table,
+    perturb_popularity,
+)
+from repro.cluster_sim import VoDClusterSimulator
+from repro.placement import smallest_load_first_placement
+from repro.popularity import fit_zipf_theta
+from repro.replication import zipf_interval_replication
+from repro.workload import WorkloadGenerator
+
+
+def plan_and_simulate(assumed_probs, truth, cluster, videos, capacity, rate, runs=10):
+    """Replicate/place on `assumed_probs`, evaluate under `truth`."""
+    num_servers = cluster.num_servers
+    replication = zipf_interval_replication(
+        assumed_probs, num_servers, num_servers * capacity
+    )
+    layout = smallest_load_first_placement(replication, capacity)
+    simulator = VoDClusterSimulator(cluster, videos, layout)
+    generator = WorkloadGenerator.poisson_zipf(truth, rate)
+    results = [
+        simulator.run(trace, horizon_min=90.0)
+        for trace in generator.generate_runs(90.0, runs, seed=3)
+    ]
+    return float(np.mean([r.rejection_rate for r in results]))
+
+
+def main() -> None:
+    rng = np.random.default_rng(2002)
+    num_videos = 200
+    truth = ZipfPopularity(num_videos, theta=0.75)
+    cluster = ClusterSpec.homogeneous(8, storage_gb=81.0, bandwidth_mbps=1800.0)
+    videos = VideoCollection.homogeneous(num_videos)
+    capacity = 30  # replication degree 1.2
+    peak_rate = 40.0
+
+    # --- 1-2: observe a day of traffic and fit the popularity model ------
+    observed = WorkloadGenerator.poisson_zipf(truth, 20.0).generate(24 * 60.0, rng)
+    estimated = estimate_popularity(observed, num_videos, smoothing=0.5)
+    theta_hat = fit_zipf_theta(observed.video_counts(num_videos))
+    print(
+        f"observed {observed.num_requests} requests over 24h; "
+        f"MLE Zipf skew estimate theta = {theta_hat:.3f} (truth 0.750)"
+    )
+    corr = np.corrcoef(estimated.probabilities, truth.probabilities)[0, 1]
+    print(f"empirical-vs-true popularity correlation: {corr:.4f}\n")
+
+    # --- 3-4: plan on each model, evaluate against the truth -------------
+    scenarios = [
+        ("perfect knowledge", truth.probabilities),
+        ("trace estimate (smoothed)", estimated.probabilities),
+        (
+            "fitted Zipf(theta_hat)",
+            ZipfPopularity(num_videos, theta_hat).probabilities,
+        ),
+        (
+            "mispredicted (noise=1.0)",
+            perturb_popularity(truth, 1.0, rng).probabilities,
+        ),
+        ("assumed uniform", np.full(num_videos, 1.0 / num_videos)),
+    ]
+    rows = [
+        [
+            name,
+            plan_and_simulate(
+                probs, truth, cluster, videos, capacity, peak_rate
+            ),
+        ]
+        for name, probs in scenarios
+    ]
+    print(
+        format_table(
+            ["planning model", "rejection @ 40/min"],
+            rows,
+            floatfmt=".4f",
+            title="Planning-model quality vs achieved availability (degree 1.2)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

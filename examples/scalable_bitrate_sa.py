@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Scalable bit rates: trade stream quality against availability with SA.
+
+The fixed-rate algorithms must pick one encoding rate for the whole
+catalogue.  The paper's simulated-annealing formulation (Sec. 4.3) instead
+chooses a rate per replica from a discrete set, maximizing Eq. (1): average
+quality + replication degree - load imbalance, under storage and bandwidth
+constraints.
+
+This example anneals a mid-size instance, shows the objective climbing from
+the lowest-rate initial solution, and compares the SA layout against
+fixed-rate designs by simulating all of them under the same workload.
+
+Run:  python examples/scalable_bitrate_sa.py
+"""
+
+import numpy as np
+
+from repro import ClusterSpec, VideoCollection, ZipfPopularity
+from repro.analysis import format_table
+from repro.annealing import ScalableBitRateProblem, SimulatedAnnealer, run_chains
+from repro.cluster_sim import VoDClusterSimulator
+from repro.model import ObjectiveWeights, ReplicationProblem
+from repro.placement import smallest_load_first_placement
+from repro.replication import zipf_interval_replication
+from repro.workload import WorkloadGenerator
+
+
+def simulate(cluster, videos, layout, popularity, rate_per_min, runs=8, seed=11):
+    simulator = VoDClusterSimulator(cluster, videos, layout, validate_layout=False)
+    generator = WorkloadGenerator.poisson_zipf(popularity, rate_per_min)
+    results = [
+        simulator.run(trace, horizon_min=90.0)
+        for trace in generator.generate_runs(90.0, runs, seed)
+    ]
+    rates = layout.rate_matrix[layout.rate_matrix > 0]
+    return {
+        "mean_rate": float(rates.mean()),
+        "degree": layout.replication_degree,
+        "rejection": float(np.mean([r.rejection_rate for r in results])),
+        "imbalance": float(np.mean([r.load_imbalance_percent() for r in results])),
+    }
+
+
+def main() -> None:
+    num_servers, num_videos = 4, 80
+    cluster = ClusterSpec.homogeneous(num_servers, storage_gb=81.0, bandwidth_mbps=1800.0)
+    videos = VideoCollection.homogeneous(num_videos, duration_min=90.0)
+    popularity = ZipfPopularity(num_videos, 0.75)
+    design_rate = 15.0  # requests/min the Eq. 5 constraint is sized for
+
+    problem = ReplicationProblem(
+        cluster=cluster,
+        videos=videos,
+        popularity=popularity,
+        arrival_rate_per_min=design_rate,
+        peak_minutes=90.0,
+        allowed_bit_rates_mbps=(2.0, 3.0, 4.0, 5.0, 6.0),
+        objective_weights=ObjectiveWeights(alpha=1.0, beta=1.0),
+    )
+    sa = ScalableBitRateProblem(problem)
+
+    annealer = SimulatedAnnealer(steps_per_level=250, max_levels=100, patience_levels=20)
+    chains = run_chains(sa, annealer, num_chains=3, seed=42, record_history=True)
+    best = chains.best
+    print(
+        f"annealed {len(chains.results)} chains: objectives "
+        f"{[f'{-c:.4f}' for c in chains.best_costs]} "
+        f"(initial {sa.objective_of(sa.initial_state(np.random.default_rng(0))):.4f})"
+    )
+    history = [-c for c in best.cost_history]
+    step = max(len(history) // 10, 1)
+    print("objective trajectory:", " -> ".join(f"{v:.3f}" for v in history[::step]))
+    print()
+
+    # --- compare against fixed-rate designs under identical storage ------
+    rows = []
+    sa_layout = sa.to_layout(best.best_state)
+    metrics = simulate(cluster, videos, sa_layout, popularity, design_rate)
+    rows.append(["SA (mixed rates)", *metrics.values()])
+
+    for rate in (2.0, 4.0, 6.0):
+        replica_gb = rate * 90.0 * 60.0 / 8000.0
+        capacity = int(cluster.storage_gb[0] / replica_gb)
+        budget = max(capacity * num_servers, num_videos)
+        replication = zipf_interval_replication(
+            popularity.probabilities, num_servers, budget
+        )
+        capacity = max(capacity, -(-replication.total_replicas // num_servers))
+        layout = smallest_load_first_placement(replication, capacity, bit_rate_mbps=rate)
+        metrics = simulate(cluster, videos, layout, popularity, design_rate)
+        rows.append([f"fixed @ {rate:g} Mb/s", *metrics.values()])
+
+    print(
+        format_table(
+            ["design", "mean rate", "degree", "rejection", "L (%)"],
+            rows,
+            floatfmt=".3f",
+            title=f"Quality vs availability at lambda = {design_rate:g}/min",
+        )
+    )
+    print()
+    print(
+        "The SA design pushes popular videos to high rates while keeping\n"
+        "enough low-rate replicas of the tail to avoid rejections — the\n"
+        "tradeoff the fixed-rate designs cannot express."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so the package can be
+installed in environments without the ``wheel`` package (no PEP 660 editable
+builds), via ``pip install -e . --no-build-isolation`` falling back to the
+legacy ``setup.py develop`` path, or ``python setup.py develop`` directly.
+"""
+
+from setuptools import setup
+
+setup()

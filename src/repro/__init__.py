@@ -1,0 +1,109 @@
+"""repro — reproduction of Zhou & Xu, "Optimal Video Replication and
+Placement on a Cluster of Video-on-Demand Servers" (ICPP 2002).
+
+The package is organized by subsystem (see DESIGN.md):
+
+* :mod:`repro.popularity` — Zipf-like popularity models.
+* :mod:`repro.model` — cluster/video model, layouts, objective (Eq. 1-7).
+* :mod:`repro.replication` — Adams, Zipf-interval, classification and
+  baseline replication algorithms.
+* :mod:`repro.placement` — smallest-load-first, round-robin and extension
+  placers, plus the Theorem 2/3 bounds.
+* :mod:`repro.annealing` — simulated annealing for scalable bit rates.
+* :mod:`repro.cluster_sim` — discrete-event VoD cluster simulator.
+* :mod:`repro.workload` — synthetic workload generation and traces.
+* :mod:`repro.analysis` — statistics and table formatting.
+* :mod:`repro.experiments` — the paper's evaluation (Figures 4-6) plus
+  extensions and ablations.
+
+The most common entry points are re-exported here.
+"""
+
+from .model import (
+    ClusterSpec,
+    ImbalanceMetric,
+    ObjectiveWeights,
+    ReplicaLayout,
+    ReplicationProblem,
+    ServerSpec,
+    Video,
+    VideoCollection,
+    communication_weights,
+    load_imbalance,
+    objective_value,
+)
+from .placement import (
+    GreedyLeastLoadedPlacer,
+    RandomFeasiblePlacer,
+    RoundRobinPlacer,
+    SmallestLoadFirstPlacer,
+)
+from .popularity import (
+    EmpiricalPopularity,
+    PopularityModel,
+    UniformPopularity,
+    ZipfPopularity,
+    fit_zipf_theta,
+    zipf_probabilities,
+)
+from .replication import (
+    AdamsReplicator,
+    ClassificationReplicator,
+    ProportionalReplicator,
+    ReplicationResult,
+    ZipfIntervalReplicator,
+    adams_replication,
+    classification_replication,
+    full_replication,
+    no_replication,
+    optimal_min_max_weight,
+    oracle_replication,
+    proportional_replication,
+    round_robin_replication,
+    zipf_interval_replication,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # model
+    "ClusterSpec",
+    "ImbalanceMetric",
+    "ObjectiveWeights",
+    "ReplicaLayout",
+    "ReplicationProblem",
+    "ServerSpec",
+    "Video",
+    "VideoCollection",
+    "communication_weights",
+    "load_imbalance",
+    "objective_value",
+    # placement
+    "GreedyLeastLoadedPlacer",
+    "RandomFeasiblePlacer",
+    "RoundRobinPlacer",
+    "SmallestLoadFirstPlacer",
+    # popularity
+    "EmpiricalPopularity",
+    "PopularityModel",
+    "UniformPopularity",
+    "ZipfPopularity",
+    "fit_zipf_theta",
+    "zipf_probabilities",
+    # replication
+    "AdamsReplicator",
+    "ClassificationReplicator",
+    "ProportionalReplicator",
+    "ReplicationResult",
+    "ZipfIntervalReplicator",
+    "adams_replication",
+    "classification_replication",
+    "full_replication",
+    "no_replication",
+    "optimal_min_max_weight",
+    "oracle_replication",
+    "proportional_replication",
+    "round_robin_replication",
+    "zipf_interval_replication",
+]

@@ -1,0 +1,35 @@
+"""Statistics, aggregation and table formatting (system S13)."""
+
+from .erlang import (
+    cluster_blocking_bound,
+    erlang_b,
+    offered_load_erlangs,
+    partitioned_blocking,
+)
+from .estimation import estimate_popularity, perturb_popularity
+from .plots import ascii_chart
+from .stats import (
+    Summary,
+    aggregate_imbalance,
+    aggregate_imbalance_percent,
+    aggregate_rejection_rate,
+    summarize,
+)
+from .tables import format_series, format_table
+
+__all__ = [
+    "cluster_blocking_bound",
+    "erlang_b",
+    "offered_load_erlangs",
+    "partitioned_blocking",
+    "estimate_popularity",
+    "perturb_popularity",
+    "ascii_chart",
+    "Summary",
+    "aggregate_imbalance",
+    "aggregate_imbalance_percent",
+    "aggregate_rejection_rate",
+    "summarize",
+    "format_series",
+    "format_table",
+]

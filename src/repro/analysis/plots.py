@@ -1,0 +1,117 @@
+"""Terminal line charts for the experiment harness.
+
+The paper's evaluation is all curves; these helpers render multi-series
+line charts as plain text so ``python -m repro.experiments ... --chart``
+shows the *shape* directly in the terminal, next to the numeric tables.
+
+Pure string manipulation on a character grid — no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from .._validation import check_int_in_range
+
+__all__ = ["ascii_chart"]
+
+#: Series glyphs, assigned in insertion order.
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render series as a text line chart.
+
+    Parameters
+    ----------
+    x_values:
+        Shared x coordinates (ascending).
+    series:
+        Mapping of label -> y values (same length as ``x_values``).
+    width, height:
+        Plot-area size in characters (excluding axes/margins).
+    """
+    check_int_in_range("width", width, 8)
+    check_int_in_range("height", height, 4)
+    if len(series) == 0:
+        raise ValueError("series must be non-empty")
+    if len(series) > len(_MARKERS):
+        raise ValueError(f"at most {len(_MARKERS)} series supported")
+    xs = np.asarray(x_values, dtype=np.float64)
+    if xs.ndim != 1 or xs.size < 2:
+        raise ValueError("x_values must be 1-D with at least 2 points")
+    if np.any(np.diff(xs) <= 0):
+        raise ValueError("x_values must be strictly increasing")
+    matrix = {}
+    for name, values in series.items():
+        ys = np.asarray(values, dtype=np.float64)
+        if ys.shape != xs.shape:
+            raise ValueError(
+                f"series {name!r} has {ys.size} points, expected {xs.size}"
+            )
+        matrix[name] = ys
+
+    all_y = np.concatenate(list(matrix.values()))
+    y_min = float(all_y.min())
+    y_max = float(all_y.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0  # flat lines render mid-chart
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        frac = (x - xs[0]) / (xs[-1] - xs[0])
+        return min(int(frac * (width - 1) + 0.5), width - 1)
+
+    def to_row(y: float) -> int:
+        frac = (y - y_min) / (y_max - y_min)
+        return height - 1 - min(int(frac * (height - 1) + 0.5), height - 1)
+
+    for (name, ys), marker in zip(matrix.items(), _MARKERS):
+        # Dense interpolation so lines read as lines, then data markers.
+        dense_x = np.linspace(xs[0], xs[-1], width * 2)
+        dense_y = np.interp(dense_x, xs, ys)
+        for x, y in zip(dense_x, dense_y):
+            row, col = to_row(float(y)), to_col(float(x))
+            if grid[row][col] == " ":
+                grid[row][col] = "."
+        for x, y in zip(xs, ys):
+            grid[to_row(float(y))][to_col(float(x))] = marker
+
+    # Assemble with a y-axis gutter.
+    top_label = f"{y_max:.4g}"
+    bottom_label = f"{y_min:.4g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        prefix = ""
+        if row == 0:
+            prefix = top_label
+        elif row == height - 1:
+            prefix = bottom_label
+        elif row == height // 2 and y_label:
+            prefix = y_label[: gutter - 1]
+        lines.append(prefix.rjust(gutter) + "|" + "".join(grid[row]))
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = f"{xs[0]:.4g}".ljust(width - 8) + f"{xs[-1]:.4g}".rjust(8)
+    lines.append(" " * (gutter + 1) + x_axis)
+    if x_label:
+        lines.append(" " * (gutter + 1) + x_label.center(width))
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(matrix.items(), _MARKERS)
+    )
+    lines.append(" " * (gutter + 1) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Run aggregation and summary statistics.
+
+The paper reports each data point as "an average of runs"; these helpers
+compute the mean plus a normal-approximation 95% confidence half-width so
+the reproduction can also report run-to-run spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from .._validation import as_float_array
+from ..cluster_sim.metrics import SimulationResult
+from ..model.objective import ImbalanceMetric
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "aggregate_rejection_rate",
+    "aggregate_imbalance",
+    "aggregate_imbalance_percent",
+]
+
+#: 97.5th percentile of the standard normal (for 95% two-sided intervals).
+_Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / spread summary of a sample of scalar measurements."""
+
+    mean: float
+    std: float
+    ci95: float
+    n: int
+    min: float
+    max: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} ± {self.ci95:.4f} (n={self.n})"
+
+
+def summarize(values: Sequence[float] | np.ndarray) -> Summary:
+    """Summarize a sample; the CI half-width is 0 for singleton samples."""
+    arr = as_float_array("values", values)
+    n = arr.size
+    std = float(arr.std(ddof=1)) if n > 1 else 0.0
+    ci95 = _Z_95 * std / np.sqrt(n) if n > 1 else 0.0
+    return Summary(
+        mean=float(arr.mean()),
+        std=std,
+        ci95=ci95,
+        n=int(n),
+        min=float(arr.min()),
+        max=float(arr.max()),
+    )
+
+
+def aggregate_rejection_rate(results: Sequence[SimulationResult]) -> Summary:
+    """Summary of per-run rejection rates."""
+    if not results:
+        raise ValueError("results must be non-empty")
+    return summarize([r.rejection_rate for r in results])
+
+
+def aggregate_imbalance(
+    results: Sequence[SimulationResult],
+    metric: ImbalanceMetric = ImbalanceMetric.MAX_DEVIATION,
+    *,
+    relative: bool = True,
+) -> Summary:
+    """Summary of per-run load-imbalance degrees."""
+    if not results:
+        raise ValueError("results must be non-empty")
+    return summarize([r.load_imbalance(metric, relative=relative) for r in results])
+
+
+def aggregate_imbalance_percent(
+    results: Sequence[SimulationResult],
+    metric: ImbalanceMetric = ImbalanceMetric.MAX_DEVIATION,
+) -> Summary:
+    """Summary of per-run Figure 6 ``L(%)`` values."""
+    if not results:
+        raise ValueError("results must be non-empty")
+    return summarize([r.load_imbalance_percent(metric) for r in results])

@@ -1,0 +1,36 @@
+"""Simulated annealing (systems S9-S10).
+
+The paper solves the scalable-bit-rate variant of the optimization with a
+simulated-annealing heuristic built on the ``parsa`` library [18].  That
+library is not publicly available, so this package reimplements the generic
+SA machinery — cooling schedules, a Metropolis engine with equilibrium
+detection, independent restart chains — and the paper's problem-specific
+pieces (Sec. 4.3): the Eq. 1 cost function, the lowest-rate round-robin
+initial solution, and the server-centric neighborhood with constraint
+repair.
+"""
+
+from .chains import ChainResult, run_chains
+from .engine import AnnealingProblem, AnnealingResult, SimulatedAnnealer
+from .schedule import (
+    CoolingSchedule,
+    GeometricCooling,
+    LinearCooling,
+    LogarithmicCooling,
+    estimate_initial_temperature,
+)
+from .vod_problem import ScalableBitRateProblem
+
+__all__ = [
+    "ChainResult",
+    "run_chains",
+    "AnnealingProblem",
+    "AnnealingResult",
+    "SimulatedAnnealer",
+    "CoolingSchedule",
+    "GeometricCooling",
+    "LinearCooling",
+    "LogarithmicCooling",
+    "estimate_initial_temperature",
+    "ScalableBitRateProblem",
+]

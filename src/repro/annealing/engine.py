@@ -1,0 +1,166 @@
+"""Generic Metropolis simulated-annealing engine.
+
+The engine is problem-agnostic: anything implementing the
+:class:`AnnealingProblem` protocol (initial state, cost, neighborhood
+proposal) can be annealed.  Design choices mirror what the paper delegates
+to the ``parsa`` library: temperature levels with a fixed number of steps
+each, Metropolis acceptance, best-so-far tracking, and stall-based
+termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from .._validation import check_int_in_range, check_non_negative
+from .schedule import CoolingSchedule, GeometricCooling, estimate_initial_temperature
+
+__all__ = ["AnnealingProblem", "AnnealingResult", "SimulatedAnnealer"]
+
+
+@runtime_checkable
+class AnnealingProblem(Protocol):
+    """Problem interface consumed by :class:`SimulatedAnnealer`."""
+
+    def initial_state(self, rng: np.random.Generator) -> Any:
+        """A feasible starting state."""
+        ...
+
+    def cost(self, state: Any) -> float:
+        """Cost to minimize (for Eq. 1, the negated objective)."""
+        ...
+
+    def propose(self, state: Any, rng: np.random.Generator) -> Any | None:
+        """A feasible neighbor of *state*, or None if the move fell through."""
+        ...
+
+
+@dataclass(frozen=True)
+class AnnealingResult:
+    """Outcome of one annealing run."""
+
+    best_state: Any = field(repr=False)
+    best_cost: float
+    final_cost: float
+    levels: int
+    steps: int
+    accepted: int
+    cost_history: list[float] = field(repr=False, default_factory=list)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of proposed moves accepted across the whole run."""
+        return self.accepted / self.steps if self.steps else 0.0
+
+
+class SimulatedAnnealer:
+    """Metropolis annealer with level-based cooling and stall detection.
+
+    Parameters
+    ----------
+    schedule:
+        Cooling schedule; when None, ``T0`` is calibrated from a random
+        walk at run time (the usual parsa-style automatic setup) and a
+        geometric schedule is used.
+    steps_per_level:
+        Metropolis steps at each temperature level.
+    max_levels:
+        Hard cap on cooling levels.
+    patience_levels:
+        Stop after this many consecutive levels without improving the best
+        cost (0 disables stalling-based termination).
+    """
+
+    def __init__(
+        self,
+        schedule: CoolingSchedule | None = None,
+        *,
+        steps_per_level: int = 200,
+        max_levels: int = 200,
+        patience_levels: int = 25,
+    ) -> None:
+        check_int_in_range("steps_per_level", steps_per_level, 1)
+        check_int_in_range("max_levels", max_levels, 1)
+        check_non_negative("patience_levels", patience_levels)
+        self._schedule = schedule
+        self._steps_per_level = int(steps_per_level)
+        self._max_levels = int(max_levels)
+        self._patience = int(patience_levels)
+
+    # ------------------------------------------------------------------
+    def _calibrate_schedule(
+        self, problem: AnnealingProblem, state: Any, rng: np.random.Generator
+    ) -> CoolingSchedule:
+        """Sample uphill deltas from a short random walk to pick ``T0``."""
+        cost = problem.cost(state)
+        deltas = []
+        current = state
+        for _ in range(64):
+            neighbor = problem.propose(current, rng)
+            if neighbor is None:
+                continue
+            new_cost = problem.cost(neighbor)
+            deltas.append(new_cost - cost)
+            current, cost = neighbor, new_cost
+        initial = estimate_initial_temperature(np.asarray(deltas, dtype=np.float64))
+        return GeometricCooling(max(initial, 1e-6))
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        problem: AnnealingProblem,
+        rng: np.random.Generator,
+        *,
+        record_history: bool = True,
+    ) -> AnnealingResult:
+        """Anneal *problem* and return the best state found."""
+        state = problem.initial_state(rng)
+        cost = problem.cost(state)
+        best_state, best_cost = state, cost
+
+        schedule = self._schedule or self._calibrate_schedule(problem, state, rng)
+
+        history: list[float] = [cost] if record_history else []
+        steps = 0
+        accepted = 0
+        stall = 0
+        level = 0
+        for level in range(self._max_levels):
+            temperature = schedule.temperature(level)
+            improved_this_level = False
+            for _ in range(self._steps_per_level):
+                neighbor = problem.propose(state, rng)
+                steps += 1
+                if neighbor is None:
+                    continue
+                new_cost = problem.cost(neighbor)
+                delta = new_cost - cost
+                if delta <= 0.0 or (
+                    temperature > 0.0
+                    and rng.random() < np.exp(-delta / temperature)
+                ):
+                    state, cost = neighbor, new_cost
+                    accepted += 1
+                    if cost < best_cost:
+                        best_state, best_cost = state, cost
+                        improved_this_level = True
+            if record_history:
+                history.append(cost)
+            stall = 0 if improved_this_level else stall + 1
+            if self._patience and stall >= self._patience:
+                break
+            if schedule.is_frozen(level):
+                break
+
+        return AnnealingResult(
+            best_state=best_state,
+            best_cost=best_cost,
+            final_cost=cost,
+            levels=level + 1,
+            steps=steps,
+            accepted=accepted,
+            cost_history=history,
+        )

@@ -1,0 +1,112 @@
+"""Cooling schedules for simulated annealing.
+
+A schedule maps the level index ``k = 0, 1, 2, ...`` to a temperature.  The
+engine runs a fixed number of Metropolis steps per level and stops when the
+schedule is exhausted, the temperature reaches its floor, or the search
+stalls.  ``estimate_initial_temperature`` implements the standard
+acceptance-ratio calibration (sample random uphill moves, pick ``T0`` so a
+target fraction would be accepted).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from .._validation import check_in_range, check_int_in_range, check_positive
+
+__all__ = [
+    "CoolingSchedule",
+    "GeometricCooling",
+    "LinearCooling",
+    "LogarithmicCooling",
+    "estimate_initial_temperature",
+]
+
+
+class CoolingSchedule(abc.ABC):
+    """Temperature as a function of the cooling-level index."""
+
+    @abc.abstractmethod
+    def temperature(self, level: int) -> float:
+        """Temperature at cooling level ``level`` (0-based)."""
+
+    def is_frozen(self, level: int) -> bool:
+        """Whether the schedule considers the search frozen at this level."""
+        return self.temperature(level) <= self.floor
+
+    @property
+    def floor(self) -> float:
+        """Temperature below which the system counts as frozen."""
+        return 1e-12
+
+
+class GeometricCooling(CoolingSchedule):
+    """``T_k = T0 * alpha**k`` — the workhorse schedule."""
+
+    def __init__(self, initial: float, alpha: float = 0.95, floor: float = 1e-9) -> None:
+        check_positive("initial", initial)
+        check_in_range("alpha", alpha, 0.0, 1.0, inclusive=False)
+        check_positive("floor", floor)
+        self._initial = float(initial)
+        self._alpha = float(alpha)
+        self._floor = float(floor)
+
+    @property
+    def floor(self) -> float:
+        return self._floor
+
+    def temperature(self, level: int) -> float:
+        check_int_in_range("level", level, 0)
+        return max(self._initial * self._alpha**level, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GeometricCooling(initial={self._initial}, alpha={self._alpha})"
+
+
+class LinearCooling(CoolingSchedule):
+    """``T_k = T0 - k * decrement``, clipped at zero."""
+
+    def __init__(self, initial: float, decrement: float) -> None:
+        check_positive("initial", initial)
+        check_positive("decrement", decrement)
+        self._initial = float(initial)
+        self._decrement = float(decrement)
+
+    def temperature(self, level: int) -> float:
+        check_int_in_range("level", level, 0)
+        return max(self._initial - level * self._decrement, 0.0)
+
+
+class LogarithmicCooling(CoolingSchedule):
+    """``T_k = T0 / ln(k + e)`` — the classical (slow) guarantee schedule."""
+
+    def __init__(self, initial: float) -> None:
+        check_positive("initial", initial)
+        self._initial = float(initial)
+
+    def temperature(self, level: int) -> float:
+        check_int_in_range("level", level, 0)
+        return self._initial / float(np.log(level + np.e))
+
+
+def estimate_initial_temperature(
+    uphill_deltas: np.ndarray,
+    *,
+    target_acceptance: float = 0.8,
+) -> float:
+    """Calibrate ``T0`` so uphill moves are accepted at the target rate.
+
+    Given sampled positive cost increases ``delta``, Metropolis accepts with
+    probability ``exp(-delta / T)``; ``T0 = mean(delta) / -ln(p)`` makes the
+    *average* uphill move accepted with probability ``p``.
+    """
+    deltas = np.asarray(uphill_deltas, dtype=np.float64)
+    deltas = deltas[deltas > 0]
+    check_in_range("target_acceptance", target_acceptance, 0.0, 1.0, inclusive=False)
+    if deltas.size == 0:
+        # No uphill moves sampled: the landscape looks monotone; any small
+        # temperature works.
+        return 1e-6
+    return float(deltas.mean() / -np.log(target_acceptance))

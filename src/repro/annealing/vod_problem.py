@@ -1,0 +1,230 @@
+"""The scalable-bit-rate replication/placement problem for SA (Sec. 4.3).
+
+State: an ``(M, N)`` matrix of per-replica encoding bit rates (0 = no
+replica), i.e. exactly a :class:`~repro.model.layout.ReplicaLayout` matrix.
+The scalable framework explicitly allows replicas of one video at different
+rates (Sec. 6), so no per-video uniformity is imposed.
+
+The three problem-specific decisions the paper lists:
+
+1. **Cost function** — the negated, normalized Eq. (1) objective:
+   ``-( mean_i(b_i)/b_max + alpha * mean_i(r_i)/N - beta * L )`` where
+   ``b_i`` is the mean rate over video ``i``'s replicas, ``L`` the relative
+   Eq. (2) imbalance of the expected server loads under static round-robin
+   dispatch of ``lambda * T`` requests.
+2. **Initial solution** — every video one replica at the lowest allowed
+   rate, dealt round robin over the servers ("each video can have one
+   replica at least in a low bit rate quality").
+3. **Neighborhood** — pick a random server; either raise the rate of one
+   replica on it or place a new video on it at the lowest rate; then, while
+   the server violates its storage (Eq. 4) or expected-bandwidth (Eq. 5)
+   constraint, decrease the rate of — or delete — lowest-rate replicas on
+   that server.  A video's last replica is never deleted (Eq. 7), and a
+   repair that cannot restore feasibility voids the proposal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..model.layout import ReplicaLayout
+from ..model.problem import ReplicationProblem
+
+__all__ = ["ScalableBitRateProblem"]
+
+
+class ScalableBitRateProblem:
+    """Adapter exposing a :class:`ReplicationProblem` to the SA engine."""
+
+    def __init__(self, problem: ReplicationProblem) -> None:
+        if len(problem.allowed_bit_rates_mbps) < 2:
+            raise ValueError(
+                "the scalable-rate setting needs at least two allowed bit "
+                f"rates, got {problem.allowed_bit_rates_mbps}"
+            )
+        self._problem = problem
+        self._rates = np.asarray(problem.allowed_bit_rates_mbps, dtype=np.float64)
+        self._probs = problem.probabilities
+        self._requests = problem.requests_per_peak
+        self._storage_gb = problem.cluster.storage_gb
+        self._bandwidth = problem.cluster.bandwidth_mbps
+        # Per-video storage multiplier: GB per (Mb/s of encoding rate).
+        self._gb_per_mbps = problem.videos.durations_min * 60.0 / 8000.0
+        self._alpha = problem.objective_weights.alpha
+        self._beta = problem.objective_weights.beta
+
+    # ------------------------------------------------------------------
+    @property
+    def problem(self) -> ReplicationProblem:
+        return self._problem
+
+    @property
+    def min_rate(self) -> float:
+        return float(self._rates[0])
+
+    @property
+    def max_rate(self) -> float:
+        return float(self._rates[-1])
+
+    # ------------------------------------------------------------------
+    # AnnealingProblem protocol
+    # ------------------------------------------------------------------
+    def initial_state(self, rng: np.random.Generator) -> np.ndarray:
+        """Lowest-rate, one-replica-per-video, round-robin placement."""
+        del rng  # the paper's initial solution is deterministic
+        num_videos = self._problem.num_videos
+        num_servers = self._problem.num_servers
+        state = np.zeros((num_videos, num_servers), dtype=np.float64)
+        state[np.arange(num_videos), np.arange(num_videos) % num_servers] = (
+            self.min_rate
+        )
+        bad = self._violating_servers(state)
+        if bad.size:
+            raise ValueError(
+                "even the lowest-rate initial solution violates server "
+                f"constraints (servers {bad.tolist()}); the instance is "
+                "infeasible for the scalable-rate setting"
+            )
+        return state
+
+    def cost(self, state: np.ndarray) -> float:
+        """Negated normalized Eq. (1) objective (lower is better)."""
+        present = state > 0
+        counts = present.sum(axis=1)
+        if np.any(counts < 1):
+            raise ValueError("state lost a video's last replica (Eq. 7)")
+        mean_rate = state.sum(axis=1) / counts
+        loads = self._server_loads(state, counts)
+        mean_load = loads.mean()
+        imbalance = float(np.abs(loads - mean_load).max() / mean_load) if mean_load else 0.0
+        objective = (
+            float(mean_rate.mean()) / self.max_rate
+            + self._alpha * float(counts.mean()) / self._problem.num_servers
+            - self._beta * imbalance
+        )
+        return -objective
+
+    def propose(
+        self, state: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray | None:
+        """One neighborhood move with constraint repair (see module doc)."""
+        server = int(rng.integers(self._problem.num_servers))
+        new_state = state.copy()
+        changed = self._improve_server(new_state, server, rng)
+        if changed is None:
+            return None
+        if not self._repair_server(new_state, server, protect=changed):
+            return None
+        # Repair deletions shrink r_i, shifting that video's weight onto its
+        # replicas on *other* servers; void the proposal if any server ended
+        # up violated (the paper's neighborhood is silent on this case, and
+        # voiding keeps the feasible-state invariant exact).
+        if self._violating_servers(new_state).size:
+            return None
+        return new_state
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_layout(self, state: np.ndarray) -> ReplicaLayout:
+        """Wrap a state matrix as an immutable layout."""
+        return ReplicaLayout(rate_matrix=state)
+
+    def objective_of(self, state: np.ndarray) -> float:
+        """The (positive) Eq. 1 objective of a state."""
+        return -self.cost(state)
+
+    def server_loads(self, state: np.ndarray) -> np.ndarray:
+        """Expected per-server outgoing loads (Mb/s) of a state."""
+        counts = (state > 0).sum(axis=1)
+        if np.any(counts < 1):
+            raise ValueError("state lost a video's last replica (Eq. 7)")
+        return self._server_loads(state, counts)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _server_loads(self, state: np.ndarray, counts: np.ndarray) -> np.ndarray:
+        """Expected end-of-peak outgoing load per server (Mb/s)."""
+        weights = self._probs / counts
+        return self._requests * (weights[:, None] * state).sum(axis=0)
+
+    def _server_storage(self, state: np.ndarray, server: int) -> float:
+        return float((state[:, server] * self._gb_per_mbps).sum())
+
+    def _server_load_one(self, state: np.ndarray, server: int) -> float:
+        counts = (state > 0).sum(axis=1)
+        weights = np.where(counts > 0, self._probs / np.maximum(counts, 1), 0.0)
+        return float(self._requests * (weights * state[:, server]).sum())
+
+    def _violating_servers(self, state: np.ndarray) -> np.ndarray:
+        counts = (state > 0).sum(axis=1)
+        loads = self._server_loads(state, np.maximum(counts, 1))
+        storage = (state * self._gb_per_mbps[:, None]).sum(axis=0)
+        bad = (loads > self._bandwidth + 1e-9) | (storage > self._storage_gb + 1e-9)
+        return np.flatnonzero(bad)
+
+    def _improve_server(
+        self, state: np.ndarray, server: int, rng: np.random.Generator
+    ) -> int | None:
+        """Apply the raise-rate or add-video move; return the video touched."""
+        on_server = np.flatnonzero(state[:, server] > 0)
+        raisable = on_server[state[on_server, server] < self.max_rate - 1e-12]
+        absent = np.flatnonzero(state[:, server] == 0)
+
+        moves = []
+        if raisable.size:
+            moves.append("raise")
+        if absent.size:
+            moves.append("add")
+        if not moves:
+            return None
+        move = moves[int(rng.integers(len(moves)))]
+
+        if move == "raise":
+            video = int(raisable[rng.integers(raisable.size)])
+            current = state[video, server]
+            next_idx = int(np.searchsorted(self._rates, current + 1e-12))
+            state[video, server] = self._rates[min(next_idx, self._rates.size - 1)]
+        else:
+            video = int(absent[rng.integers(absent.size)])
+            state[video, server] = self.min_rate
+        return video
+
+    def _repair_server(self, state: np.ndarray, server: int, *, protect: int) -> bool:
+        """Shed storage/load on *server* until feasible; False if impossible."""
+        max_steps = state.shape[0] * self._rates.size + 1
+        for _ in range(max_steps):
+            storage_ok = (
+                self._server_storage(state, server) <= self._storage_gb[server] + 1e-9
+            )
+            load_ok = (
+                self._server_load_one(state, server) <= self._bandwidth[server] + 1e-9
+            )
+            if storage_ok and load_ok:
+                return True
+            if not self._shed_one(state, server, protect):
+                return False
+        return False  # pragma: no cover - bounded by construction
+
+    def _shed_one(self, state: np.ndarray, server: int, protect: int) -> bool:
+        """Decrease or delete the lowest-rate shedable replica on *server*."""
+        column = state[:, server]
+        candidates = np.flatnonzero(column > 0)
+        candidates = candidates[candidates != protect]
+        if candidates.size == 0:
+            return False
+        order = candidates[np.argsort(column[candidates], kind="stable")]
+        replica_counts = (state > 0).sum(axis=1)
+        for video in order:
+            video = int(video)
+            rate = column[video]
+            if rate > self.min_rate + 1e-12:
+                idx = int(np.searchsorted(self._rates, rate - 1e-12)) - 1
+                state[video, server] = self._rates[max(idx, 0)]
+                return True
+            if replica_counts[video] > 1:
+                state[video, server] = 0.0
+                return True
+            # Last replica at the lowest rate: protected by Eq. 7, try next.
+        return False

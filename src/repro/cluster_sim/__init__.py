@@ -1,0 +1,57 @@
+"""Discrete-event VoD cluster simulator (systems S11, S15, S17-S18, S20, S24).
+
+Implements the evaluation testbed of Sec. 5: bandwidth-constrained streaming
+servers, a dispatcher that routes each request to a replica of the requested
+video (static round robin by default, matching the paper's model), a simple
+admission control that rejects a request when the dispatched server lacks
+outgoing bandwidth, and time-weighted load/rejection metrics.
+
+Extensions layered on the same event machinery:
+
+* request redirection over an internal backbone (the companion strategy
+  [19], :mod:`.redirection`);
+* server-failure injection with optional failover dispatch
+  (:mod:`.failures`);
+* the wide-striping shared-storage architecture the paper argues against
+  (:mod:`.striping`);
+* multicast batching delivery (:mod:`.batching`);
+* wait-queue admission with bounded patience (:mod:`.queueing`).
+"""
+
+from .batching import BatchingClusterSimulator, BatchingResult
+from .dispatch import (
+    Dispatcher,
+    FirstFitDispatcher,
+    LeastLoadedDispatcher,
+    StaticRoundRobinDispatcher,
+    make_dispatcher_factory,
+)
+from .events import EventKind, EventQueue
+from .failures import FailureEvent, FailureSchedule
+from .metrics import SimulationResult
+from .queueing import QueueingClusterSimulator, QueueingResult
+from .redirection import BackboneLink
+from .server import StreamingServer
+from .simulator import VoDClusterSimulator
+from .striping import StripedClusterSimulator
+
+__all__ = [
+    "BatchingClusterSimulator",
+    "BatchingResult",
+    "Dispatcher",
+    "FirstFitDispatcher",
+    "LeastLoadedDispatcher",
+    "StaticRoundRobinDispatcher",
+    "make_dispatcher_factory",
+    "EventKind",
+    "EventQueue",
+    "FailureEvent",
+    "FailureSchedule",
+    "SimulationResult",
+    "BackboneLink",
+    "QueueingClusterSimulator",
+    "QueueingResult",
+    "StreamingServer",
+    "StripedClusterSimulator",
+    "VoDClusterSimulator",
+]

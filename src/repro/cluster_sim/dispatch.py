@@ -1,0 +1,133 @@
+"""Request-dispatch policies.
+
+The paper's model assumes a *static round-robin* scheduling policy among the
+replicas of a video (Sec. 3.2): the dispatcher cycles through the replica
+holders per video regardless of their current load, and the admission
+control rejects the request if the selected server lacks bandwidth.  That
+policy is what makes the per-replica communication weight ``w_i = p_i /
+r_i`` the right placement currency, and it is the default in the
+reproduction.
+
+Two dynamic policies are provided for the ablation study (E7): least-loaded
+(among holders) and first-fit.  Dynamic policies return multiple candidates;
+the simulator admits on the first with free bandwidth.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from ..model.layout import ReplicaLayout
+from .server import StreamingServer
+
+__all__ = [
+    "Dispatcher",
+    "StaticRoundRobinDispatcher",
+    "LeastLoadedDispatcher",
+    "FirstFitDispatcher",
+    "make_dispatcher_factory",
+]
+
+
+def _replica_servers(layout: ReplicaLayout) -> list[np.ndarray]:
+    """Per-video arrays of replica-holding servers (ascending ids)."""
+    return [layout.servers_of(video) for video in range(layout.num_videos)]
+
+
+class Dispatcher(abc.ABC):
+    """Maps a request for a video to an ordered list of candidate servers.
+
+    A dispatcher instance holds per-run state (e.g. round-robin counters)
+    and must not be shared across simulation runs; use
+    :func:`make_dispatcher_factory` to create one per run.
+    """
+
+    #: Short machine-friendly name used in experiment tables.
+    name: str = "dispatcher"
+
+    def __init__(self, layout: ReplicaLayout) -> None:
+        self._servers_of = _replica_servers(layout)
+
+    def holders(self, video: int) -> np.ndarray:
+        """Servers holding a replica of *video*."""
+        return self._servers_of[video]
+
+    @abc.abstractmethod
+    def candidates(
+        self, video: int, servers: Sequence[StreamingServer]
+    ) -> Sequence[int]:
+        """Ordered candidate servers for a request (may be empty)."""
+
+
+class StaticRoundRobinDispatcher(Dispatcher):
+    """The paper's policy: cycle replicas per video, single candidate.
+
+    The counter advances on every request (admitted or not) — the policy is
+    static, so a rejection does not re-route to another replica.
+    """
+
+    name = "static_rr"
+
+    def __init__(self, layout: ReplicaLayout) -> None:
+        super().__init__(layout)
+        self._counters = np.zeros(layout.num_videos, dtype=np.int64)
+
+    def candidates(
+        self, video: int, servers: Sequence[StreamingServer]
+    ) -> Sequence[int]:
+        del servers  # static: ignores load
+        holders = self._servers_of[video]
+        if holders.size == 0:
+            return ()
+        index = self._counters[video] % holders.size
+        self._counters[video] += 1
+        return (int(holders[index]),)
+
+
+class LeastLoadedDispatcher(Dispatcher):
+    """Dynamic policy: try holders from least to most utilized."""
+
+    name = "least_loaded"
+
+    def candidates(
+        self, video: int, servers: Sequence[StreamingServer]
+    ) -> Sequence[int]:
+        holders = self._servers_of[video]
+        if holders.size == 0:
+            return ()
+        utilization = np.array([servers[s].utilization for s in holders])
+        order = np.argsort(utilization, kind="stable")
+        return [int(holders[i]) for i in order]
+
+
+class FirstFitDispatcher(Dispatcher):
+    """Dynamic policy: try holders in fixed (server-id) order."""
+
+    name = "first_fit"
+
+    def candidates(
+        self, video: int, servers: Sequence[StreamingServer]
+    ) -> Sequence[int]:
+        del servers
+        return [int(s) for s in self._servers_of[video]]
+
+
+def make_dispatcher_factory(
+    kind: str,
+) -> Callable[[ReplicaLayout], Dispatcher]:
+    """Factory by name: ``static_rr`` (default), ``least_loaded``, ``first_fit``."""
+    table = {
+        StaticRoundRobinDispatcher.name: StaticRoundRobinDispatcher,
+        LeastLoadedDispatcher.name: LeastLoadedDispatcher,
+        FirstFitDispatcher.name: FirstFitDispatcher,
+    }
+    try:
+        cls = table[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown dispatcher {kind!r}; choose from {sorted(table)}"
+        ) from None
+    return cls

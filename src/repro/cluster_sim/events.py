@@ -1,0 +1,87 @@
+"""Event queue for the discrete-event simulator.
+
+A thin, fully-tested priority queue over ``heapq`` with deterministic
+ordering: events sort by time, then by kind priority (departures before
+arrivals at the same instant, so a slot freed at time ``t`` can serve an
+arrival at time ``t``), then by insertion order.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(enum.IntEnum):
+    """Event kinds; the integer value is the same-time tiebreak priority.
+
+    At one instant: departures release bandwidth first (so a slot freed at
+    ``t`` can serve an arrival at ``t``), then failures take servers down
+    (a stream ending exactly at the crash ends gracefully), recoveries
+    bring servers back, and arrivals are admitted last.
+    """
+
+    DEPARTURE = 0
+    FAILURE = 1
+    RECOVERY = 2
+    ARRIVAL = 3
+    #: Batched-multicast start; after ARRIVAL so a request arriving at the
+    #: same instant still joins the batch.
+    BATCH_FIRE = 4
+    #: Wait-queue patience expiry; after DEPARTURE so a slot freed at the
+    #: deadline still saves the request.
+    DEFECTION = 5
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled event (payload excluded from ordering)."""
+
+    time: float
+    kind: EventKind
+    seq: int
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> None:
+        """Schedule an event; time must be finite and >= 0."""
+        if not (time >= 0.0) or time != time or time == float("inf"):
+            raise ValueError(f"event time must be finite and >= 0, got {time!r}")
+        heapq.heappush(self._heap, Event(time, kind, next(self._counter), payload))
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Event:
+        """Return (without removing) the earliest event."""
+        if not self._heap:
+            raise IndexError("peek on empty EventQueue")
+        return self._heap[0]
+
+    def pop_until(self, time: float) -> list[Event]:
+        """Pop all events with ``event.time <= time``, in order."""
+        events: list[Event] = []
+        while self._heap and self._heap[0].time <= time:
+            events.append(heapq.heappop(self._heap))
+        return events
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,138 @@
+"""Server-failure schedules — availability extension.
+
+The paper motivates replication partly by *availability*: "Multiple
+replicas also offer the flexibility in reconfiguration" and distributed
+storage "can offer ... higher reliability".  This module quantifies that:
+a :class:`FailureSchedule` crashes servers at given times (dropping their
+active streams) and optionally recovers them later; the simulator then
+measures dropped streams and the extra rejections a failure causes, as a
+function of the replication degree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from .._validation import check_int_in_range, check_non_negative, check_positive
+
+__all__ = ["FailureEvent", "FailureSchedule"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One server outage: down at ``time_min``, back after ``down_min``.
+
+    ``down_min = inf`` means the server never returns within the run.
+    """
+
+    time_min: float
+    server: int
+    down_min: float = float("inf")
+
+    def __post_init__(self) -> None:
+        check_non_negative("time_min", self.time_min)
+        check_int_in_range("server", self.server, 0)
+        if not self.down_min > 0:
+            raise ValueError(f"down_min must be > 0, got {self.down_min}")
+
+    @property
+    def recovery_min(self) -> float:
+        """Absolute recovery time (may be inf)."""
+        return self.time_min + self.down_min
+
+
+class FailureSchedule:
+    """A time-ordered set of :class:`FailureEvent` entries.
+
+    Overlapping outages of the *same* server are rejected — a down server
+    cannot fail again before recovering.
+    """
+
+    def __init__(self, events: Iterable[FailureEvent]) -> None:
+        events = sorted(events, key=lambda e: e.time_min)
+        busy_until: dict[int, float] = {}
+        for event in events:
+            if event.time_min < busy_until.get(event.server, -1.0):
+                raise ValueError(
+                    f"server {event.server} fails at {event.time_min} while "
+                    "still down from a previous failure"
+                )
+            busy_until[event.server] = event.recovery_min
+        self._events = tuple(events)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(
+        cls, time_min: float, server: int, down_min: float = float("inf")
+    ) -> "FailureSchedule":
+        """One server fails once — the canonical availability experiment."""
+        return cls([FailureEvent(time_min, server, down_min)])
+
+    @classmethod
+    def random(
+        cls,
+        num_servers: int,
+        horizon_min: float,
+        rng: np.random.Generator,
+        *,
+        mtbf_min: float,
+        mttr_min: float | None = None,
+    ) -> "FailureSchedule":
+        """Poisson failures: cluster-wide rate ``num_servers / mtbf_min``.
+
+        Each failure hits a uniformly random *currently-up* server and (if
+        ``mttr_min`` is given) heals after an exponential repair time.
+        """
+        check_int_in_range("num_servers", num_servers, 1)
+        check_positive("horizon_min", horizon_min)
+        check_positive("mtbf_min", mtbf_min)
+        if mttr_min is not None:
+            check_positive("mttr_min", mttr_min)
+
+        events: list[FailureEvent] = []
+        busy_until = np.zeros(num_servers)
+        t = 0.0
+        rate = num_servers / mtbf_min
+        while True:
+            t += rng.exponential(1.0 / rate)
+            if t >= horizon_min:
+                break
+            up = np.flatnonzero(busy_until <= t)
+            if up.size == 0:
+                continue
+            server = int(rng.choice(up))
+            down = (
+                float(rng.exponential(mttr_min))
+                if mttr_min is not None
+                else float("inf")
+            )
+            events.append(FailureEvent(t, server, down))
+            busy_until[server] = t + down
+        return cls(events)
+
+    @classmethod
+    def none(cls) -> "FailureSchedule":
+        """No failures (the paper's base setting)."""
+        return cls([])
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[FailureEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def validate_servers(self, num_servers: int) -> None:
+        """Check all events reference servers within the cluster."""
+        for event in self._events:
+            if event.server >= num_servers:
+                raise ValueError(
+                    f"failure targets server {event.server} but the cluster "
+                    f"has {num_servers} servers"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FailureSchedule(events={len(self._events)})"

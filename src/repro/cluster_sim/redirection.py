@@ -1,0 +1,53 @@
+"""Backbone request-redirection extension (system S15).
+
+The paper's conclusion points to a companion runtime strategy [19]: when the
+server selected for a request has no outgoing bandwidth left, the cluster's
+*internal backbone* can ship the video data from the replica-holding server
+to another back-end whose outgoing link still has room, so the request is
+served instead of rejected.  The cost is backbone bandwidth held for the
+stream's duration plus the delegate server's outgoing bandwidth.
+
+:class:`BackboneLink` models the shared backbone as a single capacity pool;
+the simulator consults it when constructed with ``backbone_mbps > 0``.
+"""
+
+from __future__ import annotations
+
+from .._validation import check_non_negative
+
+__all__ = ["BackboneLink"]
+
+
+class BackboneLink:
+    """Shared internal-backbone capacity pool."""
+
+    __slots__ = ("capacity_mbps", "used_mbps", "redirected_streams")
+
+    def __init__(self, capacity_mbps: float) -> None:
+        check_non_negative("capacity_mbps", capacity_mbps)
+        self.capacity_mbps = float(capacity_mbps)
+        self.used_mbps = 0.0
+        self.redirected_streams = 0
+
+    def can_carry(self, rate_mbps: float) -> bool:
+        """Whether the backbone can absorb one more redirected stream."""
+        return self.used_mbps + rate_mbps <= self.capacity_mbps + 1e-6
+
+    def acquire(self, rate_mbps: float) -> None:
+        """Reserve backbone bandwidth for a redirected stream."""
+        if not self.can_carry(rate_mbps):
+            raise RuntimeError("backbone over-committed")
+        self.used_mbps += rate_mbps
+        self.redirected_streams += 1
+
+    def release(self, rate_mbps: float) -> None:
+        """Return backbone bandwidth when a redirected stream ends."""
+        self.used_mbps -= rate_mbps
+        if self.used_mbps < -1e-6:
+            raise RuntimeError("backbone accounting went negative")
+        self.used_mbps = max(self.used_mbps, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BackboneLink(used={self.used_mbps:.0f}/{self.capacity_mbps:.0f} Mb/s)"
+        )

@@ -1,0 +1,158 @@
+"""Streaming-server state for the simulator.
+
+A :class:`StreamingServer` tracks its outgoing-bandwidth occupancy and
+accumulates a time-weighted load integral, from which the per-server
+time-averaged load (the ``l_k`` of Eq. 2/3 as measured in Sec. 5.3) is
+derived.  Bandwidth accounting uses a small epsilon so that e.g. 450 streams
+of 4 Mb/s exactly fill 1800 Mb/s without float-noise rejections.
+"""
+
+from __future__ import annotations
+
+from .._validation import check_positive
+
+__all__ = ["StreamingServer"]
+
+#: Admission slack (Mb/s) absorbing float accumulation error.
+_EPS_MBPS = 1e-6
+
+
+class StreamingServer:
+    """Outgoing-bandwidth state of one back-end server during a run."""
+
+    __slots__ = (
+        "server_id",
+        "bandwidth_mbps",
+        "used_mbps",
+        "active_streams",
+        "served_requests",
+        "peak_load_mbps",
+        "is_up",
+        "epoch",
+        "dropped_streams",
+        "max_streams",
+        "_last_time_min",
+        "_load_integral",
+    )
+
+    def __init__(
+        self,
+        server_id: int,
+        bandwidth_mbps: float,
+        *,
+        max_streams: int | None = None,
+    ) -> None:
+        check_positive("bandwidth_mbps", bandwidth_mbps)
+        if max_streams is not None and max_streams < 0:
+            raise ValueError(f"max_streams must be >= 0, got {max_streams}")
+        #: Optional concurrency cap from the disk subsystem (S23); the
+        #: outgoing link remains the default, paper-faithful constraint.
+        self.max_streams = max_streams
+        self.server_id = int(server_id)
+        self.bandwidth_mbps = float(bandwidth_mbps)
+        self.used_mbps = 0.0
+        self.active_streams = 0
+        self.served_requests = 0
+        self.peak_load_mbps = 0.0
+        self.is_up = True
+        #: Incremented on every failure; departure events from a previous
+        #: epoch are stale (their streams were dropped by the crash).
+        self.epoch = 0
+        self.dropped_streams = 0
+        self._last_time_min = 0.0
+        self._load_integral = 0.0  # Mb/s * minutes
+
+    # ------------------------------------------------------------------
+    def can_admit(self, rate_mbps: float) -> bool:
+        """Whether a new stream fits the outgoing link and stream cap."""
+        if not self.is_up:
+            return False
+        if self.max_streams is not None and self.active_streams >= self.max_streams:
+            return False
+        return self.used_mbps + rate_mbps <= self.bandwidth_mbps + _EPS_MBPS
+
+    def admit(self, time_min: float, rate_mbps: float) -> None:
+        """Start a stream at ``time_min`` (caller checked :meth:`can_admit`)."""
+        check_positive("rate_mbps", rate_mbps)
+        if not self.is_up:
+            raise RuntimeError(f"server {self.server_id} is down")
+        if not self.can_admit(rate_mbps):
+            raise RuntimeError(
+                f"server {self.server_id} over-admitted: "
+                f"{self.used_mbps + rate_mbps:.3f} > {self.bandwidth_mbps} Mb/s"
+            )
+        self.advance(time_min)
+        self.used_mbps += rate_mbps
+        self.active_streams += 1
+        self.served_requests += 1
+        self.peak_load_mbps = max(self.peak_load_mbps, self.used_mbps)
+
+    def release(self, time_min: float, rate_mbps: float) -> None:
+        """End a stream at ``time_min``."""
+        if self.active_streams <= 0:
+            raise RuntimeError(f"server {self.server_id} released with no streams")
+        self.advance(time_min)
+        self.used_mbps -= rate_mbps
+        self.active_streams -= 1
+        if self.used_mbps < -_EPS_MBPS:
+            raise RuntimeError(
+                f"server {self.server_id} bandwidth accounting went negative"
+            )
+        self.used_mbps = max(self.used_mbps, 0.0)
+
+    def advance(self, time_min: float) -> None:
+        """Accumulate the load integral up to ``time_min`` (monotone)."""
+        if time_min < self._last_time_min - 1e-12:
+            raise ValueError(
+                f"time moved backwards: {time_min} < {self._last_time_min}"
+            )
+        delta = max(time_min - self._last_time_min, 0.0)
+        self._load_integral += self.used_mbps * delta
+        self._last_time_min = time_min
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def fail(self, time_min: float) -> int:
+        """Crash at ``time_min``: all active streams drop instantly.
+
+        Returns the number of dropped streams; bumps the epoch so pending
+        departure events for those streams become stale.
+        """
+        if not self.is_up:
+            raise RuntimeError(f"server {self.server_id} is already down")
+        self.advance(time_min)
+        dropped = self.active_streams
+        self.dropped_streams += dropped
+        self.used_mbps = 0.0
+        self.active_streams = 0
+        self.is_up = False
+        self.epoch += 1
+        return dropped
+
+    def recover(self, time_min: float) -> None:
+        """Return to service at ``time_min`` with no streams."""
+        if self.is_up:
+            raise RuntimeError(f"server {self.server_id} is already up")
+        self.advance(time_min)
+        self.is_up = True
+
+    # ------------------------------------------------------------------
+    def time_avg_load_mbps(self, horizon_min: float) -> float:
+        """Time-averaged outgoing load over ``[0, horizon_min]``.
+
+        The caller must have advanced the server to the horizon first.
+        """
+        check_positive("horizon_min", horizon_min)
+        return self._load_integral / horizon_min
+
+    @property
+    def utilization(self) -> float:
+        """Instantaneous fraction of outgoing bandwidth in use."""
+        return self.used_mbps / self.bandwidth_mbps
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamingServer(id={self.server_id}, used={self.used_mbps:.0f}/"
+            f"{self.bandwidth_mbps:.0f} Mb/s, streams={self.active_streams})"
+        )

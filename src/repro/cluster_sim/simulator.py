@@ -1,0 +1,317 @@
+"""The VoD cluster simulator (Sec. 5's evaluation testbed).
+
+Drives a request trace through the cluster:
+
+1. Requests arrive in time order; each is dispatched to replica holders of
+   the requested video by the configured policy (static round robin by
+   default, per the paper's model).
+2. Admission control: the request is admitted on the first candidate server
+   with free outgoing bandwidth; otherwise it is rejected ("a request was
+   rejected if required communication bandwidth was unavailable").
+3. Admitted streams hold their bandwidth for the video's duration; a
+   departure frees it (departures at time ``t`` are processed before
+   arrivals at ``t``).
+4. Metrics are integrated over a measurement horizon (the peak-period
+   length): rejection rate, per-server time-averaged load, peak loads.
+
+With ``backbone_mbps > 0`` the request-redirection extension is active: a
+request all of whose replica holders are saturated may be served by *any*
+server with free outgoing bandwidth at the additional cost of backbone
+bandwidth for the stream's lifetime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_non_negative, check_positive
+from ..model.cluster import ClusterSpec
+from ..model.layout import ReplicaLayout
+from ..model.video import VideoCollection
+from ..workload.requests import RequestTrace
+from .dispatch import Dispatcher, StaticRoundRobinDispatcher
+from .events import EventKind, EventQueue
+from .failures import FailureSchedule
+from .metrics import SimulationResult
+from .redirection import BackboneLink
+from .server import StreamingServer
+
+__all__ = ["VoDClusterSimulator"]
+
+
+class VoDClusterSimulator:
+    """Simulates one cluster configuration over request traces.
+
+    Parameters
+    ----------
+    cluster:
+        Server capacities (outgoing bandwidth is the modelled bottleneck;
+        storage feasibility is a property of the layout, validated once).
+    videos:
+        Video durations; the streamed bit rate of each video is read from
+        the layout (supporting the scalable-rate setting).
+    layout:
+        The replica placement being evaluated.
+    dispatcher_factory:
+        Callable building a fresh :class:`Dispatcher` per run; defaults to
+        the paper's static round robin.
+    backbone_mbps:
+        Internal-backbone capacity for the redirection extension; 0
+        disables redirection (the paper's base admission control).
+    stream_limits:
+        Optional per-server concurrent-stream caps from the disk-subsystem
+        model (:mod:`repro.storage`); ``None`` keeps the paper's
+        network-only constraint.
+    validate_layout:
+        Validate the layout against cluster storage once at construction.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        videos: VideoCollection,
+        layout: ReplicaLayout,
+        *,
+        dispatcher_factory=StaticRoundRobinDispatcher,
+        backbone_mbps: float = 0.0,
+        stream_limits: "np.ndarray | list[int] | None" = None,
+        validate_layout: bool = True,
+    ) -> None:
+        if layout.num_videos != videos.num_videos:
+            raise ValueError("layout and videos disagree on M")
+        if layout.num_servers != cluster.num_servers:
+            raise ValueError("layout and cluster disagree on N")
+        if stream_limits is not None:
+            stream_limits = [int(x) for x in stream_limits]
+            if len(stream_limits) != cluster.num_servers:
+                raise ValueError(
+                    "stream_limits must have one entry per server"
+                )
+            if any(x < 0 for x in stream_limits):
+                raise ValueError("stream_limits must be >= 0")
+        self._stream_limits = stream_limits
+        check_non_negative("backbone_mbps", backbone_mbps)
+        if validate_layout:
+            # Mixed per-replica rates are a valid runtime configuration
+            # (the Sec. 4.3 scalable setting); storage/coverage still hold.
+            layout.validate(cluster, videos, allow_mixed_rates=True)
+        self._cluster = cluster
+        self._videos = videos
+        self._layout = layout
+        self._dispatcher_factory = dispatcher_factory
+        self._backbone_mbps = float(backbone_mbps)
+        # Per-replica streamed rates; a stream plays at the rate of the
+        # replica that serves it.  Redirected streams (backbone extension)
+        # play the video's best available copy.
+        self._rate_matrix = layout.rate_matrix
+        self._best_rates = layout.video_bit_rates
+        self._durations = videos.durations_min
+
+    # ------------------------------------------------------------------
+    @property
+    def layout(self) -> ReplicaLayout:
+        return self._layout
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: RequestTrace,
+        *,
+        horizon_min: float | None = None,
+        failures: FailureSchedule | None = None,
+        failover_on_down: bool = False,
+    ) -> SimulationResult:
+        """Simulate one trace and return the collected metrics.
+
+        Parameters
+        ----------
+        trace:
+            The request trace (the peak-period workload).
+        horizon_min:
+            Measurement horizon for the time-averaged loads; defaults to
+            the last arrival time.  Arrivals beyond the horizon are
+            rejected from measurement (they are not simulated).
+        failures:
+            Optional server-outage schedule (availability extension).  A
+            crash drops the server's active streams instantly.
+        failover_on_down:
+            When True, a request whose dispatched server(s) are *down*
+            (not merely saturated) is retried on the video's remaining
+            replica holders — the availability benefit replication buys.
+            The paper's static model (False) simply rejects it.
+        """
+        if horizon_min is None:
+            horizon_min = trace.duration_min if trace.num_requests else 1.0
+        check_positive("horizon_min", horizon_min)
+
+        servers = [
+            StreamingServer(
+                k,
+                spec.bandwidth_mbps,
+                max_streams=(
+                    self._stream_limits[k] if self._stream_limits else None
+                ),
+            )
+            for k, spec in enumerate(self._cluster)
+        ]
+        dispatcher: Dispatcher = self._dispatcher_factory(self._layout)
+        backbone = (
+            BackboneLink(self._backbone_mbps) if self._backbone_mbps > 0 else None
+        )
+        events = EventQueue()
+        # Backbone bandwidth attributable to redirected streams per server,
+        # so a crash can return the right amount in bulk.
+        backbone_by_server = np.zeros(len(servers))
+        streams_dropped = 0
+
+        if failures is not None:
+            failures.validate_servers(len(servers))
+            for failure in failures:
+                if failure.time_min <= horizon_min:
+                    events.push(failure.time_min, EventKind.FAILURE, failure)
+
+        def handle(event) -> None:
+            """Apply one departure/failure/recovery event."""
+            nonlocal streams_dropped
+            if event.kind is EventKind.DEPARTURE:
+                server_id, rate, redirected, epoch = event.payload
+                server = servers[server_id]
+                if server.epoch != epoch:
+                    return  # stream already dropped by a crash
+                server.release(event.time, rate)
+                if redirected and backbone is not None:
+                    backbone.release(rate)
+                    backbone_by_server[server_id] -= rate
+            elif event.kind is EventKind.FAILURE:
+                failure = event.payload
+                streams_dropped += servers[failure.server].fail(event.time)
+                if backbone is not None and backbone_by_server[failure.server] > 0:
+                    backbone.release(float(backbone_by_server[failure.server]))
+                    backbone_by_server[failure.server] = 0.0
+                if np.isfinite(failure.recovery_min):
+                    events.push(failure.recovery_min, EventKind.RECOVERY, failure.server)
+            elif event.kind is EventKind.RECOVERY:
+                servers[event.payload].recover(event.time)
+
+        def drain(until: float) -> None:
+            """Handle every queued event up to *until* (inclusive).
+
+            Re-checks the queue after each event because handling a
+            failure schedules its recovery, which may also fall inside
+            the window.
+            """
+            while events and events.peek().time <= until:
+                handle(events.pop())
+
+        num_videos = self._videos.num_videos
+        per_video_requests = np.zeros(num_videos, dtype=np.int64)
+        per_video_rejected = np.zeros(num_videos, dtype=np.int64)
+
+        times = trace.arrival_min
+        videos = trace.videos
+        if times.size and int(videos.max()) >= num_videos:
+            raise ValueError("trace references a video outside the collection")
+        # Stream hold times: the full video duration (the paper's model) or
+        # the per-request watch times of an early-departure workload.
+        if trace.watch_min is not None:
+            hold_min = np.minimum(trace.watch_min, self._durations[videos])
+        else:
+            hold_min = self._durations[videos]
+
+        for index, (t, video) in enumerate(zip(times, videos)):
+            t = float(t)
+            if t > horizon_min:
+                break
+            video = int(video)
+            # Apply departures/failures/recoveries at or before t.
+            drain(t)
+
+            per_video_requests[video] += 1
+            if self._best_rates[video] <= 0.0:
+                # Video has no replica anywhere: nothing can serve it.
+                per_video_rejected[video] += 1
+                continue
+            end_time = t + float(hold_min[index])
+
+            candidates = list(dispatcher.candidates(video, servers))
+            if failover_on_down and any(
+                not servers[s].is_up for s in candidates
+            ):
+                # Replication's availability payoff: retry the remaining
+                # holders when the dispatched server has crashed.
+                extra = [
+                    int(s)
+                    for s in dispatcher.holders(video)
+                    if int(s) not in candidates
+                ]
+                extra.sort(key=lambda s: servers[s].utilization)
+                candidates.extend(extra)
+
+            admitted = False
+            for server_id in candidates:
+                rate = float(self._rate_matrix[video, server_id])
+                if rate > 0.0 and servers[server_id].can_admit(rate):
+                    server = servers[server_id]
+                    server.admit(t, rate)
+                    events.push(
+                        end_time,
+                        EventKind.DEPARTURE,
+                        (server_id, rate, False, server.epoch),
+                    )
+                    admitted = True
+                    break
+
+            if not admitted and backbone is not None:
+                # Redirection: any server with free outgoing bandwidth may
+                # stream the video's best copy over the backbone.
+                rate = float(self._best_rates[video])
+                if backbone.can_carry(rate):
+                    delegate = self._least_utilized_with_room(servers, rate)
+                    if delegate is not None:
+                        backbone.acquire(rate)
+                        backbone_by_server[delegate] += rate
+                        servers[delegate].admit(t, rate)
+                        events.push(
+                            end_time,
+                            EventKind.DEPARTURE,
+                            (delegate, rate, True, servers[delegate].epoch),
+                        )
+                        admitted = True
+
+            if not admitted:
+                per_video_rejected[video] += 1
+
+        # Apply remaining events inside the horizon, close the integrals.
+        drain(horizon_min)
+        for server in servers:
+            server.advance(horizon_min)
+
+        return SimulationResult(
+            num_requests=int(per_video_requests.sum()),
+            num_rejected=int(per_video_rejected.sum()),
+            per_video_requests=per_video_requests,
+            per_video_rejected=per_video_rejected,
+            server_time_avg_load_mbps=np.array(
+                [s.time_avg_load_mbps(horizon_min) for s in servers]
+            ),
+            server_peak_load_mbps=np.array([s.peak_load_mbps for s in servers]),
+            server_served=np.array([s.served_requests for s in servers]),
+            server_bandwidth_mbps=self._cluster.bandwidth_mbps,
+            horizon_min=float(horizon_min),
+            num_redirected=backbone.redirected_streams if backbone else 0,
+            streams_dropped=streams_dropped,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _least_utilized_with_room(
+        servers: list[StreamingServer], rate: float
+    ) -> int | None:
+        """Least-utilized server that can carry one more stream, if any."""
+        best: int | None = None
+        best_util = np.inf
+        for server in servers:
+            if server.can_admit(rate) and server.utilization < best_util:
+                best = server.server_id
+                best_util = server.utilization
+        return best

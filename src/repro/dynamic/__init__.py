@@ -1,0 +1,38 @@
+"""Dynamic (online) replication — extension of the paper's Sec. 4.1.
+
+The paper notes "the replication algorithms can be applied for dynamic
+replication during run-time" (that is why the Zipf-interval algorithm's
+lower time complexity matters) but evaluates only the static, a-priori
+setting.  This package closes that gap:
+
+* :mod:`repro.dynamic.drift` — popularity-drift models (rank churn, new
+  releases, multiplicative noise) driving non-stationary workloads.
+* :mod:`repro.dynamic.tracker` — online popularity estimation (EWMA over
+  per-epoch request counts).
+* :mod:`repro.dynamic.migration` — re-planning that minimizes replica
+  movement between consecutive layouts and accounts migration bytes.
+* :mod:`repro.dynamic.controller` — the epoch loop: observe, re-estimate,
+  re-replicate, migrate.
+* :mod:`repro.dynamic.epoch_sim` — multi-epoch simulation comparing
+  static planning, tracked re-planning and an oracle re-planner.
+"""
+
+from .controller import DynamicReplicationController
+from .drift import LognormalDrift, NoDrift, PopularityDrift, RankSwapDrift, ReleaseChurnDrift
+from .epoch_sim import EpochRecord, run_epoch_study
+from .migration import MigrationPlan, plan_migration
+from .tracker import EwmaPopularityTracker
+
+__all__ = [
+    "DynamicReplicationController",
+    "LognormalDrift",
+    "NoDrift",
+    "PopularityDrift",
+    "RankSwapDrift",
+    "ReleaseChurnDrift",
+    "EpochRecord",
+    "run_epoch_study",
+    "MigrationPlan",
+    "plan_migration",
+    "EwmaPopularityTracker",
+]

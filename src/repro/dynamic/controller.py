@@ -1,0 +1,133 @@
+"""The dynamic-replication control loop.
+
+Each epoch the controller folds the epoch's observed request counts into
+its popularity tracker, re-runs the (fast, Sec. 4.1.2) replication
+algorithm on the fresh estimate, and migrates the current layout toward the
+new target with minimal data movement.  A movement *budget* caps how many
+replicas may be copied per epoch — re-planning is useless if it saturates
+the backbone the streams need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_int_in_range, check_positive
+from ..model.layout import ReplicaLayout
+from ..placement import smallest_load_first_placement
+from ..replication.base import ReplicationResult, Replicator
+from ..replication.zipf_interval import ZipfIntervalReplicator
+from .migration import MigrationPlan, plan_migration
+from .tracker import EwmaPopularityTracker
+
+__all__ = ["DynamicReplicationController"]
+
+
+class DynamicReplicationController:
+    """Observe -> re-estimate -> re-replicate -> migrate, every epoch.
+
+    Parameters
+    ----------
+    num_servers, capacity_replicas:
+        The cluster's shape in the fixed-rate setting.
+    tracker:
+        Online popularity estimator (owns the EWMA state).
+    replicator:
+        Replication algorithm re-run every epoch; defaults to the
+        Zipf-interval algorithm (its ``O(M log M)`` cost is the paper's
+        argument for run-time use).
+    move_budget:
+        Maximum replicas copied per epoch; ``None`` is unlimited.  When a
+        migration would exceed the budget, the epoch keeps the previous
+        layout (a simple, conservative policy).
+    bit_rate_mbps:
+        Rate stamped on replicas.
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        capacity_replicas: int,
+        tracker: EwmaPopularityTracker,
+        *,
+        replicator: Replicator | None = None,
+        move_budget: int | None = None,
+        bit_rate_mbps: float = 4.0,
+    ) -> None:
+        check_int_in_range("num_servers", num_servers, 1)
+        check_int_in_range("capacity_replicas", capacity_replicas, 1)
+        if move_budget is not None:
+            check_int_in_range("move_budget", move_budget, 0)
+        check_positive("bit_rate_mbps", bit_rate_mbps)
+        self._num_servers = int(num_servers)
+        self._capacity = int(capacity_replicas)
+        self._tracker = tracker
+        self._replicator = replicator if replicator is not None else ZipfIntervalReplicator()
+        self._move_budget = move_budget
+        self._bit_rate = float(bit_rate_mbps)
+        self._layout: ReplicaLayout | None = None
+        self._total_copied = 0
+        self._skipped_epochs = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def layout(self) -> ReplicaLayout:
+        """The currently deployed layout (after :meth:`bootstrap`)."""
+        if self._layout is None:
+            raise RuntimeError("controller not bootstrapped; call bootstrap() first")
+        return self._layout
+
+    @property
+    def total_replicas_copied(self) -> int:
+        """Replicas copied across all migrations so far."""
+        return self._total_copied
+
+    @property
+    def skipped_epochs(self) -> int:
+        """Epochs whose migration was skipped for exceeding the budget."""
+        return self._skipped_epochs
+
+    # ------------------------------------------------------------------
+    def _replicate(self, probabilities: np.ndarray) -> ReplicationResult:
+        return self._replicator.replicate(
+            probabilities, self._num_servers, self._num_servers * self._capacity
+        )
+
+    def bootstrap(self, probabilities: np.ndarray) -> ReplicaLayout:
+        """Deploy an initial layout from a prior popularity estimate."""
+        replication = self._replicate(probabilities)
+        self._layout = smallest_load_first_placement(
+            replication, self._capacity, bit_rate_mbps=self._bit_rate
+        )
+        return self._layout
+
+    def step(self, observed_counts: np.ndarray) -> MigrationPlan:
+        """Process one epoch's counts and migrate the layout.
+
+        Returns the executed (or skipped) migration plan; a skipped plan
+        is a no-op whose ``replicas_copied`` reflects what it *would* have
+        cost.
+        """
+        if self._layout is None:
+            raise RuntimeError("controller not bootstrapped; call bootstrap() first")
+        estimate = self._tracker.observe(observed_counts)
+        target = self._replicate(estimate)
+        plan = plan_migration(
+            self._layout, target, self._capacity, bit_rate_mbps=self._bit_rate
+        )
+        if (
+            self._move_budget is not None
+            and plan.replicas_copied > self._move_budget
+        ):
+            self._skipped_epochs += 1
+            return MigrationPlan(
+                new_layout=self._layout,
+                added=(),
+                removed=(),
+                replicas_copied=0,
+                executed=False,
+                proposed_copies=plan.replicas_copied,
+            )
+        self._layout = plan.new_layout
+        self._total_copied += plan.replicas_copied
+        return plan

@@ -1,0 +1,26 @@
+"""The paper's evaluation, reproduced (system S14).
+
+One module per figure of Sec. 5 plus the extension experiments; every
+module exposes a ``run_*`` function returning structured results and a
+``format_*`` function rendering the paper-comparable series.  The CLI
+(``python -m repro.experiments``) and the pytest-benchmark drivers in
+``benchmarks/`` are thin wrappers over these.
+"""
+
+from .config import PaperSetup
+from .runner import (
+    AlgorithmCombo,
+    PAPER_COMBOS,
+    build_layout,
+    rejection_summary,
+    simulate_combo,
+)
+
+__all__ = [
+    "PaperSetup",
+    "AlgorithmCombo",
+    "PAPER_COMBOS",
+    "build_layout",
+    "rejection_summary",
+    "simulate_combo",
+]

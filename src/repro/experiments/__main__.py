@@ -1,0 +1,91 @@
+"""Command-line harness: regenerate any of the paper's figures.
+
+Usage::
+
+    python -m repro.experiments fig4 [--quick] [--out results/]
+    python -m repro.experiments all --quick
+
+Each experiment prints its paper-comparable series and (with ``--out``)
+also writes them to ``<out>/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from . import (
+    ablations,
+    adams_vs_zipf,
+    availability,
+    batching_experiment,
+    dynamic_experiment,
+    fig4,
+    fig5,
+    fig6,
+    sa_experiment,
+    storage_bottleneck,
+    striping_comparison,
+)
+
+EXPERIMENTS = {
+    "fig4": fig4.main,
+    "fig5": fig5.main,
+    "fig6": fig6.main,
+    "adams": adams_vs_zipf.main,
+    "sa": sa_experiment.main,
+    "ablations": ablations.main,
+    "availability": availability.main,
+    "striping": striping_comparison.main,
+    "dynamic": dynamic_experiment.main,
+    "batching": batching_experiment.main,
+    "storage": storage_bottleneck.main,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="which experiment to run ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced run count (3 instead of 20) for a fast pass",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to write <name>.txt reports into",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="append ASCII line charts to experiments with curve output",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        report = EXPERIMENTS[name](quick=args.quick, chart=args.chart)
+        elapsed = time.perf_counter() - start
+        print(f"=== {name} ({elapsed:.1f}s) ===")
+        print(report)
+        print()
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,158 @@
+"""E4 — Adams vs Zipf-interval replication: quality and time complexity.
+
+Sec. 5 states the two algorithms "achieved nearly the same results in most
+test cases, except their time complexities", which is why the paper only
+plots the Zipf curves.  This experiment quantifies both halves:
+
+* **Quality**: max communication weight (the Eq. 8 objective, with the
+  exact oracle as reference), budget utilization, and simulated rejection
+  rate of both algorithms under SLF placement at every replication degree.
+* **Time**: wall-clock of each algorithm as M grows with storage
+  proportional (Adams is ``O(M + NC log M)``, the Zipf replication
+  ``O(M log M)`` — its advantage grows with the storage capacity).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..analysis.tables import format_table
+from ..replication import (
+    adams_replication,
+    optimal_min_max_weight,
+    zipf_interval_replication,
+)
+from .config import PaperSetup
+from .runner import ADAMS_SLF, PAPER_COMBOS, rejection_summary, simulate_combo
+
+__all__ = ["run_quality", "run_timing", "format_report"]
+
+_ZIPF_SLF = PAPER_COMBOS[0]
+
+
+def run_quality(
+    setup: PaperSetup | None = None, *, num_runs: int | None = None
+) -> list[dict]:
+    """Per-degree comparison of Adams and Zipf replication quality."""
+    setup = setup or PaperSetup()
+    theta = setup.theta_high
+    probs = setup.popularity(theta).probabilities
+    rows = []
+    for degree in setup.replication_degrees:
+        budget = setup.replica_budget(degree)
+        adams = adams_replication(probs, setup.num_servers, budget)
+        zipf = zipf_interval_replication(probs, setup.num_servers, budget)
+        optimal = optimal_min_max_weight(probs, setup.num_servers, budget)
+        rate = setup.saturation_rate_per_min
+        rej_adams = rejection_summary(
+            simulate_combo(
+                setup, ADAMS_SLF, theta, degree, rate, num_runs=num_runs
+            )
+        ).mean
+        rej_zipf = rejection_summary(
+            simulate_combo(
+                setup, _ZIPF_SLF, theta, degree, rate, num_runs=num_runs
+            )
+        ).mean
+        rows.append(
+            {
+                "degree": degree,
+                "optimal_max_w": optimal,
+                "adams_max_w": adams.max_weight(),
+                "zipf_max_w": zipf.max_weight(),
+                "adams_total": adams.total_replicas,
+                "zipf_total": zipf.total_replicas,
+                "adams_rejection": rej_adams,
+                "zipf_rejection": rej_zipf,
+            }
+        )
+    return rows
+
+
+def run_timing(
+    *,
+    sizes: tuple[int, ...] = (200, 1000, 5000, 20000),
+    num_servers: int = 8,
+    degree: float = 1.6,
+    repeats: int = 3,
+) -> list[dict]:
+    """Wall-clock comparison as the catalogue (and budget) grows."""
+    from ..popularity import zipf_probabilities
+
+    rows = []
+    for m in sizes:
+        probs = zipf_probabilities(m, 0.75)
+        budget = int(m * degree)
+
+        def best_of(fn) -> float:
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fn(probs, num_servers, budget)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        rows.append(
+            {
+                "M": m,
+                "budget": budget,
+                "adams_sec": best_of(adams_replication),
+                "zipf_sec": best_of(zipf_interval_replication),
+            }
+        )
+    return rows
+
+
+def format_report(quality: list[dict], timing: list[dict]) -> str:
+    """Render both comparisons."""
+    quality_table = format_table(
+        [
+            "degree",
+            "optimal max w",
+            "adams max w",
+            "zipf max w",
+            "adams total",
+            "zipf total",
+            "adams rej",
+            "zipf rej",
+        ],
+        [
+            [
+                f"{row['degree']:g}",
+                row["optimal_max_w"],
+                row["adams_max_w"],
+                row["zipf_max_w"],
+                row["adams_total"],
+                row["zipf_total"],
+                row["adams_rejection"],
+                row["zipf_rejection"],
+            ]
+            for row in quality
+        ],
+        floatfmt=".5f",
+        title="E4 quality: Adams vs Zipf replication (theta=high, lambda=saturation)",
+    )
+    timing_table = format_table(
+        ["M", "budget", "adams sec", "zipf sec", "speedup"],
+        [
+            [
+                row["M"],
+                row["budget"],
+                row["adams_sec"],
+                row["zipf_sec"],
+                row["adams_sec"] / row["zipf_sec"],
+            ]
+            for row in timing
+        ],
+        floatfmt=".4f",
+        title="E4 timing: replication wall-clock (best of repeats)",
+    )
+    return quality_table + "\n\n" + timing_table
+
+
+def main(quick: bool = False, chart: bool = False) -> str:
+    """CLI entry point; returns the formatted report (tables only)."""
+    del chart  # no natural curve view for this report
+    setup = PaperSetup().quick(num_runs=3) if quick else PaperSetup()
+    sizes = (200, 1000, 5000) if quick else (200, 1000, 5000, 20000)
+    return format_report(run_quality(setup), run_timing(sizes=sizes))

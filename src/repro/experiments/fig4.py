@@ -1,0 +1,97 @@
+"""Figure 4 — impact of the replication degree on rejection rate.
+
+Four subplots: {Zipf replication + smallest-load-first placement,
+classification replication + round-robin placement} x {high theta, low
+theta}.  Each subplot draws one rejection-rate-vs-arrival-rate curve per
+replication degree in {1.0 (no replication), 1.2, 1.4, 1.6, 1.8, 2.0}.
+
+Paper claims to verify (Sec. 5.1):
+
+* Rejection decreases as the replication degree increases, in every subplot.
+* The drop from degree 1.0 to 1.2 is the most dramatic (Zipf+SLF subplot).
+* Zipf+SLF uses storage more efficiently than classification+RR (lower
+  rejection, especially at low degrees).
+* The impact of the replication degree shrinks as theta decreases.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import format_series
+from .config import PaperSetup
+from .runner import PAPER_COMBOS, AlgorithmCombo, rejection_curve
+
+__all__ = ["FIG4_SUBPLOTS", "run_fig4", "format_fig4"]
+
+_ZIPF_SLF = PAPER_COMBOS[0]
+_CLASS_RR = PAPER_COMBOS[3]
+
+#: (subplot key, combo, which theta) in the paper's (a)-(d) order.
+FIG4_SUBPLOTS: tuple[tuple[str, AlgorithmCombo, str], ...] = (
+    ("a", _ZIPF_SLF, "high"),
+    ("b", _CLASS_RR, "high"),
+    ("c", _ZIPF_SLF, "low"),
+    ("d", _CLASS_RR, "low"),
+)
+
+
+def run_fig4(
+    setup: PaperSetup | None = None,
+    *,
+    num_runs: int | None = None,
+) -> dict:
+    """Compute every Figure 4 series.
+
+    Returns ``{"arrival_rates": [...], "subplots": {key: {"combo": label,
+    "theta": value, "curves": {degree: [rejection per rate]}}}}``.
+    """
+    setup = setup or PaperSetup()
+    subplots: dict[str, dict] = {}
+    for key, combo, which in FIG4_SUBPLOTS:
+        theta = setup.theta_high if which == "high" else setup.theta_low
+        curves = {
+            degree: rejection_curve(
+                setup, combo, theta, degree, num_runs=num_runs
+            ).tolist()
+            for degree in setup.replication_degrees
+        }
+        subplots[key] = {"combo": combo.label, "theta": theta, "curves": curves}
+    return {
+        "arrival_rates": list(setup.arrival_rates_per_min),
+        "subplots": subplots,
+    }
+
+
+def format_fig4(results: dict, *, charts: bool = False) -> str:
+    """Render the Figure 4 series as paper-comparable tables.
+
+    ``charts=True`` appends an ASCII line chart per subplot.
+    """
+    from ..analysis.plots import ascii_chart
+
+    blocks = []
+    for key, subplot in results["subplots"].items():
+        series = {
+            f"deg={degree:g}": values
+            for degree, values in subplot["curves"].items()
+        }
+        title = (
+            f"Figure 4({key}): rejection rate — {subplot['combo']}, "
+            f"theta={subplot['theta']}"
+        )
+        blocks.append(
+            format_series("lambda(req/min)", results["arrival_rates"], series, title=title)
+        )
+        if charts:
+            blocks.append(
+                ascii_chart(
+                    results["arrival_rates"], series,
+                    title=title, x_label="lambda (req/min)",
+                )
+            )
+    return "\n\n".join(blocks)
+
+
+def main(quick: bool = False, chart: bool = False) -> str:
+    """CLI entry point; returns the formatted report."""
+    setup = PaperSetup().quick(num_runs=3) if quick else PaperSetup()
+    return format_fig4(run_fig4(setup), charts=chart)

@@ -1,0 +1,89 @@
+"""Figure 5 — impact of the algorithm combination on rejection rate.
+
+Four subplots: replication degree {1.2, 1.6} x theta {high, low}; each
+draws the rejection-rate-vs-arrival-rate curve of all four algorithm
+combinations (Zipf/classification x SLF/round-robin).
+
+Paper claims to verify (Sec. 5.2):
+
+* Combos with either the Zipf replication or the SLF placement beat
+  classification + round-robin significantly.
+* Zipf+RR vs Zipf+SLF differ only nominally (the Zipf replication already
+  yields finely-grained weights).
+* The gaps shrink as the replication degree grows and as theta falls.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import format_series
+from .config import PaperSetup
+from .runner import PAPER_COMBOS, rejection_curve
+
+__all__ = ["FIG5_SUBPLOTS", "run_fig5", "format_fig5"]
+
+#: (subplot key, replication degree, which theta) in the paper's order.
+FIG5_SUBPLOTS: tuple[tuple[str, float, str], ...] = (
+    ("a", 1.2, "high"),
+    ("b", 1.6, "high"),
+    ("c", 1.2, "low"),
+    ("d", 1.6, "low"),
+)
+
+
+def run_fig5(
+    setup: PaperSetup | None = None,
+    *,
+    num_runs: int | None = None,
+) -> dict:
+    """Compute every Figure 5 series.
+
+    Returns ``{"arrival_rates": [...], "subplots": {key: {"degree": d,
+    "theta": t, "curves": {combo label: [rejection per rate]}}}}``.
+    """
+    setup = setup or PaperSetup()
+    subplots: dict[str, dict] = {}
+    for key, degree, which in FIG5_SUBPLOTS:
+        theta = setup.theta_high if which == "high" else setup.theta_low
+        curves = {
+            combo.label: rejection_curve(
+                setup, combo, theta, degree, num_runs=num_runs
+            ).tolist()
+            for combo in PAPER_COMBOS
+        }
+        subplots[key] = {"degree": degree, "theta": theta, "curves": curves}
+    return {
+        "arrival_rates": list(setup.arrival_rates_per_min),
+        "subplots": subplots,
+    }
+
+
+def format_fig5(results: dict, *, charts: bool = False) -> str:
+    """Render the Figure 5 series as paper-comparable tables."""
+    from ..analysis.plots import ascii_chart
+
+    blocks = []
+    for key, subplot in results["subplots"].items():
+        title = (
+            f"Figure 5({key}): rejection rate — degree "
+            f"{subplot['degree']}, theta={subplot['theta']}"
+        )
+        blocks.append(
+            format_series(
+                "lambda(req/min)", results["arrival_rates"], subplot["curves"],
+                title=title,
+            )
+        )
+        if charts:
+            blocks.append(
+                ascii_chart(
+                    results["arrival_rates"], subplot["curves"],
+                    title=title, x_label="lambda (req/min)",
+                )
+            )
+    return "\n\n".join(blocks)
+
+
+def main(quick: bool = False, chart: bool = False) -> str:
+    """CLI entry point; returns the formatted report."""
+    setup = PaperSetup().quick(num_runs=3) if quick else PaperSetup()
+    return format_fig5(run_fig5(setup), charts=chart)

@@ -1,0 +1,99 @@
+"""Figure 6 — impact of the algorithm combination on load imbalance.
+
+Two subplots at replication degree 1.2 (theta high / low); each draws the
+load-imbalance degree ``L(%)`` versus the arrival rate for all four
+algorithm combinations.  ``L`` is Eq. (2) over the *time-averaged measured*
+per-server loads, reported as a percentage of server bandwidth (see
+``SimulationResult.load_imbalance_percent`` for why that normalization
+matches the figure).
+
+Paper claims to verify (Sec. 5.3):
+
+* Classification + round-robin's imbalance is much larger and strongly
+  arrival-rate dependent; Zipf/SLF combos are lower and more stable.
+* L rises with light load, peaks around 30-35 req/min, and falls as the
+  arrival rate approaches cluster capacity (all servers saturate).
+* Past ~10% beyond saturation the curves converge.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import format_series
+from .config import PaperSetup
+from .runner import PAPER_COMBOS, build_layout, imbalance_percent_summary, simulate_combo
+
+__all__ = ["FIG6_DEGREE", "run_fig6", "format_fig6"]
+
+#: The replication degree the paper shows (space limited it to one).
+FIG6_DEGREE = 1.2
+
+
+def run_fig6(
+    setup: PaperSetup | None = None,
+    *,
+    num_runs: int | None = None,
+    degree: float = FIG6_DEGREE,
+) -> dict:
+    """Compute both Figure 6 subplots.
+
+    Returns ``{"arrival_rates": [...], "degree": d, "subplots":
+    {key: {"theta": t, "curves": {combo: [L% per rate]}}}}``.
+    """
+    setup = setup or PaperSetup()
+    subplots: dict[str, dict] = {}
+    for key, theta in (("a", setup.theta_high), ("b", setup.theta_low)):
+        curves: dict[str, list[float]] = {}
+        for combo in PAPER_COMBOS:
+            layout = build_layout(setup, combo, theta, degree)
+            curves[combo.label] = [
+                imbalance_percent_summary(
+                    simulate_combo(
+                        setup,
+                        combo,
+                        theta,
+                        degree,
+                        rate,
+                        num_runs=num_runs,
+                        layout=layout,
+                    )
+                ).mean
+                for rate in setup.arrival_rates_per_min
+            ]
+        subplots[key] = {"theta": theta, "curves": curves}
+    return {
+        "arrival_rates": list(setup.arrival_rates_per_min),
+        "degree": degree,
+        "subplots": subplots,
+    }
+
+
+def format_fig6(results: dict, *, charts: bool = False) -> str:
+    """Render the Figure 6 series as paper-comparable tables."""
+    from ..analysis.plots import ascii_chart
+
+    blocks = []
+    for key, subplot in results["subplots"].items():
+        title = (
+            f"Figure 6({key}): load imbalance L(%) — degree "
+            f"{results['degree']}, theta={subplot['theta']}"
+        )
+        blocks.append(
+            format_series(
+                "lambda(req/min)", results["arrival_rates"], subplot["curves"],
+                floatfmt=".2f", title=title,
+            )
+        )
+        if charts:
+            blocks.append(
+                ascii_chart(
+                    results["arrival_rates"], subplot["curves"],
+                    title=title, x_label="lambda (req/min)",
+                )
+            )
+    return "\n\n".join(blocks)
+
+
+def main(quick: bool = False, chart: bool = False) -> str:
+    """CLI entry point; returns the formatted report."""
+    setup = PaperSetup().quick(num_runs=3) if quick else PaperSetup()
+    return format_fig6(run_fig6(setup), charts=chart)

@@ -1,0 +1,171 @@
+"""Shared experiment plumbing: algorithm combos, layout building, sweeps.
+
+The paper evaluates four algorithm combinations (Sec. 5.2): {Zipf,
+classification} replication x {smallest-load-first, round-robin} placement.
+``PAPER_COMBOS`` enumerates them with the paper's labels; ``build_layout``
+and ``simulate_combo`` turn a design point (theta, replication degree,
+arrival rate) into averaged simulation results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.stats import Summary, summarize
+from ..cluster_sim import VoDClusterSimulator, make_dispatcher_factory
+from ..cluster_sim.metrics import SimulationResult
+from ..model.layout import ReplicaLayout
+from ..placement import RoundRobinPlacer, SmallestLoadFirstPlacer
+from ..placement.base import Placer
+from ..replication import (
+    AdamsReplicator,
+    ClassificationReplicator,
+    ZipfIntervalReplicator,
+)
+from ..replication.base import Replicator
+from ..workload import WorkloadGenerator
+from .config import PaperSetup
+
+__all__ = [
+    "AlgorithmCombo",
+    "PAPER_COMBOS",
+    "build_layout",
+    "simulate_combo",
+    "rejection_summary",
+    "imbalance_percent_summary",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmCombo:
+    """A replication algorithm paired with a placement algorithm."""
+
+    label: str
+    replicator: Replicator
+    placer: Placer
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def _combo(label: str, replicator: Replicator, placer: Placer) -> AlgorithmCombo:
+    return AlgorithmCombo(label=label, replicator=replicator, placer=placer)
+
+
+#: The four combinations of the paper's Figures 5-6 (labels as plotted).
+PAPER_COMBOS: tuple[AlgorithmCombo, ...] = (
+    _combo("zipf+slf", ZipfIntervalReplicator(), SmallestLoadFirstPlacer()),
+    _combo("zipf+rr", ZipfIntervalReplicator(), RoundRobinPlacer()),
+    _combo("class+slf", ClassificationReplicator(), SmallestLoadFirstPlacer()),
+    _combo("class+rr", ClassificationReplicator(), RoundRobinPlacer()),
+)
+
+#: The optimal-replication reference (Sec. 4.1.1), used by E4.
+ADAMS_SLF = _combo("adams+slf", AdamsReplicator(), SmallestLoadFirstPlacer())
+
+
+def build_layout(
+    setup: PaperSetup,
+    combo: AlgorithmCombo,
+    theta: float,
+    degree: float,
+) -> ReplicaLayout:
+    """Replicate + place at one design point, returning the layout."""
+    popularity = setup.popularity(theta)
+    budget = setup.replica_budget(degree)
+    capacity = setup.capacity_replicas(degree)
+    replication = combo.replicator.replicate(
+        popularity.probabilities, setup.num_servers, budget
+    )
+    return combo.placer.place(
+        replication, capacity, bit_rate_mbps=setup.bit_rate_mbps
+    )
+
+
+def simulate_combo(
+    setup: PaperSetup,
+    combo: AlgorithmCombo,
+    theta: float,
+    degree: float,
+    arrival_rate_per_min: float,
+    *,
+    num_runs: int | None = None,
+    dispatcher: str = "static_rr",
+    backbone_mbps: float = 0.0,
+    layout: ReplicaLayout | None = None,
+    seed_salt: int = 0,
+) -> list[SimulationResult]:
+    """Run ``num_runs`` independent peak-period simulations of one point.
+
+    The workload seed is derived from the setup seed, the arrival rate and
+    ``seed_salt`` only — *not* from the algorithm combo — so competing
+    algorithms face identical request traces (paired comparison, lower
+    variance), mirroring a careful simulation methodology.
+    """
+    if num_runs is None:
+        num_runs = setup.num_runs
+    if layout is None:
+        layout = build_layout(setup, combo, theta, degree)
+    simulator = VoDClusterSimulator(
+        setup.cluster(degree),
+        setup.videos(),
+        layout,
+        dispatcher_factory=make_dispatcher_factory(dispatcher),
+        backbone_mbps=backbone_mbps,
+    )
+    generator = WorkloadGenerator.poisson_zipf(
+        setup.popularity(theta), arrival_rate_per_min
+    )
+    seed = hash(
+        (setup.seed, round(float(arrival_rate_per_min) * 1000), round(theta * 1000), seed_salt)
+    ) & 0x7FFFFFFF
+    return [
+        simulator.run(trace, horizon_min=setup.peak_minutes)
+        for trace in generator.generate_runs(setup.peak_minutes, num_runs, seed)
+    ]
+
+
+def rejection_summary(results: list[SimulationResult]) -> Summary:
+    """Mean/CI of the rejection rate over runs."""
+    return summarize([r.rejection_rate for r in results])
+
+
+def imbalance_percent_summary(results: list[SimulationResult]) -> Summary:
+    """Mean/CI of the Figure 6 ``L(%)`` over runs."""
+    return summarize([r.load_imbalance_percent() for r in results])
+
+
+def rejection_curve(
+    setup: PaperSetup,
+    combo: AlgorithmCombo,
+    theta: float,
+    degree: float,
+    *,
+    num_runs: int | None = None,
+    dispatcher: str = "static_rr",
+) -> np.ndarray:
+    """Mean rejection rate at every arrival rate of the setup's sweep."""
+    layout = build_layout(setup, combo, theta, degree)
+    return np.array(
+        [
+            rejection_summary(
+                simulate_combo(
+                    setup,
+                    combo,
+                    theta,
+                    degree,
+                    rate,
+                    num_runs=num_runs,
+                    dispatcher=dispatcher,
+                    layout=layout,
+                )
+            ).mean
+            for rate in setup.arrival_rates_per_min
+        ]
+    )
+
+
+__all__.append("rejection_curve")
+__all__.append("ADAMS_SLF")

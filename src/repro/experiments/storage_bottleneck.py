@@ -1,0 +1,159 @@
+"""E14 — where does the network-is-the-bottleneck assumption hold?
+
+The paper's model constrains only outgoing network bandwidth (Sec. 3.1);
+the within-server disk subsystem is assumed able to feed the NIC.  Using
+the round-based disk model (S23), this experiment computes the disk-side
+stream capacity per server for growing disk counts under the three array
+organizations, and simulates the paper's Figure-4-style saturation point
+with the disk cap applied:
+
+* With few disks the server is *disk-bound*: rejections appear well below
+  the network saturation rate and the replication degree cannot help.
+* Beyond the crossover disk count, the network binds and the paper's
+  numbers reappear unchanged — the assumption is validated, and the
+  crossover (a handful of 2002-class disks for a 1.8 Gb/s NIC) is the
+  condition under which the paper's model applies.
+* Striped arrays need far more disks to reach the same point (the
+  intra-server "striping doesn't scale" effect), and lose *all* capacity
+  on a single disk failure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.tables import format_table
+from ..storage import ArrayOrganization, DiskArray, DiskSpec, effective_stream_capacity
+from ..workload import WorkloadGenerator
+from ..cluster_sim import VoDClusterSimulator
+from .config import PaperSetup
+from .runner import PAPER_COMBOS, build_layout
+
+__all__ = ["run_capacity_table", "run_disk_bound_simulation", "format_storage"]
+
+_ZIPF_SLF = PAPER_COMBOS[0]
+
+
+def run_capacity_table(
+    setup: PaperSetup | None = None,
+    *,
+    disk_counts: tuple[int, ...] = (2, 4, 8, 16, 32),
+    disk: DiskSpec | None = None,
+) -> list[dict]:
+    """Disk-side stream capacity per organization and disk count."""
+    setup = setup or PaperSetup()
+    disk = disk or DiskSpec()
+    rate = setup.bit_rate_mbps
+    network_limit = int(setup.server_bandwidth_mbps / rate)
+    rows = []
+    for count in disk_counts:
+        row: dict = {"disks": count, "network_limit": network_limit}
+        for organization in ArrayOrganization:
+            if organization is ArrayOrganization.MIRRORED and count % 2:
+                row[organization.value] = None
+                row[f"{organization.value}_degraded"] = None
+                continue
+            array = DiskArray(count, disk, organization)
+            row[organization.value] = array.stream_capacity(rate)
+            row[f"{organization.value}_degraded"] = array.degraded_stream_capacity(
+                rate, 1
+            )
+        rows.append(row)
+    return rows
+
+
+def run_disk_bound_simulation(
+    setup: PaperSetup | None = None,
+    *,
+    degree: float = 1.2,
+    disk_counts: tuple[int, ...] = (2, 4, 8, 16),
+    organization: ArrayOrganization = ArrayOrganization.INDEPENDENT,
+    num_runs: int | None = None,
+) -> list[dict]:
+    """Rejection at the network saturation rate with the disk cap applied."""
+    setup = setup or PaperSetup()
+    theta = setup.theta_high
+    runs = num_runs if num_runs is not None else setup.num_runs
+    rate = setup.saturation_rate_per_min
+    layout = build_layout(setup, _ZIPF_SLF, theta, degree)
+    cluster = setup.cluster(degree)
+    videos = setup.videos()
+    generator = WorkloadGenerator.poisson_zipf(setup.popularity(theta), rate)
+    traces = list(generator.generate_runs(setup.peak_minutes, runs, setup.seed))
+
+    rows = []
+    for count in disk_counts:
+        array = DiskArray(count, DiskSpec(), organization)
+        cap = effective_stream_capacity(
+            setup.server_bandwidth_mbps, array, setup.bit_rate_mbps
+        )
+        simulator = VoDClusterSimulator(
+            cluster,
+            videos,
+            layout,
+            stream_limits=[cap] * setup.num_servers,
+        )
+        rejection = float(
+            np.mean(
+                [
+                    simulator.run(t, horizon_min=setup.peak_minutes).rejection_rate
+                    for t in traces
+                ]
+            )
+        )
+        rows.append(
+            {
+                "disks": count,
+                "effective_cap": cap,
+                "network_limit": int(setup.server_bandwidth_mbps / setup.bit_rate_mbps),
+                "rejection": rejection,
+            }
+        )
+    return rows
+
+
+def format_storage(capacity: list[dict], simulation: list[dict]) -> str:
+    """Render both views."""
+    cap_table = format_table(
+        [
+            "disks/server",
+            "network slots",
+            "independent",
+            "striped",
+            "mirrored",
+            "indep. 1-fail",
+            "striped 1-fail",
+        ],
+        [
+            [
+                r["disks"],
+                r["network_limit"],
+                r["independent"],
+                r["striped"],
+                "-" if r["mirrored"] is None else r["mirrored"],
+                r["independent_degraded"],
+                r["striped_degraded"],
+            ]
+            for r in capacity
+        ],
+        title="E14.1 per-server stream capacity (4 Mb/s streams, 1 s rounds)",
+    )
+    sim_table = format_table(
+        ["disks/server", "effective cap", "network slots", "rejection @ saturation"],
+        [
+            [r["disks"], r["effective_cap"], r["network_limit"], r["rejection"]]
+            for r in simulation
+        ],
+        floatfmt=".4f",
+        title="E14.2 simulated rejection with the disk cap applied (independent)",
+    )
+    return cap_table + "\n\n" + sim_table
+
+
+def main(quick: bool = False, chart: bool = False) -> str:
+    """CLI entry point; returns the formatted report (tables only)."""
+    del chart
+    setup = PaperSetup().quick(num_runs=3) if quick else PaperSetup()
+    return format_storage(
+        run_capacity_table(setup), run_disk_bound_simulation(setup)
+    )

@@ -1,0 +1,158 @@
+"""E10 — replication vs wide striping (the Sec. 1/2 architecture argument).
+
+Two sweeps:
+
+1. **Load sweep** — rejection vs arrival rate for the replicated cluster
+   (Zipf+SLF, degree 1.2) against the striped cluster at several
+   per-server coordination overheads.  Ideal (0%) striping is a pooled
+   link and statistically dominates; a little overhead flips the ranking
+   well before saturation.
+2. **Scale sweep** — rejection at the (per-architecture) design load as
+   the cluster grows from 4 to 32 servers at fixed per-server bandwidth:
+   the striping overhead grows with the stripe width ("striping doesn't
+   scale"), while replication is flat.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..analysis.tables import format_series
+from ..cluster_sim import StripedClusterSimulator, VoDClusterSimulator
+from ..workload import WorkloadGenerator
+from .config import PaperSetup
+from .runner import PAPER_COMBOS, build_layout
+
+__all__ = ["run_load_sweep", "run_scale_sweep", "format_striping"]
+
+_ZIPF_SLF = PAPER_COMBOS[0]
+
+
+def _mean_rejection(simulator, generator, peak, runs, seed) -> float:
+    return float(
+        np.mean(
+            [
+                simulator.run(trace, horizon_min=peak).rejection_rate
+                for trace in generator.generate_runs(peak, runs, seed)
+            ]
+        )
+    )
+
+
+def run_load_sweep(
+    setup: PaperSetup | None = None,
+    *,
+    degree: float = 1.2,
+    overheads: tuple[float, ...] = (0.0, 0.01, 0.03),
+    num_runs: int | None = None,
+) -> dict:
+    """Rejection vs arrival rate: replication against striping overheads."""
+    setup = setup or PaperSetup()
+    theta = setup.theta_high
+    runs = num_runs if num_runs is not None else setup.num_runs
+    videos = setup.videos()
+    cluster = setup.cluster(degree)
+    layout = build_layout(setup, _ZIPF_SLF, theta, degree)
+    replicated = VoDClusterSimulator(cluster, videos, layout)
+    striped = {
+        overhead: StripedClusterSimulator(
+            cluster, videos, overhead_per_server=overhead
+        )
+        for overhead in overheads
+    }
+
+    curves: dict[str, list[float]] = {f"replicated deg={degree:g}": []}
+    for overhead in overheads:
+        curves[f"striped {overhead:.0%}/srv"] = []
+    for rate in setup.arrival_rates_per_min:
+        generator = WorkloadGenerator.poisson_zipf(setup.popularity(theta), rate)
+        curves[f"replicated deg={degree:g}"].append(
+            _mean_rejection(replicated, generator, setup.peak_minutes, runs, setup.seed)
+        )
+        for overhead, simulator in striped.items():
+            curves[f"striped {overhead:.0%}/srv"].append(
+                _mean_rejection(simulator, generator, setup.peak_minutes, runs, setup.seed)
+            )
+    return {"arrival_rates": list(setup.arrival_rates_per_min), "curves": curves}
+
+
+def run_scale_sweep(
+    setup: PaperSetup | None = None,
+    *,
+    cluster_sizes: tuple[int, ...] = (4, 8, 16, 32),
+    overhead: float = 0.01,
+    load_fraction: float = 0.95,
+    num_runs: int | None = None,
+) -> dict:
+    """Rejection at 95% of nominal load as the cluster grows.
+
+    Nominal load scales with the cluster (``N * B / b / D``); striping's
+    effective capacity falls behind as the stripe widens while the
+    replicated cluster keeps pace.
+    """
+    setup = setup or PaperSetup()
+    theta = setup.theta_high
+    runs = num_runs if num_runs is not None else setup.num_runs
+    curves: dict[str, list[float]] = {"replicated": [], "striped": []}
+    for n in cluster_sizes:
+        scaled = dataclasses.replace(setup, num_servers=n)
+        videos = scaled.videos()
+        rate = load_fraction * scaled.saturation_rate_per_min
+        generator = WorkloadGenerator.poisson_zipf(scaled.popularity(theta), rate)
+        cluster = scaled.cluster(min(1.2, float(n)))
+        layout = build_layout(scaled, _ZIPF_SLF, theta, min(1.2, float(n)))
+        curves["replicated"].append(
+            _mean_rejection(
+                VoDClusterSimulator(cluster, videos, layout),
+                generator, scaled.peak_minutes, runs, scaled.seed,
+            )
+        )
+        curves["striped"].append(
+            _mean_rejection(
+                StripedClusterSimulator(cluster, videos, overhead_per_server=overhead),
+                generator, scaled.peak_minutes, runs, scaled.seed,
+            )
+        )
+    return {"cluster_sizes": list(cluster_sizes), "overhead": overhead, "curves": curves}
+
+
+def format_striping(load_sweep: dict, scale_sweep: dict) -> str:
+    """Render both sweeps."""
+    blocks = [
+        format_series(
+            "lambda(req/min)",
+            load_sweep["arrival_rates"],
+            load_sweep["curves"],
+            title="E10.1 replication vs striping: rejection vs arrival rate",
+        ),
+        format_series(
+            "N servers",
+            scale_sweep["cluster_sizes"],
+            scale_sweep["curves"],
+            title=(
+                "E10.2 scaling at 95% load (striping overhead "
+                f"{scale_sweep['overhead']:.0%}/server)"
+            ),
+        ),
+    ]
+    return "\n\n".join(blocks)
+
+
+def main(quick: bool = False, chart: bool = False) -> str:
+    """CLI entry point; returns the formatted report."""
+    setup = PaperSetup().quick(num_runs=3) if quick else PaperSetup()
+    sizes = (4, 8, 16) if quick else (4, 8, 16, 32)
+    load = run_load_sweep(setup)
+    scale = run_scale_sweep(setup, cluster_sizes=sizes)
+    report = format_striping(load, scale)
+    if chart:
+        from ..analysis.plots import ascii_chart
+
+        report += "\n\n" + ascii_chart(
+            load["arrival_rates"], load["curves"],
+            title="E10.1 rejection vs arrival rate",
+            x_label="lambda (req/min)",
+        )
+    return report

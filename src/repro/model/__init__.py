@@ -1,0 +1,33 @@
+"""Problem model (system S2): videos, cluster, replica layouts, objective.
+
+The classes here encode Section 3 of the paper — the cluster of ``N``
+homogeneous servers, the ``M`` equal-duration videos, the replica-placement
+solution representation, the resource constraints (Eq. 4-7) and the
+optimization objective (Eq. 1) with its load-imbalance terms (Eq. 2-3).
+"""
+
+from .cluster import ClusterSpec, ServerSpec
+from .layout import ReplicaLayout
+from .objective import (
+    ImbalanceMetric,
+    communication_weights,
+    load_imbalance,
+    objective_value,
+    ObjectiveWeights,
+)
+from .problem import ReplicationProblem
+from .video import Video, VideoCollection
+
+__all__ = [
+    "ClusterSpec",
+    "ServerSpec",
+    "ReplicaLayout",
+    "ImbalanceMetric",
+    "communication_weights",
+    "load_imbalance",
+    "objective_value",
+    "ObjectiveWeights",
+    "ReplicationProblem",
+    "Video",
+    "VideoCollection",
+]

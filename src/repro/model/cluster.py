@@ -1,0 +1,177 @@
+"""Cluster and server specifications.
+
+The paper's cluster is ``N`` *homogeneous* distributed-storage servers, each
+with its own storage subsystem and outgoing network bandwidth, fronted by a
+dispatcher that only makes admission decisions (TCP-handoff keeps data off
+the dispatcher).  Outgoing network bandwidth is the performance bottleneck
+(Sec. 3.1).
+
+:class:`ClusterSpec` also supports heterogeneous servers as an extension; the
+paper-faithful constructors produce homogeneous clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from .._validation import check_int_in_range, check_positive
+
+__all__ = ["ServerSpec", "ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Capacity of a single back-end server.
+
+    Parameters
+    ----------
+    storage_gb:
+        Disk capacity available for video replicas.
+    bandwidth_mbps:
+        Outgoing network bandwidth (the streaming bottleneck).
+    """
+
+    storage_gb: float
+    bandwidth_mbps: float
+
+    def __post_init__(self) -> None:
+        check_positive("storage_gb", self.storage_gb)
+        check_positive("bandwidth_mbps", self.bandwidth_mbps)
+
+    def stream_capacity(self, bit_rate_mbps: float) -> int:
+        """Number of concurrent streams at ``bit_rate_mbps`` the server carries."""
+        check_positive("bit_rate_mbps", bit_rate_mbps)
+        return int(np.floor(self.bandwidth_mbps / bit_rate_mbps + 1e-9))
+
+    def storage_replicas(self, replica_storage_gb: float) -> int:
+        """Storage capacity re-expressed in replicas of a given size.
+
+        This is the re-definition of ``C`` the paper applies once the
+        encoding bit rate is fixed (Sec. 4.1).
+        """
+        check_positive("replica_storage_gb", replica_storage_gb)
+        return int(np.floor(self.storage_gb / replica_storage_gb + 1e-9))
+
+
+class ClusterSpec(Sequence[ServerSpec]):
+    """A cluster of back-end servers.
+
+    Iterable/sized over its :class:`ServerSpec` entries.  Homogeneous-only
+    operations (the paper's setting) raise if the cluster is heterogeneous,
+    so misuse fails loudly.
+    """
+
+    def __init__(self, servers: Iterable[ServerSpec]) -> None:
+        servers = tuple(servers)
+        if not servers:
+            raise ValueError("ClusterSpec must contain at least one server")
+        self._servers = servers
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def homogeneous(
+        cls,
+        num_servers: int,
+        *,
+        storage_gb: float,
+        bandwidth_mbps: float,
+    ) -> "ClusterSpec":
+        """The paper's cluster: ``num_servers`` identical servers."""
+        check_int_in_range("num_servers", num_servers, 1)
+        spec = ServerSpec(storage_gb=storage_gb, bandwidth_mbps=bandwidth_mbps)
+        return cls([spec] * num_servers)
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return ClusterSpec(self._servers[index])
+        return self._servers[index]
+
+    # ------------------------------------------------------------------
+    # Aggregate views
+    # ------------------------------------------------------------------
+    @property
+    def num_servers(self) -> int:
+        """Number of servers ``N``."""
+        return len(self._servers)
+
+    @property
+    def storage_gb(self) -> np.ndarray:
+        """Per-server storage (GB)."""
+        return np.array([s.storage_gb for s in self._servers], dtype=np.float64)
+
+    @property
+    def bandwidth_mbps(self) -> np.ndarray:
+        """Per-server outgoing bandwidth (Mb/s)."""
+        return np.array([s.bandwidth_mbps for s in self._servers], dtype=np.float64)
+
+    @property
+    def total_bandwidth_mbps(self) -> float:
+        """Aggregate outgoing bandwidth of the cluster."""
+        return float(self.bandwidth_mbps.sum())
+
+    @property
+    def total_storage_gb(self) -> float:
+        """Aggregate storage of the cluster."""
+        return float(self.storage_gb.sum())
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """Whether every server has identical capacity (paper's assumption)."""
+        return all(s == self._servers[0] for s in self._servers[1:])
+
+    def require_homogeneous(self) -> ServerSpec:
+        """Return the common server spec, raising if heterogeneous."""
+        if not self.is_homogeneous:
+            raise ValueError(
+                "this operation requires a homogeneous cluster (the paper's "
+                "setting); use the heterogeneous-aware APIs instead"
+            )
+        return self._servers[0]
+
+    # ------------------------------------------------------------------
+    # Fixed-rate conveniences (Sec. 4.1 re-definitions)
+    # ------------------------------------------------------------------
+    def storage_capacity_replicas(self, replica_storage_gb: float) -> int:
+        """Per-server storage capacity ``C`` in replicas (homogeneous only)."""
+        return self.require_homogeneous().storage_replicas(replica_storage_gb)
+
+    def replica_budget(self, replica_storage_gb: float) -> int:
+        """Cluster-wide replica budget ``N * C`` (homogeneous only)."""
+        return self.num_servers * self.storage_capacity_replicas(replica_storage_gb)
+
+    def stream_capacity(self, bit_rate_mbps: float) -> int:
+        """Cluster-wide concurrent-stream capacity at a fixed bit rate."""
+        return sum(s.stream_capacity(bit_rate_mbps) for s in self._servers)
+
+    def saturation_arrival_rate_per_min(
+        self, bit_rate_mbps: float, duration_min: float
+    ) -> float:
+        """Arrival rate (req/min) that exactly saturates cluster bandwidth.
+
+        With each admitted stream holding ``bit_rate_mbps`` for
+        ``duration_min`` minutes, Little's law gives the knee of the
+        rejection curve at ``capacity_streams / duration``.  For the paper's
+        setup (3600 streams, 90 min) this is 40 requests/minute.
+        """
+        check_positive("duration_min", duration_min)
+        return self.stream_capacity(bit_rate_mbps) / duration_min
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_homogeneous:
+            s = self._servers[0]
+            return (
+                f"ClusterSpec(N={self.num_servers}, storage_gb={s.storage_gb}, "
+                f"bandwidth_mbps={s.bandwidth_mbps})"
+            )
+        return f"ClusterSpec(N={self.num_servers}, heterogeneous)"

@@ -1,0 +1,165 @@
+"""Objective function and load-imbalance metrics (Eq. 1-3).
+
+The optimization objective of the paper (Eq. 1) is::
+
+    O = (1/M) sum_i b_i  +  alpha * (1/M) sum_i r_i  -  beta * L
+
+with relative weighting factors ``alpha`` and ``beta``.  ``L`` is the
+communication load-imbalance degree of the cluster, for which the paper
+offers two definitions:
+
+* Eq. (2): ``L = max_k | l_k - l_mean |`` (used by default), and
+* Eq. (3): ``L = sqrt((1/N) * sum_k (l_k - l_mean)^2)``.
+
+Because the three terms have different natural units (Mb/s, replicas, load),
+:func:`objective_value` normalizes each to ``[0, 1]`` — bit rates by the
+maximum allowed rate, replica counts by ``N``, and imbalance by the mean
+load — so ``alpha`` and ``beta`` express pure preference weights.  The raw
+(unnormalized) value is also available for analyses that want the paper's
+literal expression.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_float_array, check_non_negative, check_probability_vector
+
+__all__ = [
+    "ImbalanceMetric",
+    "load_imbalance",
+    "communication_weights",
+    "ObjectiveWeights",
+    "objective_value",
+]
+
+
+class ImbalanceMetric(enum.Enum):
+    """Which definition of the load-imbalance degree ``L`` to use."""
+
+    #: Eq. (2): maximum absolute deviation from the mean load.
+    MAX_DEVIATION = "max_deviation"
+    #: Eq. (3): standard deviation of the loads.
+    STD_DEVIATION = "std_deviation"
+
+
+def load_imbalance(
+    loads: np.ndarray,
+    metric: ImbalanceMetric = ImbalanceMetric.MAX_DEVIATION,
+    *,
+    relative: bool = False,
+) -> float:
+    """Compute the load-imbalance degree ``L`` of per-server loads.
+
+    Parameters
+    ----------
+    loads:
+        Per-server communication loads ``l_k`` (any consistent unit).
+    metric:
+        Eq. (2) (default) or Eq. (3).
+    relative:
+        If True, divide by the mean load, yielding the dimensionless
+        ``L(%) / 100`` quantity plotted in the paper's Figure 6.  A zero
+        mean load yields 0 (an idle cluster is perfectly balanced).
+    """
+    arr = as_float_array("loads", loads)
+    mean = float(arr.mean())
+    deviations = np.abs(arr - mean)
+    if metric is ImbalanceMetric.MAX_DEVIATION:
+        value = float(deviations.max())
+    elif metric is ImbalanceMetric.STD_DEVIATION:
+        value = float(np.sqrt(np.mean(deviations**2)))
+    else:  # pragma: no cover - enum is closed
+        raise ValueError(f"unknown metric {metric!r}")
+    if relative:
+        if mean == 0.0:
+            return 0.0
+        value /= mean
+    return value
+
+
+def communication_weights(
+    popularity: np.ndarray, replica_counts: np.ndarray
+) -> np.ndarray:
+    """Per-replica communication weight ``w_i = p_i / r_i`` (Sec. 3.2).
+
+    Videos with zero replicas get weight 0 (they serve no requests).
+    """
+    probs = check_probability_vector("popularity", popularity)
+    counts = np.asarray(replica_counts)
+    if counts.shape != probs.shape:
+        raise ValueError(
+            f"replica_counts shape {counts.shape} != popularity shape {probs.shape}"
+        )
+    if np.any(counts < 0):
+        raise ValueError("replica_counts must be >= 0")
+    safe = np.maximum(counts, 1)
+    return np.where(counts > 0, probs / safe, 0.0)
+
+
+@dataclass(frozen=True)
+class ObjectiveWeights:
+    """The relative weighting factors ``alpha`` and ``beta`` of Eq. (1)."""
+
+    alpha: float = 1.0
+    beta: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("alpha", self.alpha)
+        check_non_negative("beta", self.beta)
+
+
+def objective_value(
+    bit_rates_mbps: np.ndarray,
+    replica_counts: np.ndarray,
+    server_loads: np.ndarray,
+    *,
+    weights: ObjectiveWeights = ObjectiveWeights(),
+    num_servers: int | None = None,
+    max_bit_rate_mbps: float | None = None,
+    metric: ImbalanceMetric = ImbalanceMetric.MAX_DEVIATION,
+    normalized: bool = True,
+) -> float:
+    """Evaluate the paper's objective ``O`` (Eq. 1) for a solution.
+
+    Parameters
+    ----------
+    bit_rates_mbps:
+        Per-video encoding bit rates ``b_i``.
+    replica_counts:
+        Per-video replica counts ``r_i``.
+    server_loads:
+        Per-server communication loads ``l_k`` used for ``L``.
+    weights:
+        ``alpha`` / ``beta`` preference weights.
+    num_servers, max_bit_rate_mbps:
+        Normalization constants; required when ``normalized=True``.
+    normalized:
+        When True (default) each term is scaled to ``[0, 1]`` (see module
+        docstring); when False the literal Eq. (1) value is returned.
+    """
+    rates = as_float_array("bit_rates_mbps", bit_rates_mbps)
+    counts = np.asarray(replica_counts, dtype=np.float64)
+    if counts.shape != rates.shape:
+        raise ValueError("bit_rates_mbps and replica_counts must align")
+    mean_rate = float(rates.mean())
+    mean_replicas = float(counts.mean())
+    imbalance = load_imbalance(server_loads, metric, relative=normalized)
+
+    if not normalized:
+        return mean_rate + weights.alpha * mean_replicas - weights.beta * imbalance
+
+    if num_servers is None or max_bit_rate_mbps is None:
+        raise ValueError(
+            "normalized objective requires num_servers and max_bit_rate_mbps"
+        )
+    if max_bit_rate_mbps <= 0 or num_servers <= 0:
+        raise ValueError("normalization constants must be positive")
+    return (
+        mean_rate / max_bit_rate_mbps
+        + weights.alpha * mean_replicas / num_servers
+        - weights.beta * imbalance
+    )

@@ -1,0 +1,184 @@
+"""The combinatorial optimization problem instance (Sec. 3).
+
+:class:`ReplicationProblem` bundles the cluster, the video set, the
+popularity distribution and the peak-period workload parameters into one
+object that the replication algorithms, the placers, the simulated-annealing
+solver and the simulator all consume.  It also evaluates Eq. (1) for a
+candidate :class:`~repro.model.layout.ReplicaLayout`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import check_positive
+from ..popularity import PopularityModel
+from .cluster import ClusterSpec
+from .layout import ReplicaLayout
+from .objective import ImbalanceMetric, ObjectiveWeights, objective_value
+from .video import VideoCollection
+
+__all__ = ["ReplicationProblem"]
+
+
+@dataclass(frozen=True)
+class ReplicationProblem:
+    """A fully-specified instance of the replication-and-placement problem.
+
+    Parameters
+    ----------
+    cluster:
+        The VoD cluster (``N`` servers with storage and bandwidth).
+    videos:
+        The ``M`` videos (bit rates matter for the scalable-rate setting;
+        the fixed-rate algorithms read the common rate from here).
+    popularity:
+        A priori video popularities (the paper's assumption 1).  Must be
+        sorted non-increasingly, matching video ids.
+    arrival_rate_per_min:
+        Mean request arrival rate ``lambda`` during the peak period.
+    peak_minutes:
+        Peak-period length ``T``; the paper sets it equal to the video
+        duration (90 minutes).
+    objective_weights:
+        ``alpha`` and ``beta`` of Eq. (1).
+    allowed_bit_rates_mbps:
+        The discrete set of encoding bit rates for the scalable-rate setting
+        (Sec. 4.3).  For the fixed-rate setting this is the single common
+        rate.
+    """
+
+    cluster: ClusterSpec
+    videos: VideoCollection
+    popularity: PopularityModel
+    arrival_rate_per_min: float = 40.0
+    peak_minutes: float = 90.0
+    objective_weights: ObjectiveWeights = field(default_factory=ObjectiveWeights)
+    allowed_bit_rates_mbps: tuple[float, ...] = (4.0,)
+
+    def __post_init__(self) -> None:
+        if self.popularity.num_videos != self.videos.num_videos:
+            raise ValueError(
+                f"popularity has {self.popularity.num_videos} entries but there "
+                f"are {self.videos.num_videos} videos"
+            )
+        if not self.popularity.is_sorted:
+            raise ValueError(
+                "popularity must be sorted non-increasingly (video 0 most "
+                "popular); call popularity.sorted() and reorder videos"
+            )
+        check_positive("arrival_rate_per_min", self.arrival_rate_per_min)
+        check_positive("peak_minutes", self.peak_minutes)
+        rates = tuple(sorted(float(r) for r in self.allowed_bit_rates_mbps))
+        if not rates:
+            raise ValueError("allowed_bit_rates_mbps must be non-empty")
+        for rate in rates:
+            check_positive("allowed bit rate", rate)
+        object.__setattr__(self, "allowed_bit_rates_mbps", rates)
+
+    # ------------------------------------------------------------------
+    # Size shortcuts
+    # ------------------------------------------------------------------
+    @property
+    def num_servers(self) -> int:
+        """``N``."""
+        return self.cluster.num_servers
+
+    @property
+    def num_videos(self) -> int:
+        """``M``."""
+        return self.videos.num_videos
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """The popularity vector ``p``."""
+        return self.popularity.probabilities
+
+    @property
+    def requests_per_peak(self) -> float:
+        """Expected number of requests in one peak period, ``lambda * T``."""
+        return self.arrival_rate_per_min * self.peak_minutes
+
+    @property
+    def min_bit_rate_mbps(self) -> float:
+        """Lowest allowed encoding bit rate."""
+        return self.allowed_bit_rates_mbps[0]
+
+    @property
+    def max_bit_rate_mbps(self) -> float:
+        """Highest allowed encoding bit rate."""
+        return self.allowed_bit_rates_mbps[-1]
+
+    # ------------------------------------------------------------------
+    # Fixed-rate conveniences (Sec. 4.1)
+    # ------------------------------------------------------------------
+    def fixed_bit_rate_mbps(self) -> float:
+        """The single encoding bit rate, raising unless it is unique."""
+        if len(self.allowed_bit_rates_mbps) != 1 or not self.videos.is_single_rate:
+            raise ValueError(
+                "this operation requires the single-fixed-bit-rate setting "
+                "(Sec. 4.1); the problem allows multiple rates"
+            )
+        return float(self.videos.bit_rates_mbps[0])
+
+    def replica_storage_gb(self) -> float:
+        """Storage footprint of one replica in the fixed-rate setting."""
+        rate = self.fixed_bit_rate_mbps()
+        return rate * float(self.videos.durations_min[0]) * 60.0 / 8000.0
+
+    def storage_capacity_replicas(self) -> int:
+        """Per-server capacity ``C`` in replicas (the paper's re-definition)."""
+        return self.cluster.storage_capacity_replicas(self.replica_storage_gb())
+
+    def replica_budget(self) -> int:
+        """Cluster-wide replica budget ``N * C``."""
+        return self.num_servers * self.storage_capacity_replicas()
+
+    def max_replication_degree(self) -> float:
+        """The replication degree that saturates storage: ``N * C / M``."""
+        return self.replica_budget() / self.num_videos
+
+    def saturation_arrival_rate_per_min(self) -> float:
+        """The arrival rate that saturates cluster bandwidth (req/min)."""
+        return self.cluster.saturation_arrival_rate_per_min(
+            self.fixed_bit_rate_mbps(), float(self.videos.durations_min[0])
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        layout: ReplicaLayout,
+        *,
+        metric: ImbalanceMetric = ImbalanceMetric.MAX_DEVIATION,
+        validate: bool = True,
+    ) -> float:
+        """Objective value (Eq. 1, normalized form) of *layout*.
+
+        The load term uses the expected per-server loads under static
+        round-robin dispatch of ``lambda * T`` requests.
+        """
+        if validate:
+            layout.validate(self.cluster, self.videos)
+        loads = layout.expected_server_load_mbps(
+            self.probabilities, self.requests_per_peak
+        )
+        return objective_value(
+            layout.video_bit_rates,
+            layout.replica_counts,
+            loads,
+            weights=self.objective_weights,
+            num_servers=self.num_servers,
+            max_bit_rate_mbps=self.max_bit_rate_mbps,
+            metric=metric,
+            normalized=True,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReplicationProblem(N={self.num_servers}, M={self.num_videos}, "
+            f"lambda={self.arrival_rate_per_min}/min, T={self.peak_minutes}min)"
+        )

@@ -1,0 +1,42 @@
+"""Replica placement algorithms (systems S7-S8).
+
+A placement maps every replica produced by a replication algorithm onto a
+server, subject to per-server storage (``C`` replicas in the fixed-rate
+setting) and the distinct-server constraint (Eq. 6), aiming to minimize the
+load-imbalance degree ``L`` over the per-replica communication weights.
+
+* :class:`SmallestLoadFirstPlacer` — the paper's Algorithm 1 with the
+  Theorem 2 bound ``L <= max_i w_i - min_i w_i``.
+* :class:`RoundRobinPlacer` — the baseline; optimal when all weights are
+  equal (Sec. 4.2).
+* :class:`GreedyLeastLoadedPlacer` — round-free greedy extension (supports
+  heterogeneous clusters).
+* :class:`RandomFeasiblePlacer` — randomized reference placer for tests.
+"""
+
+from .base import PlacementError, Placer, validate_placement_inputs
+from .bounds import placement_imbalance, slf_imbalance_bound, theorem2_holds
+from .greedy import GreedyLeastLoadedPlacer, greedy_least_loaded_placement
+from .local_search import RefinementResult, refine_placement
+from .random_feasible import RandomFeasiblePlacer, random_feasible_placement
+from .round_robin import RoundRobinPlacer, round_robin_placement
+from .slf import SmallestLoadFirstPlacer, smallest_load_first_placement
+
+__all__ = [
+    "PlacementError",
+    "Placer",
+    "validate_placement_inputs",
+    "placement_imbalance",
+    "slf_imbalance_bound",
+    "theorem2_holds",
+    "GreedyLeastLoadedPlacer",
+    "greedy_least_loaded_placement",
+    "RefinementResult",
+    "refine_placement",
+    "RandomFeasiblePlacer",
+    "random_feasible_placement",
+    "RoundRobinPlacer",
+    "round_robin_placement",
+    "SmallestLoadFirstPlacer",
+    "smallest_load_first_placement",
+]

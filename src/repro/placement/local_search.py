@@ -1,0 +1,223 @@
+"""Swap-based placement refinement (the paper's reference [22] technique).
+
+Wolf et al.'s "DASD dancing" balances disk load by *moving and swapping*
+replicas after an initial placement; the paper borrows its replication
+optimization but not its refinement step.  This module adds it: starting
+from any feasible layout, hill-climb on the Eq. (2) imbalance by
+
+1. **moves** — relocate one replica from the currently most-deviant
+   overloaded server to a feasible underloaded server, and
+2. **swaps** — exchange two replicas between an overloaded and an
+   underloaded server when no single move is feasible/improving.
+
+The total communication weight is invariant, so the mean load is fixed and
+every accepted step strictly reduces ``max_k |l_k - mean|``; termination is
+guaranteed.  SLF is already within the Theorem 2 bound, but refinement
+typically removes another large share of the residual imbalance —
+quantified in the test suite and usable on any placer's output (including
+round robin, which it improves dramatically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_int_in_range, check_probability_vector
+from ..model.layout import ReplicaLayout
+from ..model.objective import communication_weights
+
+__all__ = ["RefinementResult", "refine_placement"]
+
+
+@dataclass(frozen=True)
+class RefinementResult:
+    """Outcome of a refinement pass."""
+
+    layout: ReplicaLayout
+    initial_imbalance: float
+    final_imbalance: float
+    moves: int
+    swaps: int
+
+    @property
+    def improvement(self) -> float:
+        """Absolute reduction of the Eq. (2) imbalance."""
+        return self.initial_imbalance - self.final_imbalance
+
+
+def _imbalance(loads: np.ndarray) -> float:
+    return float(np.abs(loads - loads.mean()).max())
+
+
+def refine_placement(
+    layout: ReplicaLayout,
+    popularity: np.ndarray,
+    capacity_replicas: int,
+    *,
+    max_steps: int = 10_000,
+    tol: float = 1e-15,
+) -> RefinementResult:
+    """Hill-climb the layout's Eq. (2) imbalance via moves and swaps.
+
+    Parameters
+    ----------
+    layout:
+        Any feasible fixed-rate layout (the bit rate is preserved).
+    popularity:
+        The popularity vector defining the communication weights.
+    capacity_replicas:
+        Per-server storage capacity ``C``.
+    max_steps:
+        Hard cap on accepted steps (each strictly improves, so this is a
+        safety bound, not a tuning knob).
+    """
+    probs = check_probability_vector("popularity", popularity)
+    check_int_in_range("capacity_replicas", capacity_replicas, 1)
+    if probs.shape != (layout.num_videos,):
+        raise ValueError("popularity must have one entry per video")
+    if int(layout.server_replica_counts().max()) > capacity_replicas:
+        raise ValueError("layout already exceeds capacity_replicas")
+
+    holds = layout.presence.copy()
+    weights = communication_weights(probs, layout.replica_counts)
+    rate = float(layout.rate_matrix.max()) if layout.total_replicas else 4.0
+
+    loads = (holds * weights[:, None]).sum(axis=0)
+    storage = holds.sum(axis=0).astype(np.int64)
+    initial = _imbalance(loads)
+    current = initial
+    moves = swaps = 0
+
+    for _ in range(max_steps):
+        step = _best_step(holds, loads, storage, weights, capacity_replicas)
+        if step is None or step.gain <= tol:
+            break
+        step.apply(holds, loads, storage)
+        current = _imbalance(loads)
+        if step.is_swap:
+            swaps += 1
+        else:
+            moves += 1
+
+    refined = ReplicaLayout(rate_matrix=np.where(holds, rate, 0.0))
+    return RefinementResult(
+        layout=refined,
+        initial_imbalance=initial,
+        final_imbalance=current,
+        moves=moves,
+        swaps=swaps,
+    )
+
+
+@dataclass
+class _Step:
+    """One candidate relocation: a move, or a swap when ``video_b >= 0``.
+
+    ``weight_a``/``weight_b`` cache the communication weights used when the
+    step was evaluated, so applying it adjusts the load vector with exactly
+    the numbers the gain was computed from.
+    """
+
+    gain: float
+    video_a: int
+    src: int
+    dst: int
+    weight_a: float
+    video_b: int = -1
+    weight_b: float = 0.0
+
+    @property
+    def is_swap(self) -> bool:
+        return self.video_b >= 0
+
+    def apply(
+        self, holds: np.ndarray, loads: np.ndarray, storage: np.ndarray
+    ) -> None:
+        holds[self.video_a, self.src] = False
+        holds[self.video_a, self.dst] = True
+        loads[self.src] -= self.weight_a
+        loads[self.dst] += self.weight_a
+        storage[self.src] -= 1
+        storage[self.dst] += 1
+        if self.is_swap:
+            holds[self.video_b, self.dst] = False
+            holds[self.video_b, self.src] = True
+            loads[self.dst] -= self.weight_b
+            loads[self.src] += self.weight_b
+            storage[self.dst] -= 1
+            storage[self.src] += 1
+
+
+def _best_step(
+    holds: np.ndarray,
+    loads: np.ndarray,
+    storage: np.ndarray,
+    weights: np.ndarray,
+    capacity: int,
+) -> _Step | None:
+    """Best single move/swap reducing the max deviation, or None."""
+    mean = float(loads.mean())
+    current = float(np.abs(loads - mean).max())
+    order_hot = np.argsort(-loads)
+    best: _Step | None = None
+
+    def consider(step: _Step, new_src: float, new_dst: float, src: int, dst: int):
+        nonlocal best
+        trial = loads.copy()
+        trial[src] = new_src
+        trial[dst] = new_dst
+        gain = current - float(np.abs(trial - mean).max())
+        if gain > 0 and (best is None or gain > best.gain):
+            step.gain = gain
+            best = step
+
+    # Focus on the most deviant overloaded server; also consider filling
+    # the most underloaded one from any hotter server.
+    hot = int(order_hot[0])
+    cold = int(order_hot[-1])
+    sources = {hot}
+    if loads.mean() - loads[cold] > loads[hot] - loads.mean():
+        # The deficit side dominates: pull work toward the cold server.
+        sources.update(int(s) for s in order_hot[:-1])
+
+    for src in sources:
+        for video in np.flatnonzero(holds[:, src]):
+            video = int(video)
+            w_a = float(weights[video])
+            feasible = ~holds[video] & (storage < capacity)
+            feasible[src] = False
+            for dst in np.flatnonzero(feasible):
+                dst = int(dst)
+                if loads[dst] >= loads[src]:
+                    continue
+                step = _Step(0.0, video, src, dst, weight_a=w_a)
+                consider(step, loads[src] - w_a, loads[dst] + w_a, src, dst)
+        # Swaps out of the hot server when moves are blocked by storage.
+        if src == hot:
+            for video in np.flatnonzero(holds[:, src]):
+                video = int(video)
+                w_a = float(weights[video])
+                for dst in np.flatnonzero(~holds[video]):
+                    dst = int(dst)
+                    if dst == src or loads[dst] >= loads[src]:
+                        continue
+                    partners = np.flatnonzero(holds[:, dst] & ~holds[:, src])
+                    for other in partners:
+                        other = int(other)
+                        w_b = float(weights[other])
+                        if w_b >= w_a:
+                            continue  # only net-load-reducing exchanges
+                        step = _Step(
+                            0.0, video, src, dst,
+                            weight_a=w_a, video_b=other, weight_b=w_b,
+                        )
+                        consider(
+                            step,
+                            loads[src] - w_a + w_b,
+                            loads[dst] + w_a - w_b,
+                            src,
+                            dst,
+                        )
+    return best

@@ -1,0 +1,62 @@
+"""Video replication algorithms (systems S3-S6).
+
+Given the popularity vector ``p``, the number of servers ``N`` and the
+cluster-wide replica budget ``N * C``, a replication algorithm assigns each
+video a replica count ``r_i`` with ``1 <= r_i <= N`` and ``sum r_i <= N*C``,
+aiming to minimize the largest per-replica communication weight
+``max_i p_i / r_i`` (Eq. 8) so the later placement can balance load.
+
+Implemented algorithms:
+
+* :class:`AdamsReplicator` — the bounded Adams monotone divisor method
+  (Sec. 4.1.1), optimal for Eq. (8) (Theorem 1).
+* :class:`ZipfIntervalReplicator` — the time-efficient approximation that
+  exploits Zipf-like popularity structure (Sec. 4.1.2).
+* :class:`ClassificationReplicator` — the straightforward baseline the
+  evaluation compares against (from the authors' companion work [19]).
+* :class:`ProportionalReplicator`, :func:`no_replication`,
+  :func:`full_replication`, :func:`round_robin_replication` — additional
+  baselines.
+* :func:`optimal_min_max_weight`, :func:`oracle_replication` — an exact
+  oracle for Eq. (8) used to verify Theorem 1 in the test suite.
+"""
+
+from .adams import AdamsReplicator, adams_replication
+from .base import ReplicationResult, Replicator, validate_replication_inputs
+from .classification import ClassificationReplicator, classification_replication
+from .oracle import optimal_min_max_weight, oracle_replication
+from .proportional import ProportionalReplicator, proportional_replication
+from .uniform import (
+    RoundRobinReplicator,
+    full_replication,
+    no_replication,
+    round_robin_replication,
+)
+from .zipf_interval import (
+    ZipfIntervalReplicator,
+    interval_boundaries,
+    interval_replica_counts,
+    zipf_interval_replication,
+)
+
+__all__ = [
+    "AdamsReplicator",
+    "adams_replication",
+    "ReplicationResult",
+    "Replicator",
+    "validate_replication_inputs",
+    "ClassificationReplicator",
+    "classification_replication",
+    "optimal_min_max_weight",
+    "oracle_replication",
+    "ProportionalReplicator",
+    "proportional_replication",
+    "RoundRobinReplicator",
+    "full_replication",
+    "no_replication",
+    "round_robin_replication",
+    "ZipfIntervalReplicator",
+    "interval_boundaries",
+    "interval_replica_counts",
+    "zipf_interval_replication",
+]

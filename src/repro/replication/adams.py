@@ -1,0 +1,109 @@
+"""Bounded Adams monotone divisor replication (Sec. 4.1.1).
+
+The algorithm first gives every video one replica, then repeatedly grants one
+more replica to the video whose replicas currently carry the greatest
+communication weight ``w_i = p_i / r_i`` — provided the video has fewer
+replicas than servers (the Eq. 7 cap).  This is the Adams divisor method
+from apportionment theory with an upper bound, and Theorem 1 states it
+minimizes ``max_i p_i / r_i`` (Eq. 8) for the given budget.
+
+The implementation keeps the candidate videos in a binary max-heap keyed by
+the *next-granting* priority, giving the paper's worst-case complexity
+``O(M + (N*C) log M)``.
+
+Ties are broken toward the lower video index (the more popular video),
+matching the worked example of the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .base import ReplicationResult, Replicator, validate_replication_inputs
+
+__all__ = ["adams_replication", "AdamsReplicator"]
+
+
+def adams_replication(
+    popularity: np.ndarray,
+    num_servers: int,
+    budget: int,
+    *,
+    record_trace: bool = False,
+) -> ReplicationResult:
+    """Run the bounded Adams monotone divisor replication.
+
+    Parameters
+    ----------
+    popularity:
+        Probability vector ``p`` (any order; sorted input is not required).
+    num_servers:
+        ``N`` — also the per-video replica cap.
+    budget:
+        Cluster replica budget ``N * C``; at least ``M``.
+    record_trace:
+        When True, ``result.info["trace"]`` holds one
+        ``(iteration, video, new_count, new_weight)`` tuple per duplication,
+        which reproduces the paper's Figure 1 walkthrough.
+
+    Returns
+    -------
+    ReplicationResult
+        With ``info`` keys ``iterations`` (duplications performed) and
+        ``saturated`` (True when every video hit the ``N`` cap before the
+        budget ran out).
+    """
+    probs = validate_replication_inputs(popularity, num_servers, budget)
+    num_videos = probs.size
+    counts = np.ones(num_videos, dtype=np.int64)
+
+    # Max-heap of (-current_weight, video). Entries whose video reached the
+    # cap are never re-pushed.
+    heap: list[tuple[float, int]] = [(-float(p), i) for i, p in enumerate(probs)]
+    heapq.heapify(heap)
+
+    trace: list[tuple[int, int, int, float]] = []
+    remaining = min(budget, num_servers * num_videos) - num_videos
+    iterations = 0
+    while remaining > 0 and heap:
+        neg_weight, video = heapq.heappop(heap)
+        counts[video] += 1
+        iterations += 1
+        remaining -= 1
+        new_weight = float(probs[video]) / counts[video]
+        if record_trace:
+            trace.append((iterations, video, int(counts[video]), new_weight))
+        if counts[video] < num_servers:
+            heapq.heappush(heap, (-new_weight, video))
+
+    info = {
+        "algorithm": "adams",
+        "iterations": iterations,
+        "saturated": not heap,
+    }
+    if record_trace:
+        info["trace"] = trace
+    return ReplicationResult(
+        replica_counts=counts,
+        num_servers=num_servers,
+        popularity=probs,
+        info=info,
+    )
+
+
+class AdamsReplicator(Replicator):
+    """Object-style wrapper around :func:`adams_replication`."""
+
+    name = "adams"
+
+    def __init__(self, *, record_trace: bool = False) -> None:
+        self._record_trace = bool(record_trace)
+
+    def replicate(
+        self, popularity: np.ndarray, num_servers: int, budget: int
+    ) -> ReplicationResult:
+        return adams_replication(
+            popularity, num_servers, budget, record_trace=self._record_trace
+        )

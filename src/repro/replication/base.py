@@ -1,0 +1,124 @@
+"""Shared interface and result type for replication algorithms."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .._validation import check_int_in_range, check_probability_vector
+from ..model.objective import communication_weights
+
+__all__ = ["ReplicationResult", "Replicator", "validate_replication_inputs"]
+
+
+def validate_replication_inputs(
+    popularity: np.ndarray, num_servers: int, budget: int
+) -> np.ndarray:
+    """Validate ``(p, N, N*C)`` and return the popularity vector.
+
+    The replica budget must admit at least one replica per video (Eq. 7's
+    lower bound) and is meaningfully capped at ``N * M`` (full replication).
+    """
+    probs = check_probability_vector("popularity", popularity)
+    check_int_in_range("num_servers", num_servers, 1)
+    check_int_in_range("budget", budget, 1)
+    num_videos = probs.size
+    if budget < num_videos:
+        raise ValueError(
+            f"replica budget {budget} cannot give each of the {num_videos} "
+            "videos one replica (Eq. 7 lower bound)"
+        )
+    return probs
+
+
+@dataclass(frozen=True)
+class ReplicationResult:
+    """Outcome of a replication algorithm.
+
+    Attributes
+    ----------
+    replica_counts:
+        ``r_i`` per video.
+    num_servers:
+        ``N`` (the cap of Eq. 7).
+    popularity:
+        The popularity vector the algorithm was run with.
+    info:
+        Algorithm-specific diagnostics (iterations, tuned parameters,
+        optional per-step trace).
+    """
+
+    replica_counts: np.ndarray
+    num_servers: int
+    popularity: np.ndarray = field(repr=False)
+    info: dict[str, Any] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.replica_counts, dtype=np.int64)
+        probs = check_probability_vector("popularity", self.popularity)
+        if counts.shape != probs.shape:
+            raise ValueError("replica_counts and popularity must align")
+        if np.any(counts < 1) or np.any(counts > self.num_servers):
+            raise ValueError(
+                "replica counts must satisfy 1 <= r_i <= N (Eq. 7); got "
+                f"range [{counts.min()}, {counts.max()}] with N={self.num_servers}"
+            )
+        counts = counts.copy()
+        counts.setflags(write=False)
+        object.__setattr__(self, "replica_counts", counts)
+        object.__setattr__(self, "popularity", probs)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_videos(self) -> int:
+        """``M``."""
+        return int(self.replica_counts.size)
+
+    @property
+    def total_replicas(self) -> int:
+        """``sum_i r_i``."""
+        return int(self.replica_counts.sum())
+
+    @property
+    def replication_degree(self) -> float:
+        """Average replicas per video."""
+        return self.total_replicas / self.num_videos
+
+    def weights(self) -> np.ndarray:
+        """Per-replica communication weights ``w_i = p_i / r_i``."""
+        return communication_weights(self.popularity, self.replica_counts)
+
+    def max_weight(self) -> float:
+        """The Eq. (8) objective value ``max_i w_i``."""
+        return float(self.weights().max())
+
+    def min_weight(self) -> float:
+        """Smallest per-replica weight (used by the Theorem 2 bound)."""
+        return float(self.weights().min())
+
+    def weight_spread(self) -> float:
+        """Theorem 2's load-imbalance bound ``max w - min w``."""
+        return self.max_weight() - self.min_weight()
+
+
+class Replicator(abc.ABC):
+    """Interface of a replication algorithm.
+
+    Implementations are stateless (configuration lives in ``__init__``), so
+    one instance can be reused across experiment sweeps.
+    """
+
+    #: Short machine-friendly name used in experiment tables.
+    name: str = "replicator"
+
+    @abc.abstractmethod
+    def replicate(
+        self, popularity: np.ndarray, num_servers: int, budget: int
+    ) -> ReplicationResult:
+        """Assign replica counts given popularity, ``N`` and the budget."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

@@ -1,0 +1,87 @@
+"""Exact oracle for the Eq. (8) min-max replication objective.
+
+Used by the test suite to verify Theorem 1 (optimality of the bounded Adams
+method) and by analyses that want the true optimum independently of any
+greedy procedure.
+
+The optimum of ``min max_i p_i / r_i`` subject to ``sum r_i <= R`` and
+``1 <= r_i <= N`` has a closed search structure: a target weight ``w`` is
+achievable iff ``sum_i clip(ceil(p_i / w), 1, N) <= R`` *and*
+``w >= max_i p_i / N`` (videos capped at ``N`` replicas cannot get below
+``p_i / N``).  Feasibility is monotone in ``w`` and the optimal value is one
+of the ``O(M * N)`` candidates ``p_i / k``, so a binary search over the
+sorted candidate set finds it exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ReplicationResult, validate_replication_inputs
+
+__all__ = ["optimal_min_max_weight", "oracle_replication"]
+
+#: Relative slack applied inside ceil() to absorb floating-point error when
+#: a candidate weight equals ``p_i / k`` exactly.
+_CEIL_SLACK = 1e-12
+
+
+def _replicas_needed(probs: np.ndarray, weight: float, num_servers: int) -> np.ndarray:
+    """Minimal ``r_i`` so every video's replica weight is <= *weight*."""
+    needed = np.ceil(probs / weight - _CEIL_SLACK)
+    return np.clip(needed, 1, num_servers).astype(np.int64)
+
+
+def optimal_min_max_weight(
+    popularity: np.ndarray, num_servers: int, budget: int
+) -> float:
+    """Exact optimum of Eq. (8): the least achievable ``max_i p_i / r_i``."""
+    probs = validate_replication_inputs(popularity, num_servers, budget)
+    # Every achievable max-weight is p_i / k for some video i, k in 1..N;
+    # the floor below which no budget helps is max_i p_i / N.
+    floor = float(probs.max()) / num_servers
+    candidates = np.unique(np.outer(probs, 1.0 / np.arange(1, num_servers + 1)))
+    candidates = candidates[candidates >= floor - _CEIL_SLACK]
+    # Binary search the smallest feasible candidate (feasibility is monotone
+    # non-decreasing in w).
+    lo, hi = 0, candidates.size - 1
+    # The largest candidate (max_i p_i with r_i = 1 for the top video) is
+    # always feasible because budget >= M.
+    while lo < hi:
+        mid = (lo + hi) // 2
+        needed = _replicas_needed(probs, float(candidates[mid]), num_servers)
+        if int(needed.sum()) <= budget:
+            hi = mid
+        else:
+            lo = mid + 1
+    return float(candidates[lo])
+
+
+def oracle_replication(
+    popularity: np.ndarray, num_servers: int, budget: int
+) -> ReplicationResult:
+    """An optimal (per Eq. 8) replica assignment built from the exact oracle.
+
+    Any budget left over after meeting the optimal weight is spent greedily
+    on the currently heaviest videos, which cannot worsen the max weight and
+    mirrors what the Adams method does with its tail iterations.
+    """
+    probs = validate_replication_inputs(popularity, num_servers, budget)
+    weight = optimal_min_max_weight(probs, num_servers, budget)
+    counts = _replicas_needed(probs, weight, num_servers)
+    leftover = budget - int(counts.sum())
+    leftover = min(leftover, num_servers * probs.size - int(counts.sum()))
+    while leftover > 0:
+        # Vectorized greedy tail: raise the heaviest non-capped videos.
+        weights = np.where(counts < num_servers, probs / counts, -np.inf)
+        video = int(np.argmax(weights))
+        if not np.isfinite(weights[video]):
+            break
+        counts[video] += 1
+        leftover -= 1
+    return ReplicationResult(
+        replica_counts=counts,
+        num_servers=num_servers,
+        popularity=probs,
+        info={"algorithm": "oracle", "optimal_max_weight": weight},
+    )

@@ -1,0 +1,90 @@
+"""Trivial replication baselines: none, full and round-robin.
+
+* :func:`no_replication` — one replica per video (the evaluation's
+  "non-replication" reference point, replication degree 1.0).
+* :func:`full_replication` — every video on every server (degree ``N``),
+  which the paper notes is "generally inefficient if not impossible" given
+  video storage sizes but is the limit in which all algorithms coincide.
+* :func:`round_robin_replication` — spreads the budget evenly across videos
+  regardless of popularity; optimal when popularity is uniform (Sec. 4.1)
+  and the degenerate case of the Zipf-interval scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ReplicationResult, Replicator, validate_replication_inputs
+
+__all__ = [
+    "no_replication",
+    "full_replication",
+    "round_robin_replication",
+    "RoundRobinReplicator",
+]
+
+
+def no_replication(popularity: np.ndarray, num_servers: int) -> ReplicationResult:
+    """One replica per video (replication degree 1.0)."""
+    probs = validate_replication_inputs(popularity, num_servers, len(popularity))
+    return ReplicationResult(
+        replica_counts=np.ones(probs.size, dtype=np.int64),
+        num_servers=num_servers,
+        popularity=probs,
+        info={"algorithm": "none"},
+    )
+
+
+def full_replication(
+    popularity: np.ndarray, num_servers: int, budget: int
+) -> ReplicationResult:
+    """Every video on every server; requires ``budget >= N * M``."""
+    probs = validate_replication_inputs(popularity, num_servers, budget)
+    needed = num_servers * probs.size
+    if budget < needed:
+        raise ValueError(
+            f"full replication needs {needed} replicas but the budget is {budget}"
+        )
+    return ReplicationResult(
+        replica_counts=np.full(probs.size, num_servers, dtype=np.int64),
+        num_servers=num_servers,
+        popularity=probs,
+        info={"algorithm": "full"},
+    )
+
+
+def round_robin_replication(
+    popularity: np.ndarray, num_servers: int, budget: int
+) -> ReplicationResult:
+    """Distribute the budget evenly: ``r_i in {floor(R/M), ceil(R/M)}``.
+
+    The extra replicas of an uneven split go to the most popular videos
+    (lowest indices after sorting), which is the natural tie-break and makes
+    the scheme optimal under uniform popularity.
+    """
+    probs = validate_replication_inputs(popularity, num_servers, budget)
+    num_videos = probs.size
+    budget = min(budget, num_servers * num_videos)
+    base, extra = divmod(budget, num_videos)
+    base = min(base, num_servers)
+    counts = np.full(num_videos, base, dtype=np.int64)
+    if base < num_servers and extra > 0:
+        order = np.argsort(-probs, kind="stable")
+        counts[order[:extra]] += 1
+    return ReplicationResult(
+        replica_counts=counts,
+        num_servers=num_servers,
+        popularity=probs,
+        info={"algorithm": "round_robin"},
+    )
+
+
+class RoundRobinReplicator(Replicator):
+    """Object-style wrapper around :func:`round_robin_replication`."""
+
+    name = "round_robin_replication"
+
+    def replicate(
+        self, popularity: np.ndarray, num_servers: int, budget: int
+    ) -> ReplicationResult:
+        return round_robin_replication(popularity, num_servers, budget)

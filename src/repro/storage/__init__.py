@@ -1,0 +1,30 @@
+"""Within-server storage subsystem models (system S23).
+
+The paper treats the *outgoing network bandwidth* as the only per-server
+bottleneck (Sec. 3.1) and points at the classical literature for what
+happens inside a server: "Data striping schemes in storage devices for disk
+utilization and load balancing; data retrieval from storage subsystems in
+order to amortize seek time; ... disk scheduling to avoid jitter" (Sec. 2).
+This package models that layer with the classical round-based disk
+scheduling analysis, so the network-is-the-bottleneck assumption can be
+*checked* rather than assumed:
+
+* :class:`DiskSpec` — seek/rotation/transfer parameters of one disk and
+  the per-round service time of a CBR stream.
+* :class:`DiskArray` — a server's disks organized independently, striped
+  (RAID-0) or mirrored (RAID-1), each with its admission capacity and
+  failure-degraded capacity.
+* :func:`effective_stream_capacity` — the min of the network and disk
+  stream limits, feeding the simulator's per-server stream caps.
+"""
+
+from .array import ArrayOrganization, DiskArray, effective_stream_capacity
+from .disk import DiskSpec, RoundScheduler
+
+__all__ = [
+    "ArrayOrganization",
+    "DiskArray",
+    "effective_stream_capacity",
+    "DiskSpec",
+    "RoundScheduler",
+]

@@ -1,0 +1,133 @@
+"""Disk-array organizations and their stream capacities.
+
+Three classical organizations of ``D`` identical disks inside one server
+(Sec. 2's intra-server design space):
+
+* **independent** — videos partitioned across disks; each stream is served
+  by one disk.  Capacity is ``D x`` a single disk's (assuming the
+  intra-server placement balances demand — that is the paper's own
+  replication/placement problem, one level down).
+* **striped** (RAID-0) — every block declustered over all ``D`` disks.
+  Each stream costs *every* disk a positioning overhead per round while
+  transferring only ``1/D`` of the block: perfect intra-server balance,
+  but the seek overhead is not amortized — the intra-server analogue of
+  "striping doesn't scale".
+* **mirrored** (RAID-1) — independent pairs; reads go to either copy, so
+  read capacity matches independent, and one disk's failure removes only
+  its pair's *redundancy* (degraded capacity stays high).
+
+``degraded_stream_capacity`` quantifies a disk failure: striped arrays
+lose everything (no parity modelled — matching the paper's Tiger/RAID-0
+era references), mirrored arrays lose nothing until the second failure of
+a pair, independent arrays lose the failed disk's share.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .._validation import check_int_in_range, check_non_negative, check_positive
+from .disk import DiskSpec, RoundScheduler
+
+__all__ = ["ArrayOrganization", "DiskArray", "effective_stream_capacity"]
+
+
+class ArrayOrganization(enum.Enum):
+    """How the server's disks are organized."""
+
+    INDEPENDENT = "independent"
+    STRIPED = "striped"
+    MIRRORED = "mirrored"
+
+
+@dataclass(frozen=True)
+class DiskArray:
+    """``num_disks`` identical disks under one organization."""
+
+    num_disks: int
+    disk: DiskSpec = field(default_factory=DiskSpec)
+    organization: ArrayOrganization = ArrayOrganization.INDEPENDENT
+    scheduler: RoundScheduler = field(default_factory=RoundScheduler)
+
+    def __post_init__(self) -> None:
+        check_int_in_range("num_disks", self.num_disks, 1)
+        if (
+            self.organization is ArrayOrganization.MIRRORED
+            and self.num_disks % 2 != 0
+        ):
+            raise ValueError("mirrored arrays need an even number of disks")
+
+    # ------------------------------------------------------------------
+    def stream_capacity(self, stream_rate_mbps: float) -> int:
+        """Concurrent streams the array sustains without jitter."""
+        check_positive("stream_rate_mbps", stream_rate_mbps)
+        per_disk = self.scheduler.streams_supported(self.disk, stream_rate_mbps)
+        if self.organization is ArrayOrganization.INDEPENDENT:
+            return self.num_disks * per_disk
+        if self.organization is ArrayOrganization.MIRRORED:
+            # Reads balance across both copies: all spindles serve.
+            return self.num_disks * per_disk
+        # Striped: every stream touches every disk each round, reading
+        # 1/D of its block there; the per-disk budget binds.
+        block = self.scheduler.block_megabits(stream_rate_mbps) / self.num_disks
+        per_stream_per_disk = self.disk.service_time_sec(block)
+        return int(self.scheduler.round_sec / per_stream_per_disk + 1e-9)
+
+    def degraded_stream_capacity(
+        self, stream_rate_mbps: float, failed_disks: int = 1
+    ) -> int:
+        """Capacity after ``failed_disks`` disks fail (worst-case placement)."""
+        check_non_negative("failed_disks", failed_disks)
+        if failed_disks == 0:
+            return self.stream_capacity(stream_rate_mbps)
+        if failed_disks >= self.num_disks:
+            return 0
+        per_disk = self.scheduler.streams_supported(self.disk, stream_rate_mbps)
+        if self.organization is ArrayOrganization.STRIPED:
+            # Any lost member breaks every stripe (no parity modelled).
+            return 0
+        if self.organization is ArrayOrganization.INDEPENDENT:
+            return (self.num_disks - failed_disks) * per_disk
+        # Mirrored, worst case: each failure hits a distinct pair; the
+        # surviving copy serves alone (its pair's capacity halves).  Data
+        # is lost only when both copies of a pair fail.
+        pairs = self.num_disks // 2
+        if failed_disks > pairs:
+            # Some pair lost both copies: its content is unavailable; the
+            # remaining intact/half pairs still serve.
+            dead_pairs = failed_disks - pairs
+            half_pairs = pairs - dead_pairs
+            return half_pairs * per_disk
+        return (self.num_disks - failed_disks) * per_disk
+
+    def seek_overhead_fraction(self, stream_rate_mbps: float) -> float:
+        """Share of the round spent positioning (vs transferring) at capacity.
+
+        A diagnostic for the striping penalty: wide stripes spend most of
+        the round seeking.
+        """
+        capacity = self.stream_capacity(stream_rate_mbps)
+        if capacity == 0:
+            return 1.0
+        if self.organization is ArrayOrganization.STRIPED:
+            per_round_overhead = capacity * self.disk.overhead_sec
+        else:
+            per_disk = self.scheduler.streams_supported(self.disk, stream_rate_mbps)
+            per_round_overhead = per_disk * self.disk.overhead_sec
+        return min(per_round_overhead / self.scheduler.round_sec, 1.0)
+
+
+def effective_stream_capacity(
+    network_bandwidth_mbps: float,
+    array: DiskArray,
+    stream_rate_mbps: float,
+) -> int:
+    """Per-server concurrent-stream limit: min(network, disk subsystem).
+
+    The paper assumes the network term always binds; this function is how
+    experiments *check* that (E14).
+    """
+    check_positive("network_bandwidth_mbps", network_bandwidth_mbps)
+    network_limit = int(network_bandwidth_mbps / stream_rate_mbps + 1e-9)
+    return min(network_limit, array.stream_capacity(stream_rate_mbps))

@@ -1,0 +1,85 @@
+"""Single-disk model and round-based stream admission.
+
+VoD servers classically retrieve video in *rounds*: every ``T`` seconds the
+disk performs one sweep, reading for each active stream the block it will
+consume during the next round (``block = rate * T``).  A stream is
+admissible if the sweep still finishes within the round:
+
+    sum_over_streams( overhead + block_bytes / transfer_rate ) <= T
+
+where ``overhead`` is the per-request positioning cost (seek + half a
+rotation, amortized by SCAN ordering).  Longer rounds amortize seeks over
+bigger blocks (more streams per disk) at the price of larger buffers and
+startup latency — the jitter-avoidance tradeoff of the Sec. 2 literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import check_non_negative, check_positive
+
+__all__ = ["DiskSpec", "RoundScheduler"]
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Performance parameters of one disk.
+
+    Defaults approximate a year-2002 SCSI drive (the paper's era):
+    ~5 ms average seek, 10k RPM (3 ms half-rotation), 40 MB/s transfer.
+    """
+
+    seek_ms: float = 5.0
+    rotational_ms: float = 3.0
+    transfer_mbps: float = 320.0  # megabits/s sustained (= 40 MB/s)
+
+    def __post_init__(self) -> None:
+        check_non_negative("seek_ms", self.seek_ms)
+        check_non_negative("rotational_ms", self.rotational_ms)
+        check_positive("transfer_mbps", self.transfer_mbps)
+
+    @property
+    def overhead_sec(self) -> float:
+        """Positioning overhead per request (seek + half rotation)."""
+        return (self.seek_ms + self.rotational_ms) / 1000.0
+
+    def service_time_sec(self, block_megabits: float) -> float:
+        """Time to position and read one block."""
+        check_non_negative("block_megabits", block_megabits)
+        return self.overhead_sec + block_megabits / self.transfer_mbps
+
+
+@dataclass(frozen=True)
+class RoundScheduler:
+    """Round-based (SCAN-per-round) admission for one disk."""
+
+    round_sec: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("round_sec", self.round_sec)
+
+    def block_megabits(self, stream_rate_mbps: float) -> float:
+        """Data one stream consumes per round."""
+        check_positive("stream_rate_mbps", stream_rate_mbps)
+        return stream_rate_mbps * self.round_sec
+
+    def streams_supported(
+        self, disk: DiskSpec, stream_rate_mbps: float
+    ) -> int:
+        """Maximum streams one disk sustains without jitter.
+
+        ``k * (overhead + block / transfer) <= round``.
+        """
+        per_stream = disk.service_time_sec(self.block_megabits(stream_rate_mbps))
+        if per_stream <= 0:
+            raise ValueError("degenerate disk: zero service time")
+        return int(self.round_sec / per_stream + 1e-9)
+
+    def utilization(
+        self, disk: DiskSpec, stream_rate_mbps: float, num_streams: int
+    ) -> float:
+        """Fraction of the round consumed by ``num_streams`` streams."""
+        check_non_negative("num_streams", num_streams)
+        per_stream = disk.service_time_sec(self.block_megabits(stream_rate_mbps))
+        return num_streams * per_stream / self.round_sec

@@ -1,0 +1,37 @@
+"""Synthetic workload generation (system S12).
+
+The paper evaluates over a synthetic workload: within a 90-minute peak
+period, requests arrive as a Poisson process with rate ``lambda`` and each
+request picks a video from the Zipf-like popularity distribution.  This
+package provides the arrival processes, the request/trace containers, the
+combined generator and trace persistence.
+"""
+
+from .arrivals import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    NonHomogeneousPoissonArrivals,
+    PoissonArrivals,
+    peak_profile,
+)
+from .generator import WorkloadGenerator
+from .requests import Request, RequestTrace
+from .trace_io import load_trace, save_trace
+from .watch_time import BimodalWatch, ExponentialWatch, FullWatch, WatchTimeModel
+
+__all__ = [
+    "ArrivalProcess",
+    "DeterministicArrivals",
+    "NonHomogeneousPoissonArrivals",
+    "PoissonArrivals",
+    "peak_profile",
+    "WorkloadGenerator",
+    "Request",
+    "RequestTrace",
+    "load_trace",
+    "save_trace",
+    "BimodalWatch",
+    "ExponentialWatch",
+    "FullWatch",
+    "WatchTimeModel",
+]

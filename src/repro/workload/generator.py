@@ -1,0 +1,112 @@
+"""Combined workload generator: arrivals x popularity.
+
+Couples an :class:`~repro.workload.arrivals.ArrivalProcess` with a
+:class:`~repro.popularity.PopularityModel` to produce
+:class:`~repro.workload.requests.RequestTrace` objects, and manages
+reproducible multi-run generation via ``numpy.random.SeedSequence``
+spawning (each run gets an independent, reconstructible stream).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from .._validation import check_int_in_range, check_positive
+from ..popularity import PopularityModel
+from .arrivals import ArrivalProcess, PoissonArrivals
+from .requests import RequestTrace
+from .watch_time import WatchTimeModel
+
+__all__ = ["WorkloadGenerator"]
+
+
+class WorkloadGenerator:
+    """Generates synthetic peak-period workloads (the paper's Sec. 5 setup).
+
+    Parameters
+    ----------
+    popularity:
+        Video-choice distribution.
+    arrivals:
+        Arrival process; the paper uses Poisson arrivals.
+    """
+
+    def __init__(
+        self,
+        popularity: PopularityModel,
+        arrivals: ArrivalProcess,
+        *,
+        watch_time_model: "WatchTimeModel | None" = None,
+        video_durations_min: np.ndarray | None = None,
+    ) -> None:
+        if (watch_time_model is None) != (video_durations_min is None):
+            raise ValueError(
+                "watch_time_model and video_durations_min must be given together"
+            )
+        if video_durations_min is not None:
+            durations = np.asarray(video_durations_min, dtype=np.float64)
+            if durations.shape != (popularity.num_videos,):
+                raise ValueError(
+                    "video_durations_min must have one entry per video"
+                )
+            if np.any(durations <= 0):
+                raise ValueError("video durations must be > 0")
+            self._durations = durations
+        else:
+            self._durations = None
+        self._popularity = popularity
+        self._arrivals = arrivals
+        self._watch_model = watch_time_model
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def poisson_zipf(
+        cls, popularity: PopularityModel, rate_per_min: float
+    ) -> "WorkloadGenerator":
+        """The paper's workload: Poisson arrivals + Zipf video choice."""
+        return cls(popularity, PoissonArrivals(rate_per_min))
+
+    # ------------------------------------------------------------------
+    @property
+    def popularity(self) -> PopularityModel:
+        return self._popularity
+
+    @property
+    def arrivals(self) -> ArrivalProcess:
+        return self._arrivals
+
+    # ------------------------------------------------------------------
+    def generate(
+        self, duration_min: float, rng: np.random.Generator
+    ) -> RequestTrace:
+        """Sample one trace over ``[0, duration_min)``."""
+        check_positive("duration_min", duration_min)
+        times = self._arrivals.sample(duration_min, rng)
+        videos = self._popularity.sample(times.size, rng)
+        watch = None
+        if self._watch_model is not None:
+            watch = self._watch_model.sample(self._durations[videos], rng)
+        return RequestTrace(times, videos, watch)
+
+    def generate_runs(
+        self, duration_min: float, num_runs: int, seed: int
+    ) -> Iterator[RequestTrace]:
+        """Yield ``num_runs`` independent traces from a spawned seed tree.
+
+        Each run's stream derives from ``SeedSequence(seed).spawn(...)``, so
+        run ``k`` is reproducible independently of how many runs are drawn.
+        """
+        check_int_in_range("num_runs", num_runs, 1)
+        root = np.random.SeedSequence(seed)
+        for child in root.spawn(num_runs):
+            yield self.generate(duration_min, np.random.default_rng(child))
+
+    def expected_requests(self, duration_min: float) -> float:
+        """Expected request volume over the horizon."""
+        check_positive("duration_min", duration_min)
+        return self._arrivals.mean_rate_per_min() * duration_min
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WorkloadGenerator({self._popularity!r}, {self._arrivals!r})"

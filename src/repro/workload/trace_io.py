@@ -1,0 +1,73 @@
+"""Trace persistence.
+
+Traces round-trip through a small CSV dialect so they can be inspected,
+diffed and fed to external tools.  Floating-point values are written with
+``repr`` precision, making save -> load lossless.  Traces carrying watch
+times use a three-column header; plain traces use two columns — the loader
+accepts either.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from .requests import RequestTrace
+
+__all__ = ["save_trace", "load_trace"]
+
+_HEADER = ["arrival_min", "video"]
+_HEADER_WATCH = ["arrival_min", "video", "watch_min"]
+
+
+def save_trace(trace: RequestTrace, path: str | Path) -> None:
+    """Write *trace* as CSV to *path* (parent directory must exist)."""
+    path = Path(path)
+    watch = trace.watch_min
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        if watch is None:
+            writer.writerow(_HEADER)
+            for time, video in zip(trace.arrival_min, trace.videos):
+                writer.writerow([repr(float(time)), int(video)])
+        else:
+            writer.writerow(_HEADER_WATCH)
+            for time, video, w in zip(trace.arrival_min, trace.videos, watch):
+                writer.writerow([repr(float(time)), int(video), repr(float(w))])
+
+
+def load_trace(path: str | Path) -> RequestTrace:
+    """Read a CSV trace written by :func:`save_trace`."""
+    path = Path(path)
+    times: list[float] = []
+    videos: list[int] = []
+    watches: list[float] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header == _HEADER:
+            has_watch = False
+        elif header == _HEADER_WATCH:
+            has_watch = True
+        else:
+            raise ValueError(
+                f"{path} is not a trace file: expected header {_HEADER} or "
+                f"{_HEADER_WATCH}, got {header}"
+            )
+        expected = 3 if has_watch else 2
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != expected:
+                raise ValueError(
+                    f"{path}:{line_no}: expected {expected} columns, got {len(row)}"
+                )
+            times.append(float(row[0]))
+            videos.append(int(row[1]))
+            if has_watch:
+                watches.append(float(row[2]))
+    return RequestTrace(
+        np.asarray(times),
+        np.asarray(videos, dtype=np.int64),
+        np.asarray(watches) if has_watch else None,
+    )

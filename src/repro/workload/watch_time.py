@@ -1,0 +1,118 @@
+"""Watch-time (early-departure) models — workload extension.
+
+The paper's model assumes every admitted stream runs for the full video
+duration (which, with the peak equal to the duration, makes placement
+conservative).  Real VoD sessions often end early — browsing, sampling,
+abandonment — which returns bandwidth sooner and raises effective capacity.
+These models annotate each request with a *watch time*; the simulator holds
+bandwidth for ``min(watch time, video duration)``.
+
+Models:
+
+* :class:`FullWatch` — the paper's assumption (watch = duration).
+* :class:`ExponentialWatch` — exponential session length with a given mean
+  fraction of the duration, truncated at the full duration (a standard
+  VoD session model).
+* :class:`BimodalWatch` — a browse/commit mixture: with probability
+  ``browse_prob`` the viewer samples a short prefix, otherwise watches to
+  the end.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from .._validation import check_in_range, check_positive
+
+__all__ = ["WatchTimeModel", "FullWatch", "ExponentialWatch", "BimodalWatch"]
+
+
+class WatchTimeModel(abc.ABC):
+    """Samples per-request watch times given the requested videos."""
+
+    @abc.abstractmethod
+    def sample(
+        self,
+        video_durations_min: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Watch time (minutes) for each request.
+
+        ``video_durations_min[j]`` is the full duration of request ``j``'s
+        video; the returned watch times are clipped to ``(0, duration]``.
+        """
+
+
+class FullWatch(WatchTimeModel):
+    """Every stream runs to the end (the paper's conservative model)."""
+
+    def sample(
+        self, video_durations_min: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        del rng
+        return np.asarray(video_durations_min, dtype=np.float64).copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "FullWatch()"
+
+
+class ExponentialWatch(WatchTimeModel):
+    """Exponential session lengths, mean ``mean_fraction * duration``.
+
+    Sessions are truncated at the full duration and floored at a minimal
+    positive watch time so bandwidth accounting stays well-defined.
+    """
+
+    #: Minimum session length (minutes) to keep events strictly ordered.
+    MIN_WATCH_MIN = 1e-3
+
+    def __init__(self, mean_fraction: float) -> None:
+        check_positive("mean_fraction", mean_fraction)
+        self._mean_fraction = float(mean_fraction)
+
+    @property
+    def mean_fraction(self) -> float:
+        return self._mean_fraction
+
+    def sample(
+        self, video_durations_min: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        durations = np.asarray(video_durations_min, dtype=np.float64)
+        sessions = rng.exponential(
+            self._mean_fraction * durations, size=durations.shape
+        )
+        return np.clip(sessions, self.MIN_WATCH_MIN, durations)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExponentialWatch(mean_fraction={self._mean_fraction})"
+
+
+class BimodalWatch(WatchTimeModel):
+    """Browse-or-commit mixture.
+
+    With probability ``browse_prob`` the session lasts
+    ``browse_fraction * duration``; otherwise it runs to the end.
+    """
+
+    def __init__(self, browse_prob: float, browse_fraction: float = 0.1) -> None:
+        check_in_range("browse_prob", browse_prob, 0.0, 1.0)
+        check_in_range("browse_fraction", browse_fraction, 0.0, 1.0)
+        if browse_fraction == 0.0:
+            raise ValueError("browse_fraction must be > 0")
+        self._browse_prob = float(browse_prob)
+        self._browse_fraction = float(browse_fraction)
+
+    def sample(
+        self, video_durations_min: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        durations = np.asarray(video_durations_min, dtype=np.float64)
+        browsing = rng.random(durations.shape) < self._browse_prob
+        return np.where(browsing, durations * self._browse_fraction, durations)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BimodalWatch(browse_prob={self._browse_prob}, "
+            f"browse_fraction={self._browse_fraction})"
+        )

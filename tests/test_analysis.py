@@ -1,0 +1,142 @@
+"""Tests for statistics, tables and popularity estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Summary,
+    aggregate_imbalance,
+    aggregate_imbalance_percent,
+    aggregate_rejection_rate,
+    estimate_popularity,
+    format_series,
+    format_table,
+    perturb_popularity,
+    summarize,
+)
+from repro.cluster_sim import SimulationResult
+from repro.popularity import ZipfPopularity
+from repro.workload import RequestTrace
+
+
+def make_result(rejected: int, loads) -> SimulationResult:
+    loads = np.asarray(loads, dtype=np.float64)
+    return SimulationResult(
+        num_requests=10,
+        num_rejected=rejected,
+        per_video_requests=np.array([10]),
+        per_video_rejected=np.array([rejected]),
+        server_time_avg_load_mbps=loads,
+        server_peak_load_mbps=loads,
+        server_served=np.array([10 - rejected] + [0] * (loads.size - 1)),
+        server_bandwidth_mbps=np.full(loads.size, 100.0),
+    )
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.n == 3
+        assert summary.min == 1.0 and summary.max == 3.0
+        assert summary.std == pytest.approx(1.0)
+
+    def test_ci_formula(self):
+        summary = summarize([0.0, 2.0])
+        # std = sqrt(2), ci = 1.96 * sqrt(2) / sqrt(2) = 1.96...
+        assert summary.ci95 == pytest.approx(1.959963984540054 * np.sqrt(2) / np.sqrt(2))
+
+    def test_singleton(self):
+        summary = summarize([5.0])
+        assert summary.std == 0.0 and summary.ci95 == 0.0
+
+    def test_str(self):
+        assert "n=3" in str(summarize([1.0, 2.0, 3.0]))
+
+    def test_is_dataclass(self):
+        assert isinstance(summarize([1.0]), Summary)
+
+
+class TestAggregation:
+    def test_rejection(self):
+        results = [make_result(2, [10.0, 20.0]), make_result(4, [10.0, 20.0])]
+        summary = aggregate_rejection_rate(results)
+        assert summary.mean == pytest.approx(0.3)
+
+    def test_imbalance(self):
+        results = [make_result(0, [10.0, 20.0])]
+        assert aggregate_imbalance(results).mean == pytest.approx(1 / 3)
+
+    def test_imbalance_percent(self):
+        results = [make_result(0, [10.0, 20.0])]
+        assert aggregate_imbalance_percent(results).mean == pytest.approx(5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_rejection_rate([])
+        with pytest.raises(ValueError):
+            aggregate_imbalance([])
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.5], ["bb", 20.25]], floatfmt=".2f"
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.50" in lines[2] and "20.25" in lines[3]
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_format_table_validates_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_series(self):
+        text = format_series(
+            "lambda", [10, 20], {"slf": [0.1, 0.2], "rr": [0.3, 0.4]}
+        )
+        lines = text.splitlines()
+        assert lines[0].split() == ["lambda", "slf", "rr"]
+        assert len(lines) == 4
+
+    def test_format_series_length_check(self):
+        with pytest.raises(ValueError, match="points"):
+            format_series("x", [1, 2], {"y": [0.1]})
+
+
+class TestEstimation:
+    def test_estimate_matches_truth(self, rng):
+        pop = ZipfPopularity(50, 0.75)
+        draws = pop.sample(100_000, rng)
+        trace = RequestTrace(np.sort(rng.uniform(0, 90, draws.size)), draws)
+        estimated = estimate_popularity(trace, 50, smoothing=0.5)
+        # Rank correlation with the truth should be essentially perfect.
+        corr = np.corrcoef(estimated.probabilities, pop.probabilities)[0, 1]
+        assert corr > 0.99
+
+    def test_smoothing_covers_unseen(self):
+        trace = RequestTrace(np.array([0.0, 1.0]), np.array([0, 0]))
+        estimated = estimate_popularity(trace, 3, smoothing=1.0)
+        assert np.all(estimated.probabilities > 0)
+
+    def test_perturb_zero_noise_identity(self, rng):
+        pop = ZipfPopularity(20, 0.75)
+        assert perturb_popularity(pop, 0.0, rng) is pop
+
+    def test_perturb_changes_order(self, rng):
+        pop = ZipfPopularity(100, 0.271)
+        noisy = perturb_popularity(pop, 1.0, rng)
+        assert not np.all(np.diff(noisy.probabilities) <= 0)
+        assert noisy.probabilities.sum() == pytest.approx(1.0)
+
+    def test_perturb_noise_scales_distortion(self, rng):
+        pop = ZipfPopularity(100, 0.75)
+        small = perturb_popularity(pop, 0.05, np.random.default_rng(1))
+        large = perturb_popularity(pop, 1.0, np.random.default_rng(1))
+        err_small = np.abs(small.probabilities - pop.probabilities).sum()
+        err_large = np.abs(large.probabilities - pop.probabilities).sum()
+        assert err_large > err_small

@@ -1,0 +1,94 @@
+"""Tests for the dispatch policies."""
+
+import numpy as np
+import pytest
+
+from repro.cluster_sim.dispatch import (
+    FirstFitDispatcher,
+    LeastLoadedDispatcher,
+    StaticRoundRobinDispatcher,
+    make_dispatcher_factory,
+)
+from repro.cluster_sim.server import StreamingServer
+from repro.model.layout import ReplicaLayout
+
+
+def layout_three_videos() -> ReplicaLayout:
+    """v0 on servers {0,1,2}, v1 on {1}, v2 on {0,2}."""
+    return ReplicaLayout.from_assignment([[0, 1, 2], [1], [0, 2]], 3)
+
+
+def make_servers(n=3, bandwidth=100.0):
+    return [StreamingServer(i, bandwidth) for i in range(n)]
+
+
+class TestStaticRoundRobin:
+    def test_cycles_holders(self):
+        dispatcher = StaticRoundRobinDispatcher(layout_three_videos())
+        servers = make_servers()
+        picks = [dispatcher.candidates(0, servers)[0] for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_single_candidate(self):
+        dispatcher = StaticRoundRobinDispatcher(layout_three_videos())
+        assert len(dispatcher.candidates(0, make_servers())) == 1
+
+    def test_independent_counters_per_video(self):
+        dispatcher = StaticRoundRobinDispatcher(layout_three_videos())
+        servers = make_servers()
+        assert dispatcher.candidates(2, servers) == (0,)
+        assert dispatcher.candidates(0, servers) == (0,)
+        assert dispatcher.candidates(2, servers) == (2,)
+
+    def test_ignores_load(self):
+        dispatcher = StaticRoundRobinDispatcher(layout_three_videos())
+        servers = make_servers()
+        servers[0].admit(0.0, 100.0)  # saturate server 0
+        assert dispatcher.candidates(0, servers) == (0,)  # still picks it
+
+    def test_unplaced_video_empty(self):
+        layout = ReplicaLayout(rate_matrix=np.array([[4.0, 0.0], [0.0, 0.0]]))
+        dispatcher = StaticRoundRobinDispatcher(layout)
+        assert dispatcher.candidates(1, make_servers(2)) == ()
+
+
+class TestLeastLoaded:
+    def test_orders_by_utilization(self):
+        dispatcher = LeastLoadedDispatcher(layout_three_videos())
+        servers = make_servers()
+        servers[0].admit(0.0, 50.0)
+        servers[1].admit(0.0, 20.0)
+        assert dispatcher.candidates(0, servers) == [2, 1, 0]
+
+    def test_only_holders_considered(self):
+        dispatcher = LeastLoadedDispatcher(layout_three_videos())
+        servers = make_servers()
+        servers[1].admit(0.0, 90.0)
+        # v1 only lives on server 1, however loaded.
+        assert dispatcher.candidates(1, servers) == [1]
+
+
+class TestFirstFit:
+    def test_fixed_order(self):
+        dispatcher = FirstFitDispatcher(layout_three_videos())
+        servers = make_servers()
+        assert dispatcher.candidates(0, servers) == [0, 1, 2]
+        assert dispatcher.candidates(0, servers) == [0, 1, 2]
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("static_rr", StaticRoundRobinDispatcher),
+            ("least_loaded", LeastLoadedDispatcher),
+            ("first_fit", FirstFitDispatcher),
+        ],
+    )
+    def test_lookup(self, name, cls):
+        factory = make_dispatcher_factory(name)
+        assert factory is cls
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown dispatcher"):
+            make_dispatcher_factory("nope")

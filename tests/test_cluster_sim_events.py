@@ -1,0 +1,118 @@
+"""Tests for the event queue and streaming-server state."""
+
+import pytest
+
+from repro.cluster_sim.events import EventKind, EventQueue
+from repro.cluster_sim.server import StreamingServer
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        queue.push(3.0, EventKind.ARRIVAL, "c")
+        queue.push(1.0, EventKind.ARRIVAL, "a")
+        queue.push(2.0, EventKind.ARRIVAL, "b")
+        assert [queue.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_departure_before_arrival_at_same_time(self):
+        queue = EventQueue()
+        queue.push(5.0, EventKind.ARRIVAL, "arrival")
+        queue.push(5.0, EventKind.DEPARTURE, "departure")
+        assert queue.pop().payload == "departure"
+        assert queue.pop().payload == "arrival"
+
+    def test_fifo_within_same_time_and_kind(self):
+        queue = EventQueue()
+        for i in range(5):
+            queue.push(1.0, EventKind.ARRIVAL, i)
+        assert [queue.pop().payload for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_pop_until(self):
+        queue = EventQueue()
+        for t in [1.0, 2.0, 3.0, 4.0]:
+            queue.push(t, EventKind.DEPARTURE, t)
+        events = queue.pop_until(2.5)
+        assert [e.payload for e in events] == [1.0, 2.0]
+        assert len(queue) == 2
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+        with pytest.raises(IndexError):
+            EventQueue().peek()
+
+    def test_invalid_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push(float("nan"), EventKind.ARRIVAL)
+        with pytest.raises(ValueError):
+            queue.push(float("inf"), EventKind.ARRIVAL)
+        with pytest.raises(ValueError):
+            queue.push(-1.0, EventKind.ARRIVAL)
+
+    def test_bool_and_len(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(0.0, EventKind.ARRIVAL)
+        assert queue and len(queue) == 1
+
+
+class TestStreamingServer:
+    def test_admit_release_cycle(self):
+        server = StreamingServer(0, 100.0)
+        server.admit(0.0, 40.0)
+        assert server.active_streams == 1
+        assert server.used_mbps == 40.0
+        server.release(10.0, 40.0)
+        assert server.active_streams == 0
+        assert server.used_mbps == 0.0
+
+    def test_can_admit_boundary(self):
+        server = StreamingServer(0, 100.0)
+        for _ in range(25):
+            server.admit(0.0, 4.0)
+        assert not server.can_admit(4.0)
+        assert server.active_streams == 25
+
+    def test_float_accumulation_tolerated(self):
+        # 450 streams of 4 Mb/s must exactly fill 1800 Mb/s.
+        server = StreamingServer(0, 1800.0)
+        for _ in range(450):
+            assert server.can_admit(4.0)
+            server.admit(0.0, 4.0)
+        assert not server.can_admit(4.0)
+
+    def test_over_admission_raises(self):
+        server = StreamingServer(0, 10.0)
+        server.admit(0.0, 10.0)
+        with pytest.raises(RuntimeError, match="over-admitted"):
+            server.admit(0.0, 1.0)
+
+    def test_release_without_stream_raises(self):
+        with pytest.raises(RuntimeError, match="no streams"):
+            StreamingServer(0, 10.0).release(0.0, 1.0)
+
+    def test_time_average_load(self):
+        server = StreamingServer(0, 100.0)
+        server.admit(0.0, 50.0)     # load 50 over [0, 10)
+        server.release(10.0, 50.0)  # load 0 over [10, 20)
+        server.advance(20.0)
+        assert server.time_avg_load_mbps(20.0) == pytest.approx(25.0)
+
+    def test_peak_load_tracked(self):
+        server = StreamingServer(0, 100.0)
+        server.admit(0.0, 30.0)
+        server.admit(1.0, 30.0)
+        server.release(2.0, 30.0)
+        assert server.peak_load_mbps == pytest.approx(60.0)
+
+    def test_time_backwards_rejected(self):
+        server = StreamingServer(0, 100.0)
+        server.advance(5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            server.advance(4.0)
+
+    def test_utilization(self):
+        server = StreamingServer(0, 200.0)
+        server.admit(0.0, 50.0)
+        assert server.utilization == pytest.approx(0.25)

@@ -1,0 +1,330 @@
+"""Tests for the dynamic (online) replication extension."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterSpec, VideoCollection, ZipfPopularity
+from repro.dynamic import (
+    DynamicReplicationController,
+    EwmaPopularityTracker,
+    LognormalDrift,
+    NoDrift,
+    RankSwapDrift,
+    ReleaseChurnDrift,
+    plan_migration,
+    run_epoch_study,
+)
+from repro.placement import smallest_load_first_placement
+from repro.replication import adams_replication, zipf_interval_replication
+
+
+# ----------------------------------------------------------------------
+# Drift models
+# ----------------------------------------------------------------------
+class TestDrift:
+    def probs(self, m=20, theta=0.75):
+        return ZipfPopularity(m, theta).probabilities
+
+    def test_no_drift_identity(self, rng):
+        probs = self.probs()
+        np.testing.assert_array_equal(NoDrift().evolve(probs, rng), probs)
+
+    def test_rank_swap_preserves_multiset(self, rng):
+        probs = self.probs()
+        evolved = RankSwapDrift(10).evolve(probs, rng)
+        np.testing.assert_allclose(np.sort(evolved), np.sort(probs))
+        assert evolved.sum() == pytest.approx(1.0)
+
+    def test_rank_swap_zero_swaps(self, rng):
+        probs = self.probs()
+        np.testing.assert_array_equal(RankSwapDrift(0).evolve(probs, rng), probs)
+
+    def test_release_churn_valid_vector(self, rng):
+        probs = self.probs(50)
+        evolved = ReleaseChurnDrift(5).evolve(probs, rng)
+        assert evolved.sum() == pytest.approx(1.0)
+        assert np.all(evolved > 0)
+
+    def test_release_churn_moves_mass(self, rng):
+        probs = self.probs(100)
+        evolved = ReleaseChurnDrift(10).evolve(probs, rng)
+        assert np.abs(evolved - probs).sum() > 0.01
+
+    def test_lognormal_zero_sigma(self, rng):
+        probs = self.probs()
+        np.testing.assert_array_equal(LognormalDrift(0.0).evolve(probs, rng), probs)
+
+    def test_lognormal_valid_vector(self, rng):
+        evolved = LognormalDrift(0.5).evolve(self.probs(), rng)
+        assert evolved.sum() == pytest.approx(1.0)
+
+    def test_repeated_drift_stays_valid(self, rng):
+        probs = self.probs(30)
+        drift = ReleaseChurnDrift(3)
+        for _ in range(50):
+            probs = drift.evolve(probs, rng)
+            assert probs.sum() == pytest.approx(1.0)
+            assert np.all(probs >= 0)
+
+
+# ----------------------------------------------------------------------
+# Tracker
+# ----------------------------------------------------------------------
+class TestTracker:
+    def test_cold_start_uniform(self):
+        tracker = EwmaPopularityTracker(4)
+        np.testing.assert_allclose(tracker.estimate(), 0.25)
+
+    def test_first_observation_replaces_prior(self):
+        tracker = EwmaPopularityTracker(4, alpha=0.5, smoothing=0.0)
+        estimate = tracker.observe(np.array([10, 10, 0, 0]))
+        np.testing.assert_allclose(estimate, [0.5, 0.5, 0.0, 0.0])
+
+    def test_ewma_blending(self):
+        tracker = EwmaPopularityTracker(2, alpha=0.5, smoothing=0.0)
+        tracker.observe(np.array([10, 0]))   # -> (1.0, 0.0)
+        estimate = tracker.observe(np.array([0, 10]))  # 0.5*(0,1)+0.5*(1,0)
+        np.testing.assert_allclose(estimate, [0.5, 0.5])
+
+    def test_smoothing_keeps_cold_titles_alive(self):
+        tracker = EwmaPopularityTracker(3, smoothing=1.0)
+        estimate = tracker.observe(np.array([100, 0, 0]))
+        assert np.all(estimate > 0)
+
+    def test_converges_to_stationary_truth(self, rng):
+        truth = ZipfPopularity(30, 0.75)
+        tracker = EwmaPopularityTracker(30, alpha=0.3, smoothing=0.5)
+        for _ in range(40):
+            counts = np.bincount(truth.sample(5000, rng), minlength=30)
+            tracker.observe(counts)
+        corr = np.corrcoef(tracker.estimate(), truth.probabilities)[0, 1]
+        assert corr > 0.99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EwmaPopularityTracker(2, alpha=0.0)
+        tracker = EwmaPopularityTracker(2)
+        with pytest.raises(ValueError, match="shape"):
+            tracker.observe(np.array([1, 2, 3]))
+        with pytest.raises(ValueError):
+            tracker.observe(np.array([-1, 2]))
+
+    def test_epochs_counted(self):
+        tracker = EwmaPopularityTracker(2)
+        tracker.observe(np.array([1, 1]))
+        tracker.observe(np.array([1, 1]))
+        assert tracker.epochs_observed == 2
+
+
+# ----------------------------------------------------------------------
+# Migration planning
+# ----------------------------------------------------------------------
+class TestMigration:
+    def setup_layout(self, m=20, n=4, budget=40, capacity=10):
+        probs = ZipfPopularity(m, 0.75).probabilities
+        replication = adams_replication(probs, n, budget)
+        layout = smallest_load_first_placement(replication, capacity)
+        return probs, layout
+
+    def test_identical_target_is_noop(self):
+        probs, layout = self.setup_layout()
+        target = adams_replication(probs, 4, 40)
+        plan = plan_migration(layout, target, 10)
+        assert plan.is_noop
+        np.testing.assert_array_equal(
+            plan.new_layout.presence, layout.presence
+        )
+
+    def test_counts_realized(self, rng):
+        probs, layout = self.setup_layout()
+        # New popularity reverses the ranking.
+        new_probs = probs[::-1].copy()
+        target = adams_replication(new_probs, 4, 40)
+        plan = plan_migration(layout, target, 10)
+        np.testing.assert_array_equal(
+            plan.new_layout.replica_counts, target.replica_counts
+        )
+
+    def test_moves_bounded_by_count_deltas(self):
+        probs, layout = self.setup_layout()
+        new_probs = probs[::-1].copy()
+        target = adams_replication(new_probs, 4, 40)
+        plan = plan_migration(layout, target, 10)
+        grow = np.maximum(
+            target.replica_counts - layout.replica_counts, 0
+        ).sum()
+        # Copies = growth (+ occasional swap repairs, none expected here).
+        assert plan.replicas_copied >= grow
+        assert plan.replicas_copied <= grow + 4
+
+    def test_existing_placements_preserved(self):
+        probs, layout = self.setup_layout()
+        target = adams_replication(probs, 4, 60)  # strictly more replicas
+        plan = plan_migration(layout, target, 15)
+        # Every old replica survives (no removals when counts only grow).
+        assert not plan.removed
+        assert np.all(plan.new_layout.presence >= layout.presence)
+
+    def test_storage_respected(self):
+        probs, layout = self.setup_layout()
+        target = adams_replication(probs[::-1].copy(), 4, 40)
+        plan = plan_migration(layout, target, 10)
+        assert plan.new_layout.server_replica_counts().max() <= 10
+
+    def test_distinct_servers_kept(self):
+        probs, layout = self.setup_layout()
+        target = adams_replication(probs[::-1].copy(), 4, 40)
+        plan = plan_migration(layout, target, 10)
+        counts = plan.new_layout.replica_counts
+        assert counts.max() <= 4
+
+    def test_bytes_moved(self):
+        probs, layout = self.setup_layout()
+        target = adams_replication(probs, 4, 44)
+        plan = plan_migration(layout, target, 11)
+        assert plan.bytes_moved_gb(2.7) == pytest.approx(plan.replicas_copied * 2.7)
+        with pytest.raises(ValueError):
+            plan.bytes_moved_gb(0.0)
+
+    def test_shape_mismatch_rejected(self):
+        probs, layout = self.setup_layout()
+        target = adams_replication(ZipfPopularity(10, 0.5).probabilities, 4, 20)
+        with pytest.raises(ValueError, match="disagree"):
+            plan_migration(layout, target, 10)
+
+    def test_over_capacity_rejected(self):
+        probs, layout = self.setup_layout()
+        target = adams_replication(probs, 4, 80)
+        with pytest.raises(ValueError, match="storage"):
+            plan_migration(layout, target, 10)
+
+    def test_swap_repair_on_tight_storage(self):
+        # Tight capacity with reversed popularity forces at least a valid
+        # plan; swap repair keeps it feasible.
+        probs = ZipfPopularity(12, 1.0).probabilities
+        replication = adams_replication(probs, 3, 18)
+        layout = smallest_load_first_placement(replication, 6)
+        target = adams_replication(probs[::-1].copy(), 3, 18)
+        plan = plan_migration(layout, target, 6)
+        np.testing.assert_array_equal(
+            plan.new_layout.replica_counts, target.replica_counts
+        )
+        assert plan.new_layout.server_replica_counts().max() <= 6
+
+
+# ----------------------------------------------------------------------
+# Controller
+# ----------------------------------------------------------------------
+class TestController:
+    def make_controller(self, move_budget=None):
+        tracker = EwmaPopularityTracker(20, alpha=0.6)
+        return DynamicReplicationController(
+            4, 10, tracker, move_budget=move_budget
+        )
+
+    def test_requires_bootstrap(self):
+        controller = self.make_controller()
+        with pytest.raises(RuntimeError, match="bootstrap"):
+            controller.layout
+        with pytest.raises(RuntimeError, match="bootstrap"):
+            controller.step(np.zeros(20))
+
+    def test_bootstrap_and_step(self):
+        controller = self.make_controller()
+        probs = ZipfPopularity(20, 0.75).probabilities
+        layout = controller.bootstrap(probs)
+        assert layout.total_replicas <= 40
+        plan = controller.step(np.arange(20)[::-1] * 10)
+        assert plan.executed
+        assert controller.layout is plan.new_layout
+
+    def test_adapts_to_inverted_popularity(self):
+        controller = self.make_controller()
+        probs = ZipfPopularity(20, 1.0).probabilities
+        controller.bootstrap(probs)
+        # Feed several epochs where the *last* video dominates.
+        counts = np.zeros(20)
+        counts[-1] = 1000
+        counts[:-1] = 10
+        for _ in range(5):
+            controller.step(counts)
+        assert controller.layout.replica_counts[-1] > controller.layout.replica_counts[0]
+
+    def test_move_budget_skips(self):
+        controller = self.make_controller(move_budget=0)
+        probs = ZipfPopularity(20, 1.0).probabilities
+        controller.bootstrap(probs)
+        before = controller.layout
+        counts = np.zeros(20)
+        counts[-1] = 1000
+        plan = controller.step(counts)
+        if not plan.executed:
+            assert controller.layout is before
+            assert controller.skipped_epochs == 1
+            assert plan.replicas_copied == 0
+            assert plan.proposed_copies > 0
+        else:  # the estimate moved too little to require copies
+            assert plan.replicas_copied == 0
+
+    def test_total_copied_accumulates(self):
+        controller = self.make_controller()
+        probs = ZipfPopularity(20, 1.0).probabilities
+        controller.bootstrap(probs)
+        counts = np.zeros(20)
+        counts[-1] = 1000
+        controller.step(counts)
+        controller.step(counts)
+        assert controller.total_replicas_copied >= 0
+
+
+# ----------------------------------------------------------------------
+# Epoch study (integration)
+# ----------------------------------------------------------------------
+class TestEpochStudy:
+    def test_oracle_never_worse_than_static_under_drift(self):
+        cluster = ClusterSpec.homogeneous(4, storage_gb=40.5, bandwidth_mbps=900.0)
+        videos = VideoCollection.homogeneous(50)
+        records = run_epoch_study(
+            cluster,
+            videos,
+            ZipfPopularity(50, 0.75).probabilities,
+            ReleaseChurnDrift(5),
+            epochs=6,
+            arrival_rate_per_min=9.0,
+            seed=3,
+        )
+        by = lambda s: [r.rejection_rate for r in records if r.strategy == s]
+        # Skip epoch 0 (identical layouts by construction).
+        assert np.mean(by("oracle")[1:]) <= np.mean(by("static")[1:]) + 1e-9
+
+    def test_record_structure(self):
+        cluster = ClusterSpec.homogeneous(2, storage_gb=27.0, bandwidth_mbps=400.0)
+        videos = VideoCollection.homogeneous(20)
+        records = run_epoch_study(
+            cluster,
+            videos,
+            ZipfPopularity(20, 0.75).probabilities,
+            NoDrift(),
+            epochs=2,
+            arrival_rate_per_min=2.0,
+            seed=1,
+        )
+        assert len(records) == 6  # 2 epochs x 3 strategies
+        strategies = {r.strategy for r in records}
+        assert strategies == {"static", "oracle", "tracked"}
+
+    def test_no_drift_all_equivalent(self):
+        cluster = ClusterSpec.homogeneous(4, storage_gb=40.5, bandwidth_mbps=900.0)
+        videos = VideoCollection.homogeneous(50)
+        records = run_epoch_study(
+            cluster,
+            videos,
+            ZipfPopularity(50, 0.75).probabilities,
+            NoDrift(),
+            epochs=4,
+            arrival_rate_per_min=9.0,
+            seed=2,
+        )
+        static = np.mean([r.rejection_rate for r in records if r.strategy == "static"])
+        oracle = np.mean([r.rejection_rate for r in records if r.strategy == "oracle"])
+        assert abs(static - oracle) < 0.02

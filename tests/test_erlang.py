@@ -1,0 +1,110 @@
+"""Tests for the Erlang loss models and their simulator agreement."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterSpec, UniformPopularity, VideoCollection
+from repro.analysis.erlang import (
+    cluster_blocking_bound,
+    erlang_b,
+    offered_load_erlangs,
+    partitioned_blocking,
+)
+from repro.cluster_sim import LeastLoadedDispatcher, VoDClusterSimulator
+from repro.model.layout import ReplicaLayout
+from repro.workload import WorkloadGenerator
+
+
+class TestErlangB:
+    @pytest.mark.parametrize(
+        "load,servers,expected",
+        [
+            # Textbook reference values.
+            (5.0, 5, 0.2849),
+            (10.0, 10, 0.2146),
+            (2.0, 4, 0.0952),
+            (1.0, 1, 0.5),
+            (20.0, 30, 0.0085),
+        ],
+    )
+    def test_reference_values(self, load, servers, expected):
+        assert erlang_b(load, servers) == pytest.approx(expected, abs=2e-4)
+
+    def test_zero_load(self):
+        assert erlang_b(0.0, 10) == 0.0
+
+    def test_zero_servers_blocks_everything(self):
+        assert erlang_b(3.0, 0) == 1.0
+
+    def test_monotone_in_load(self):
+        values = [erlang_b(a, 20) for a in np.linspace(1, 40, 15)]
+        assert all(x <= y + 1e-15 for x, y in zip(values, values[1:]))
+
+    def test_monotone_decreasing_in_servers(self):
+        values = [erlang_b(10.0, c) for c in range(1, 30)]
+        assert all(x >= y - 1e-15 for x, y in zip(values, values[1:]))
+
+    def test_large_system_stable(self):
+        # The recurrence must not overflow at paper scale (3600 slots).
+        value = erlang_b(3600.0, 3600)
+        assert 0.0 < value < 0.05
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            erlang_b(-1.0, 5)
+
+
+class TestBounds:
+    def test_offered_load(self):
+        assert offered_load_erlangs(40.0, 90.0) == pytest.approx(3600.0)
+
+    def test_cluster_bound(self):
+        bound = cluster_blocking_bound(40.0, 90.0, 3600)
+        assert bound == pytest.approx(erlang_b(3600.0, 3600))
+
+    def test_partitioned_worse_than_pooled(self):
+        shares = np.full(8, 0.125)
+        pooled = cluster_blocking_bound(40.0, 90.0, 3600)
+        split = partitioned_blocking(40.0, 90.0, 450, shares)
+        assert split >= pooled - 1e-12
+
+    def test_partitioned_skewed_worse_than_uniform(self):
+        uniform = partitioned_blocking(40.0, 90.0, 450, np.full(8, 0.125))
+        skewed_shares = np.array([0.4, 0.2, 0.1, 0.1, 0.05, 0.05, 0.05, 0.05])
+        skewed = partitioned_blocking(40.0, 90.0, 450, skewed_shares)
+        assert skewed > uniform
+
+
+class TestSimulatorAgreement:
+    """The discrete-event simulator must agree with Erlang-B where the
+    model applies: full replication + dynamic dispatch = pooled system."""
+
+    def test_steady_state_blocking_matches(self, rng):
+        # 2 servers x 10 slots, exponential-ish: use many short videos so
+        # the 10x-duration horizon reaches steady state.
+        servers, slots = 2, 10
+        cluster = ClusterSpec.homogeneous(
+            servers, storage_gb=100.0, bandwidth_mbps=slots * 4.0
+        )
+        videos = VideoCollection.homogeneous(5, duration_min=10.0)
+        layout = ReplicaLayout.from_assignment(
+            [[0, 1]] * 5, servers
+        )  # full replication
+        simulator = VoDClusterSimulator(
+            cluster, videos, layout, dispatcher_factory=LeastLoadedDispatcher
+        )
+        rate = 2.2  # offered load = 22 Erlangs on 20 slots
+        generator = WorkloadGenerator.poisson_zipf(UniformPopularity(5), rate)
+        horizon = 600.0
+        rejections = []
+        for trace in generator.generate_runs(horizon, 12, 77):
+            # Skip the fill-up transient: measure arrivals after t=100.
+            warm = trace.window(100.0, horizon)
+            result = simulator.run(trace, horizon_min=horizon)
+            del warm  # rejection measured over all arrivals below
+            rejections.append(result.rejection_rate)
+        measured = float(np.mean(rejections))
+        expected = erlang_b(rate * 10.0, servers * slots)
+        # The transient start lowers measured blocking slightly; allow a
+        # generous but directional band.
+        assert measured == pytest.approx(expected, abs=0.05)

@@ -1,0 +1,133 @@
+"""Smoke + claim tests for the extension experiments (E8, E10, E11)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments import PaperSetup
+from repro.experiments.ablations import run_watch_time
+from repro.experiments.availability import format_availability, run_availability
+from repro.experiments.dynamic_experiment import (
+    format_dynamic_study,
+    run_dynamic_study,
+)
+from repro.experiments.striping_comparison import (
+    format_striping,
+    run_load_sweep,
+    run_scale_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny() -> PaperSetup:
+    setup = PaperSetup().scaled_down(num_videos=40, num_servers=4, num_runs=2)
+    return dataclasses.replace(
+        setup,
+        replication_degrees=(1.0, 1.5),
+        arrival_rates_per_min=(10.0, 17.5, 20.0),
+    )
+
+
+class TestAvailabilityExperiment:
+    def test_rows_and_claims(self, tiny):
+        rows = run_availability(tiny, arrival_rate_per_min=10.0, num_runs=2)
+        systems = {r["system"] for r in rows}
+        assert "striped (0% overhead)" in systems
+        # 2 degrees x 2 failover modes + striping row.
+        assert len(rows) == 5
+        striped = next(r for r in rows if r["system"].startswith("striped"))
+        replicated = [r for r in rows if not r["system"].startswith("striped")]
+        assert striped["streams_dropped"] >= max(
+            r["streams_dropped"] for r in replicated
+        )
+
+    def test_failover_never_hurts(self, tiny):
+        rows = run_availability(tiny, arrival_rate_per_min=10.0, num_runs=2)
+        by_degree: dict[str, dict[bool, float]] = {}
+        for row in rows:
+            if row["system"].startswith("replicated"):
+                by_degree.setdefault(row["system"], {})[row["failover"]] = row[
+                    "rejection"
+                ]
+            # failover with a single replica cannot help but must not hurt
+        for system, modes in by_degree.items():
+            assert modes[True] <= modes[False] + 1e-9, system
+
+    def test_format(self, tiny):
+        text = format_availability(
+            run_availability(tiny, arrival_rate_per_min=10.0, num_runs=1)
+        )
+        assert "E8 availability" in text
+
+
+class TestStripingExperiment:
+    def test_load_sweep_structure(self, tiny):
+        results = run_load_sweep(tiny, overheads=(0.0, 0.05), num_runs=2)
+        assert "striped 0%/srv" in results["curves"]
+        assert "striped 5%/srv" in results["curves"]
+        for curve in results["curves"].values():
+            assert len(curve) == 3
+
+    def test_ideal_striping_dominates_at_load(self, tiny):
+        results = run_load_sweep(tiny, overheads=(0.0,), num_runs=2)
+        repl = results["curves"]["replicated deg=1.2"]
+        ideal = results["curves"]["striped 0%/srv"]
+        assert sum(ideal) <= sum(repl) + 1e-9
+
+    def test_scale_sweep(self, tiny):
+        results = run_scale_sweep(
+            tiny, cluster_sizes=(4, 8), overhead=0.02, num_runs=2
+        )
+        assert len(results["curves"]["striped"]) == 2
+        assert results["curves"]["striped"][-1] >= results["curves"]["replicated"][-1] - 1e-9
+
+    def test_format(self, tiny):
+        text = format_striping(
+            run_load_sweep(tiny, overheads=(0.0,), num_runs=1),
+            run_scale_sweep(tiny, cluster_sizes=(4,), num_runs=1),
+        )
+        assert "E10.1" in text and "E10.2" in text
+
+
+class TestDynamicExperiment:
+    def test_structure(self, tiny):
+        results = run_dynamic_study(tiny, epochs=3)
+        assert set(results["curves"]) == {"static", "tracked", "oracle"}
+        for curve in results["curves"].values():
+            assert len(curve) == 3
+        assert results["replicas_copied"]["static"] == 0
+        assert results["replicas_copied"]["oracle"] == 0
+
+    def test_adaptation_helps_under_drift(self, tiny):
+        results = run_dynamic_study(tiny, epochs=6, arrival_fraction=0.9)
+        static = np.mean(results["curves"]["static"][1:])
+        oracle = np.mean(results["curves"]["oracle"][1:])
+        assert oracle <= static + 1e-9
+
+    def test_format(self, tiny):
+        text = format_dynamic_study(run_dynamic_study(tiny, epochs=2))
+        assert "E11 dynamic replication" in text
+        assert "GB migrated" in text
+
+
+class TestPatienceAblation:
+    def test_patience_never_hurts(self, tiny):
+        from repro.experiments.ablations import run_patience
+
+        results = run_patience(tiny, patiences_min=(0.0, 3.0), num_runs=2)
+        none = sum(results["curves"]["patience=0min"])
+        some = sum(results["curves"]["patience=3min"])
+        assert some <= none + 1e-9
+
+
+class TestWatchTimeAblation:
+    def test_shorter_sessions_reject_less(self, tiny):
+        results = run_watch_time(tiny, num_runs=2)
+        full = sum(results["curves"]["full watch (paper)"])
+        exp = sum(results["curves"]["exp sessions (mean 50%)"])
+        assert exp <= full + 1e-9
+
+    def test_structure(self, tiny):
+        results = run_watch_time(tiny, num_runs=1)
+        assert len(results["curves"]) == 3

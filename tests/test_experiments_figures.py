@@ -1,0 +1,180 @@
+"""Smoke + structure tests for the figure pipelines on tiny instances."""
+
+import pytest
+
+from repro.experiments import PaperSetup
+from repro.experiments.ablations import (
+    format_ablations,
+    run_dispatch_ablation,
+    run_metric_ablation,
+    run_misprediction,
+    run_redirection,
+    run_theta_sweep,
+)
+from repro.experiments.adams_vs_zipf import format_report, run_quality, run_timing
+from repro.experiments.fig4 import format_fig4, run_fig4
+from repro.experiments.fig5 import format_fig5, run_fig5
+from repro.experiments.fig6 import format_fig6, run_fig6
+from repro.experiments.sa_experiment import format_sa_report, run_sa_experiment
+
+
+@pytest.fixture(scope="module")
+def tiny() -> PaperSetup:
+    """A very small instance so every pipeline runs in seconds."""
+    setup = PaperSetup().scaled_down(num_videos=30, num_servers=4, num_runs=2)
+    import dataclasses
+
+    return dataclasses.replace(
+        setup,
+        replication_degrees=(1.0, 1.5),
+        arrival_rates_per_min=(10.0, 20.0, 25.0),
+    )
+
+
+class TestFig4:
+    def test_structure_and_format(self, tiny):
+        results = run_fig4(tiny)
+        assert set(results["subplots"]) == {"a", "b", "c", "d"}
+        for subplot in results["subplots"].values():
+            assert set(subplot["curves"]) == {1.0, 1.5}
+            for curve in subplot["curves"].values():
+                assert len(curve) == 3
+        report = format_fig4(results)
+        assert "Figure 4(a)" in report and "deg=1.5" in report
+
+    def test_rejection_in_unit_interval(self, tiny):
+        results = run_fig4(tiny)
+        for subplot in results["subplots"].values():
+            for curve in subplot["curves"].values():
+                assert all(0.0 <= v <= 1.0 for v in curve)
+
+
+class TestFig5:
+    def test_structure_and_format(self, tiny):
+        results = run_fig5(tiny)
+        for subplot in results["subplots"].values():
+            assert set(subplot["curves"]) == {
+                "zipf+slf",
+                "zipf+rr",
+                "class+slf",
+                "class+rr",
+            }
+        assert "Figure 5(b)" in format_fig5(results)
+
+    def test_uses_degrees_12_and_16(self, tiny):
+        results = run_fig5(tiny)
+        degrees = {s["degree"] for s in results["subplots"].values()}
+        assert degrees == {1.2, 1.6}
+
+
+class TestFig6:
+    def test_structure_and_format(self, tiny):
+        results = run_fig6(tiny)
+        assert set(results["subplots"]) == {"a", "b"}
+        for subplot in results["subplots"].values():
+            for curve in subplot["curves"].values():
+                assert len(curve) == 3
+                assert all(v >= 0 for v in curve)
+        assert "load imbalance" in format_fig6(results)
+
+
+class TestAdamsVsZipf:
+    def test_quality_rows(self, tiny):
+        rows = run_quality(tiny, num_runs=2)
+        assert [r["degree"] for r in rows] == [1.0, 1.5]
+        for row in rows:
+            assert row["adams_max_w"] == pytest.approx(row["optimal_max_w"], rel=1e-9)
+            assert row["zipf_max_w"] >= row["optimal_max_w"] - 1e-15
+
+    def test_timing_rows(self):
+        rows = run_timing(sizes=(100, 500), repeats=1)
+        assert [r["M"] for r in rows] == [100, 500]
+        assert all(r["adams_sec"] > 0 and r["zipf_sec"] > 0 for r in rows)
+
+    def test_format(self, tiny):
+        report = format_report(run_quality(tiny, num_runs=1), run_timing(sizes=(100,), repeats=1))
+        assert "E4 quality" in report and "E4 timing" in report
+
+
+class TestSAExperiment:
+    def test_weight_sensitivity_steers_solution(self, tiny):
+        from repro.experiments.sa_experiment import (
+            format_weight_sensitivity,
+            run_weight_sensitivity,
+        )
+
+        rows = run_weight_sensitivity(
+            tiny,
+            degree=1.5,
+            weights=((0.25, 1.0), (4.0, 1.0)),
+            steps_per_level=60,
+            max_levels=25,
+        )
+        low_alpha, high_alpha = rows
+        # Rewarding replicas buys replication degree.
+        assert high_alpha["degree"] > low_alpha["degree"]
+        text = format_weight_sensitivity(rows)
+        assert "E5b" in text
+
+    def test_run_and_format(self, tiny):
+        results = run_sa_experiment(
+            tiny,
+            degree=1.5,
+            num_chains=2,
+            steps_per_level=40,
+            max_levels=20,
+            num_runs=2,
+        )
+        assert results["best_objective"] > results["initial_objective"]
+        assert "sa" in results["solutions"]
+        assert any(k.startswith("fixed@") for k in results["solutions"])
+        report = format_sa_report(results)
+        assert "E5 simulated annealing" in report
+        assert "objective trajectory" in report
+
+
+class TestAblations:
+    def test_dispatch(self, tiny):
+        results = run_dispatch_ablation(tiny, num_runs=2)
+        assert "zipf+slf/static_rr" in results["curves"]
+        assert "zipf+slf/least_loaded" in results["curves"]
+
+    def test_dynamic_dispatch_no_worse(self, tiny):
+        results = run_dispatch_ablation(tiny, num_runs=2)
+        static = results["curves"]["zipf+slf/static_rr"]
+        dynamic = results["curves"]["zipf+slf/least_loaded"]
+        assert sum(dynamic) <= sum(static) + 1e-9
+
+    def test_metric(self, tiny):
+        rows = run_metric_ablation(tiny, num_runs=2)
+        for row in rows:
+            # Eq. 3 (std) never exceeds Eq. 2 (max deviation).
+            assert row["L_std_pct"] <= row["L_max_pct"] + 1e-9
+
+    def test_theta_sweep(self, tiny):
+        results = run_theta_sweep(tiny, thetas=(0.3, 0.9), num_runs=2)
+        assert len(results["curves"]["zipf+slf"]) == 2
+
+    def test_misprediction_degrades(self, tiny):
+        rows = run_misprediction(tiny, noises=(0.0, 2.0), num_runs=2)
+        assert rows[0]["noise"] == 0.0
+        assert rows[-1]["rejection"] >= rows[0]["rejection"]
+
+    def test_redirection_helps(self, tiny):
+        results = run_redirection(
+            tiny, backbones_mbps=(0.0, 3600.0), num_runs=2
+        )
+        none = results["curves"]["backbone=0"]
+        big = results["curves"]["backbone=3600"]
+        assert sum(big) <= sum(none) + 1e-9
+
+    def test_format(self, tiny):
+        report = format_ablations(
+            run_dispatch_ablation(tiny, num_runs=1),
+            run_metric_ablation(tiny, num_runs=1),
+            run_theta_sweep(tiny, thetas=(0.5,), num_runs=1),
+            run_misprediction(tiny, noises=(0.0,), num_runs=1),
+            run_redirection(tiny, backbones_mbps=(0.0,), num_runs=1),
+        )
+        for marker in ["E7.1", "E7.2", "E7.3", "E7.4", "E7.5"]:
+            assert marker in report

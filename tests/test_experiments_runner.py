@@ -1,0 +1,126 @@
+"""Tests for the experiment runner and figure modules (scaled down).
+
+These are integration tests: they run the actual experiment pipelines on a
+reduced instance (50 videos, 4 servers, 2-3 runs) and check the *paper's
+qualitative claims* rather than absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PAPER_COMBOS,
+    AlgorithmCombo,
+    PaperSetup,
+    build_layout,
+    rejection_summary,
+    simulate_combo,
+)
+from repro.experiments.runner import ADAMS_SLF, rejection_curve
+
+
+@pytest.fixture(scope="module")
+def small_setup() -> PaperSetup:
+    return PaperSetup().scaled_down(num_videos=50, num_servers=4, num_runs=3)
+
+
+class TestBuildLayout:
+    def test_layout_feasible(self, small_setup):
+        for combo in PAPER_COMBOS:
+            layout = build_layout(small_setup, combo, 0.75, 1.2)
+            layout.validate(small_setup.cluster(1.2), small_setup.videos())
+
+    def test_degree_realized(self, small_setup):
+        layout = build_layout(small_setup, PAPER_COMBOS[0], 0.75, 1.6)
+        assert layout.replication_degree == pytest.approx(1.6, abs=0.1)
+
+    def test_adams_combo(self, small_setup):
+        layout = build_layout(small_setup, ADAMS_SLF, 0.75, 1.2)
+        assert layout.replication_degree == pytest.approx(1.2, abs=0.01)
+
+
+class TestSimulateCombo:
+    def test_paired_seeds_identical_traffic(self, small_setup):
+        """Different combos must see identical request traces."""
+        a = simulate_combo(small_setup, PAPER_COMBOS[0], 0.75, 1.2, 10.0)
+        b = simulate_combo(small_setup, PAPER_COMBOS[3], 0.75, 1.2, 10.0)
+        for ra, rb in zip(a, b):
+            assert ra.num_requests == rb.num_requests
+            np.testing.assert_array_equal(
+                ra.per_video_requests, rb.per_video_requests
+            )
+
+    def test_run_count(self, small_setup):
+        results = simulate_combo(
+            small_setup, PAPER_COMBOS[0], 0.75, 1.2, 10.0, num_runs=2
+        )
+        assert len(results) == 2
+
+    def test_no_rejection_far_below_capacity(self, small_setup):
+        results = simulate_combo(small_setup, PAPER_COMBOS[0], 0.75, 1.6, 5.0)
+        assert rejection_summary(results).mean == 0.0
+
+    def test_overload_rejects(self, small_setup):
+        saturation = small_setup.saturation_rate_per_min
+        results = simulate_combo(
+            small_setup, PAPER_COMBOS[0], 0.75, 1.6, 1.3 * saturation
+        )
+        assert rejection_summary(results).mean > 0.1
+
+
+class TestPaperClaims:
+    """The qualitative findings of Sec. 5 on the scaled-down instance."""
+
+    def test_replication_reduces_rejection(self, small_setup):
+        """Fig. 4: higher replication degree -> lower rejection (at load)."""
+        saturation = small_setup.saturation_rate_per_min
+        combo = PAPER_COMBOS[0]
+        rej_1 = rejection_summary(
+            simulate_combo(small_setup, combo, 0.75, 1.0, saturation)
+        ).mean
+        rej_16 = rejection_summary(
+            simulate_combo(small_setup, combo, 0.75, 1.6, saturation)
+        ).mean
+        assert rej_16 < rej_1
+
+    def test_zipf_slf_beats_class_rr(self, small_setup):
+        """Fig. 5: zipf+slf <= class+rr at the same design point."""
+        saturation = small_setup.saturation_rate_per_min
+        rej_best = rejection_summary(
+            simulate_combo(small_setup, PAPER_COMBOS[0], 0.75, 1.2, saturation)
+        ).mean
+        rej_base = rejection_summary(
+            simulate_combo(small_setup, PAPER_COMBOS[3], 0.75, 1.2, saturation)
+        ).mean
+        assert rej_best <= rej_base
+
+    def test_imbalance_ranking(self, small_setup):
+        """Fig. 6: class+rr imbalance exceeds zipf+slf at moderate load."""
+        rate = 0.75 * small_setup.saturation_rate_per_min
+        best = simulate_combo(small_setup, PAPER_COMBOS[0], 0.75, 1.2, rate)
+        base = simulate_combo(small_setup, PAPER_COMBOS[3], 0.75, 1.2, rate)
+        l_best = np.mean([r.load_imbalance_percent() for r in best])
+        l_base = np.mean([r.load_imbalance_percent() for r in base])
+        assert l_best < l_base
+
+    def test_rejection_curve_monotone_in_lambda(self, small_setup):
+        curve = rejection_curve(
+            small_setup, PAPER_COMBOS[0], 0.75, 1.2, num_runs=2
+        )
+        # Allow small noise but require an overall increasing trend.
+        assert curve[-1] > curve[0]
+        assert np.all(np.diff(curve) >= -0.02)
+
+
+class TestAlgorithmCombo:
+    def test_labels(self):
+        assert [c.label for c in PAPER_COMBOS] == [
+            "zipf+slf",
+            "zipf+rr",
+            "class+slf",
+            "class+rr",
+        ]
+
+    def test_str(self):
+        assert str(PAPER_COMBOS[0]) == "zipf+slf"
+        assert isinstance(PAPER_COMBOS[0], AlgorithmCombo)

@@ -1,0 +1,125 @@
+"""End-to-end integration tests: the full pipeline at paper scale.
+
+One test walks the complete production path — popularity model ->
+replication -> placement -> refinement -> simulation -> aggregation ->
+formatted report — asserting cross-module consistency at every hand-off.
+A second test drives the diurnal (trapezoidal) arrival profile through the
+same system, checking the conservative peak-sized plan against a realistic
+ramp.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ClusterSpec, VideoCollection, ZipfPopularity
+from repro.analysis import (
+    aggregate_imbalance_percent,
+    aggregate_rejection_rate,
+    ascii_chart,
+    cluster_blocking_bound,
+    format_series,
+)
+from repro.cluster_sim import VoDClusterSimulator
+from repro.placement import (
+    refine_placement,
+    slf_imbalance_bound,
+    smallest_load_first_placement,
+    theorem2_holds,
+)
+from repro.replication import zipf_interval_replication
+from repro.workload import WorkloadGenerator, peak_profile
+
+
+class TestFullPipeline:
+    def test_paper_scale_pipeline(self):
+        # --- design inputs (the paper's setup, degree 1.2) -------------
+        num_servers, num_videos = 8, 200
+        popularity = ZipfPopularity(num_videos, 0.75)
+        cluster = ClusterSpec.homogeneous(
+            num_servers, storage_gb=81.0, bandwidth_mbps=1800.0
+        )
+        videos = VideoCollection.homogeneous(num_videos)
+        capacity = cluster.storage_capacity_replicas(videos[0].storage_gb)
+        assert capacity == 30
+
+        # --- replication ------------------------------------------------
+        replication = zipf_interval_replication(
+            popularity.probabilities, num_servers, num_servers * capacity
+        )
+        assert replication.total_replicas <= num_servers * capacity
+        assert replication.replica_counts.min() >= 1
+
+        # --- placement + refinement -------------------------------------
+        layout = smallest_load_first_placement(replication, capacity)
+        assert theorem2_holds(layout, replication)
+        refined = refine_placement(layout, popularity.probabilities, capacity)
+        layout = refined.layout
+        assert refined.final_imbalance <= slf_imbalance_bound(replication) + 1e-12
+        layout.validate(cluster, videos)
+
+        # --- simulation (paired traces across arrival rates) ------------
+        simulator = VoDClusterSimulator(cluster, videos, layout)
+        rates = [30.0, 40.0, 45.0]
+        curves: dict[str, list[float]] = {"rejection": [], "L_pct": []}
+        for rate in rates:
+            generator = WorkloadGenerator.poisson_zipf(popularity, rate)
+            results = [
+                simulator.run(trace, horizon_min=90.0)
+                for trace in generator.generate_runs(90.0, 5, seed=99)
+            ]
+            rejection = aggregate_rejection_rate(results)
+            imbalance = aggregate_imbalance_percent(results)
+            curves["rejection"].append(rejection.mean)
+            curves["L_pct"].append(imbalance.mean)
+            # Conservation at every point.
+            for result in results:
+                assert result.num_served + result.num_rejected == result.num_requests
+
+        # Monotone rejection; nothing rejected at 75% load; blocked at 112%.
+        assert curves["rejection"][0] == 0.0
+        assert curves["rejection"][-1] > 0.05
+        assert curves["rejection"] == sorted(curves["rejection"])
+        # No policy beats the pooled Erlang bound.
+        bound = cluster_blocking_bound(45.0, 90.0, cluster.stream_capacity(4.0))
+        assert curves["rejection"][-1] >= bound - 0.02
+
+        # --- reporting ----------------------------------------------------
+        table = format_series("lambda", rates, curves)
+        assert "lambda" in table and len(table.splitlines()) == 5
+        chart = ascii_chart(rates, curves, title="pipeline")
+        assert "o=rejection" in chart
+
+    def test_diurnal_profile_within_peak_plan(self):
+        """A trapezoidal evening ramp never exceeds the peak-sized plan."""
+        num_servers, num_videos = 4, 60
+        popularity = ZipfPopularity(num_videos, 0.75)
+        cluster = ClusterSpec.homogeneous(
+            num_servers, storage_gb=48.6, bandwidth_mbps=900.0
+        )
+        videos = VideoCollection.homogeneous(num_videos)
+        capacity = cluster.storage_capacity_replicas(videos[0].storage_gb)
+        replication = zipf_interval_replication(
+            popularity.probabilities, num_servers, num_servers * capacity
+        )
+        layout = smallest_load_first_placement(replication, capacity)
+        simulator = VoDClusterSimulator(cluster, videos, layout)
+
+        # Saturation: 900 concurrent streams / 90 min = 10 req/min.
+        # Evening ramp: base 1/min, peak 9/min (90% of saturation).
+        arrivals = peak_profile(
+            1.0, 9.0,
+            ramp_start_min=60.0, peak_start_min=120.0,
+            peak_end_min=210.0, ramp_end_min=270.0,
+        )
+        generator = WorkloadGenerator(popularity, arrivals)
+        rng = np.random.default_rng(5)
+        trace = generator.generate(330.0, rng)
+        assert trace.num_requests > 0
+        # The ramp concentrates arrivals in the peak window.
+        peak_window = trace.window(120.0, 210.0)
+        assert peak_window.mean_rate_per_min() > 3 * trace.window(0.0, 60.0).mean_rate_per_min()
+
+        result = simulator.run(trace, horizon_min=330.0)
+        # Provisioned for the peak: the whole day stays almost loss-free.
+        assert result.rejection_rate < 0.05
+        assert np.all(result.server_peak_load_mbps <= 900.0 + 1e-6)

@@ -1,0 +1,67 @@
+"""Tests for server and cluster specifications."""
+
+import numpy as np
+import pytest
+
+from repro.model.cluster import ClusterSpec, ServerSpec
+
+
+class TestServerSpec:
+    def test_stream_capacity(self):
+        server = ServerSpec(storage_gb=108.0, bandwidth_mbps=1800.0)
+        assert server.stream_capacity(4.0) == 450
+
+    def test_stream_capacity_floor(self):
+        server = ServerSpec(storage_gb=10.0, bandwidth_mbps=10.0)
+        assert server.stream_capacity(3.0) == 3
+
+    def test_storage_replicas_paper(self):
+        # 67.5 GB at 2.7 GB/replica -> 25 replicas (degree 1.0 on 200 videos).
+        assert ServerSpec(67.5, 1800.0).storage_replicas(2.7) == 25
+        assert ServerSpec(135.0, 1800.0).storage_replicas(2.7) == 50
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ServerSpec(0.0, 10.0)
+        with pytest.raises(ValueError):
+            ServerSpec(10.0, 0.0)
+
+
+class TestClusterSpec:
+    def test_homogeneous_paper_cluster(self, paper_cluster):
+        assert paper_cluster.num_servers == 8
+        assert paper_cluster.is_homogeneous
+        assert paper_cluster.total_bandwidth_mbps == pytest.approx(14400.0)
+        assert paper_cluster.stream_capacity(4.0) == 3600
+
+    def test_saturation_rate_is_40_per_min(self, paper_cluster):
+        # The paper's peak arrival rate: 3600 streams / 90 min.
+        assert paper_cluster.saturation_arrival_rate_per_min(4.0, 90.0) == pytest.approx(40.0)
+
+    def test_replica_budget(self, paper_cluster):
+        # 108 GB / 2.7 GB = 40 replicas/server -> 320 total (degree 1.6).
+        assert paper_cluster.storage_capacity_replicas(2.7) == 40
+        assert paper_cluster.replica_budget(2.7) == 320
+
+    def test_heterogeneous_detection(self):
+        cluster = ClusterSpec(
+            [ServerSpec(100.0, 1000.0), ServerSpec(200.0, 2000.0)]
+        )
+        assert not cluster.is_homogeneous
+        with pytest.raises(ValueError, match="homogeneous"):
+            cluster.require_homogeneous()
+
+    def test_sequence_protocol(self, paper_cluster):
+        assert len(paper_cluster) == 8
+        assert isinstance(paper_cluster[0], ServerSpec)
+        sub = paper_cluster[:2]
+        assert isinstance(sub, ClusterSpec)
+        assert sub.num_servers == 2
+
+    def test_arrays(self, paper_cluster):
+        np.testing.assert_allclose(paper_cluster.bandwidth_mbps, 1800.0)
+        np.testing.assert_allclose(paper_cluster.storage_gb, 108.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ClusterSpec([])

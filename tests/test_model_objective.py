@@ -1,0 +1,129 @@
+"""Tests for the objective function and imbalance metrics (Eq. 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro.model.objective import (
+    ImbalanceMetric,
+    ObjectiveWeights,
+    communication_weights,
+    load_imbalance,
+    objective_value,
+)
+
+
+class TestLoadImbalance:
+    def test_balanced_is_zero(self):
+        assert load_imbalance(np.array([5.0, 5.0, 5.0])) == 0.0
+
+    def test_max_deviation(self):
+        # loads 2, 4, 9 -> mean 5 -> deviations 3, 1, 4 -> L = 4 (Eq. 2).
+        assert load_imbalance(np.array([2.0, 4.0, 9.0])) == pytest.approx(4.0)
+
+    def test_std_deviation(self):
+        loads = np.array([2.0, 4.0, 9.0])
+        expected = np.sqrt(((loads - loads.mean()) ** 2).mean())
+        value = load_imbalance(loads, ImbalanceMetric.STD_DEVIATION)
+        assert value == pytest.approx(expected)
+
+    def test_relative(self):
+        assert load_imbalance(np.array([2.0, 4.0, 9.0]), relative=True) == pytest.approx(4.0 / 5.0)
+
+    def test_relative_zero_mean(self):
+        assert load_imbalance(np.array([0.0, 0.0]), relative=True) == 0.0
+
+    def test_max_at_least_std(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            loads = rng.random(8)
+            assert load_imbalance(loads) >= load_imbalance(
+                loads, ImbalanceMetric.STD_DEVIATION
+            ) - 1e-12
+
+    def test_single_server_zero(self):
+        assert load_imbalance(np.array([3.0])) == 0.0
+
+
+class TestCommunicationWeights:
+    def test_basic(self):
+        weights = communication_weights(
+            np.array([0.6, 0.4]), np.array([3, 1])
+        )
+        np.testing.assert_allclose(weights, [0.2, 0.4])
+
+    def test_zero_replicas_zero_weight(self):
+        weights = communication_weights(np.array([0.6, 0.4]), np.array([2, 0]))
+        np.testing.assert_allclose(weights, [0.3, 0.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            communication_weights(np.array([1.0]), np.array([1, 1]))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            communication_weights(np.array([0.5, 0.5]), np.array([1, -1]))
+
+
+class TestObjectiveWeights:
+    def test_defaults(self):
+        weights = ObjectiveWeights()
+        assert weights.alpha == 1.0 and weights.beta == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ObjectiveWeights(alpha=-1.0)
+
+
+class TestObjectiveValue:
+    def test_normalized_perfect_solution(self):
+        # Max rate everywhere, N replicas each, balanced loads -> 1 + alpha.
+        value = objective_value(
+            np.full(4, 6.0),
+            np.full(4, 8),
+            np.full(8, 10.0),
+            num_servers=8,
+            max_bit_rate_mbps=6.0,
+        )
+        assert value == pytest.approx(2.0)
+
+    def test_unnormalized_matches_eq1(self):
+        value = objective_value(
+            np.array([4.0, 2.0]),
+            np.array([2, 1]),
+            np.array([3.0, 5.0]),
+            weights=ObjectiveWeights(alpha=0.5, beta=2.0),
+            normalized=False,
+        )
+        # mean rate 3 + 0.5 * mean replicas 1.5 - 2 * L(=1) = 1.75
+        assert value == pytest.approx(1.75)
+
+    def test_normalized_requires_constants(self):
+        with pytest.raises(ValueError, match="requires"):
+            objective_value(
+                np.array([4.0]), np.array([1]), np.array([1.0, 1.0])
+            )
+
+    def test_imbalance_penalizes(self):
+        balanced = objective_value(
+            np.array([4.0]), np.array([1]), np.array([5.0, 5.0]),
+            num_servers=2, max_bit_rate_mbps=4.0,
+        )
+        skewed = objective_value(
+            np.array([4.0]), np.array([1]), np.array([10.0, 0.0]),
+            num_servers=2, max_bit_rate_mbps=4.0,
+        )
+        assert balanced > skewed
+
+    def test_metric_choice_matters(self):
+        loads = np.array([2.0, 4.0, 9.0])
+        v_max = objective_value(
+            np.array([4.0]), np.array([1]), loads,
+            num_servers=3, max_bit_rate_mbps=4.0,
+            metric=ImbalanceMetric.MAX_DEVIATION,
+        )
+        v_std = objective_value(
+            np.array([4.0]), np.array([1]), loads,
+            num_servers=3, max_bit_rate_mbps=4.0,
+            metric=ImbalanceMetric.STD_DEVIATION,
+        )
+        assert v_std > v_max  # std <= max deviation

@@ -1,0 +1,94 @@
+"""Tests for the ReplicationProblem bundle."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterSpec, VideoCollection, ZipfPopularity
+from repro.model import ReplicationProblem
+from repro.placement import smallest_load_first_placement
+from repro.replication import adams_replication
+
+
+class TestPaperProblem:
+    def test_paper_constants(self, paper_problem):
+        assert paper_problem.num_servers == 8
+        assert paper_problem.num_videos == 200
+        assert paper_problem.fixed_bit_rate_mbps() == 4.0
+        assert paper_problem.replica_storage_gb() == pytest.approx(2.7)
+        assert paper_problem.storage_capacity_replicas() == 40
+        assert paper_problem.replica_budget() == 320
+        assert paper_problem.max_replication_degree() == pytest.approx(1.6)
+        assert paper_problem.saturation_arrival_rate_per_min() == pytest.approx(40.0)
+        assert paper_problem.requests_per_peak == pytest.approx(3600.0)
+
+    def test_probabilities_view(self, paper_problem):
+        assert paper_problem.probabilities.sum() == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_popularity_size_mismatch(self, paper_cluster, paper_videos):
+        with pytest.raises(ValueError, match="entries"):
+            ReplicationProblem(
+                cluster=paper_cluster,
+                videos=paper_videos,
+                popularity=ZipfPopularity(100, 0.75),
+            )
+
+    def test_unsorted_popularity_rejected(self, paper_cluster):
+        from repro.popularity import PopularityModel
+
+        probs = np.array([0.2, 0.5, 0.3])
+        with pytest.raises(ValueError, match="sorted"):
+            ReplicationProblem(
+                cluster=paper_cluster[:2],
+                videos=VideoCollection.homogeneous(3),
+                popularity=PopularityModel.from_probabilities(probs),
+            )
+
+    def test_rates_sorted_and_validated(self, paper_cluster, paper_videos, zipf_paper):
+        problem = ReplicationProblem(
+            cluster=paper_cluster,
+            videos=paper_videos,
+            popularity=zipf_paper,
+            allowed_bit_rates_mbps=(6.0, 2.0, 4.0),
+        )
+        assert problem.allowed_bit_rates_mbps == (2.0, 4.0, 6.0)
+        assert problem.min_bit_rate_mbps == 2.0
+        assert problem.max_bit_rate_mbps == 6.0
+
+    def test_fixed_rate_requires_single(self, paper_cluster, paper_videos, zipf_paper):
+        problem = ReplicationProblem(
+            cluster=paper_cluster,
+            videos=paper_videos,
+            popularity=zipf_paper,
+            allowed_bit_rates_mbps=(2.0, 4.0),
+        )
+        with pytest.raises(ValueError, match="single-fixed-bit-rate"):
+            problem.fixed_bit_rate_mbps()
+
+    def test_rejects_bad_rate(self, paper_cluster, paper_videos, zipf_paper):
+        with pytest.raises(ValueError):
+            ReplicationProblem(
+                cluster=paper_cluster,
+                videos=paper_videos,
+                popularity=zipf_paper,
+                allowed_bit_rates_mbps=(0.0,),
+            )
+
+
+class TestEvaluate:
+    def test_more_replicas_score_higher(self, paper_problem):
+        probs = paper_problem.probabilities
+        low = adams_replication(probs, 8, 200)
+        high = adams_replication(probs, 8, 320)
+        layout_low = smallest_load_first_placement(low, 40)
+        layout_high = smallest_load_first_placement(high, 40)
+        assert paper_problem.evaluate(layout_high) > paper_problem.evaluate(layout_low)
+
+    def test_evaluate_validates_by_default(self, paper_problem):
+        from repro.model import ReplicaLayout
+        from repro.model.layout import LayoutViolation
+
+        empty = ReplicaLayout.empty(200, 8)
+        with pytest.raises(LayoutViolation):
+            paper_problem.evaluate(empty)

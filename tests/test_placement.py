@@ -1,0 +1,234 @@
+"""Tests for the placement algorithms (Sec. 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.model.objective import load_imbalance
+from repro.placement import (
+    GreedyLeastLoadedPlacer,
+    PlacementError,
+    RandomFeasiblePlacer,
+    RoundRobinPlacer,
+    SmallestLoadFirstPlacer,
+    greedy_least_loaded_placement,
+    placement_imbalance,
+    random_feasible_placement,
+    round_robin_placement,
+    slf_imbalance_bound,
+    smallest_load_first_placement,
+    theorem2_holds,
+)
+from repro.popularity import zipf_probabilities
+from repro.replication import adams_replication, no_replication, zipf_interval_replication
+
+
+def make_replication(m=20, n=4, budget=40, theta=0.75):
+    return adams_replication(zipf_probabilities(m, theta), n, budget)
+
+
+class TestSmallestLoadFirst:
+    def test_all_replicas_placed(self):
+        replication = make_replication()
+        layout = smallest_load_first_placement(replication, 10)
+        assert layout.total_replicas == replication.total_replicas
+        np.testing.assert_array_equal(
+            layout.replica_counts, replication.replica_counts
+        )
+
+    def test_distinct_servers_structural(self):
+        replication = make_replication()
+        layout = smallest_load_first_placement(replication, 10)
+        for video in range(layout.num_videos):
+            servers = layout.servers_of(video)
+            assert len(servers) == len(set(servers.tolist()))
+
+    def test_storage_respected(self):
+        replication = make_replication(m=20, n=4, budget=40)
+        layout = smallest_load_first_placement(replication, 10)
+        assert layout.server_replica_counts().max() <= 10
+
+    def test_theorem2_bound(self):
+        replication = make_replication()
+        layout = smallest_load_first_placement(replication, 10)
+        assert theorem2_holds(layout, replication)
+
+    def test_theorem2_bound_paper_scale(self):
+        probs = zipf_probabilities(200, 0.75)
+        for budget in [240, 280, 320, 360, 400]:
+            replication = zipf_interval_replication(probs, 8, budget)
+            layout = smallest_load_first_placement(replication, 50)
+            assert theorem2_holds(layout, replication)
+
+    def test_tight_storage(self):
+        # Budget exactly N * C: every server ends exactly full.
+        replication = make_replication(m=20, n=4, budget=40)
+        layout = smallest_load_first_placement(replication, 10)
+        np.testing.assert_array_equal(layout.server_replica_counts(), 10)
+
+    def test_beats_round_robin_on_skewed_weights(self):
+        replication = make_replication(m=50, n=8, budget=80, theta=1.0)
+        slf = smallest_load_first_placement(replication, 10)
+        rr = round_robin_placement(replication, 10)
+        probs = replication.popularity
+        assert placement_imbalance(slf, probs) <= placement_imbalance(rr, probs) + 1e-12
+
+    def test_infeasible_storage_rejected(self):
+        replication = make_replication(m=20, n=4, budget=40)
+        with pytest.raises(PlacementError, match="exceed"):
+            smallest_load_first_placement(replication, 9)
+
+    def test_bit_rate_stamped(self):
+        replication = make_replication()
+        layout = smallest_load_first_placement(replication, 10, bit_rate_mbps=6.0)
+        assert set(np.unique(layout.rate_matrix)) == {0.0, 6.0}
+
+    def test_wrapper(self):
+        replication = make_replication()
+        layout = SmallestLoadFirstPlacer().place(replication, 10)
+        assert layout.total_replicas == replication.total_replicas
+
+
+class TestRoundRobinPlacement:
+    def test_all_replicas_placed(self):
+        replication = make_replication()
+        layout = round_robin_placement(replication, 10)
+        assert layout.total_replicas == replication.total_replicas
+
+    def test_distinct_servers(self):
+        replication = make_replication(m=10, n=4, budget=40)
+        layout = round_robin_placement(replication, 10)
+        np.testing.assert_array_equal(layout.replica_counts, replication.replica_counts)
+
+    def test_storage_balanced(self):
+        replication = make_replication(m=20, n=4, budget=38)
+        layout = round_robin_placement(replication, 10)
+        counts = layout.server_replica_counts()
+        assert counts.max() - counts.min() <= 1
+
+    def test_optimal_for_uniform_weights(self):
+        # Equal weights: RR achieves zero imbalance when R divides N evenly.
+        probs = np.full(8, 0.125)
+        replication = no_replication(probs, 4)
+        layout = round_robin_placement(replication, 2)
+        assert placement_imbalance(layout, probs) == pytest.approx(0.0)
+
+    def test_sorted_variant(self):
+        replication = make_replication()
+        layout = round_robin_placement(replication, 10, sort_by_weight=True)
+        assert layout.total_replicas == replication.total_replicas
+
+    def test_wrapper(self):
+        replication = make_replication()
+        layout = RoundRobinPlacer(sort_by_weight=True).place(replication, 10)
+        assert layout.total_replicas == replication.total_replicas
+
+
+class TestGreedyPlacement:
+    def test_places_everything(self):
+        replication = make_replication()
+        layout = greedy_least_loaded_placement(replication, 10)
+        assert layout.total_replicas == replication.total_replicas
+
+    def test_per_server_capacities(self):
+        replication = make_replication(m=20, n=4, budget=40)
+        caps = np.array([20, 12, 8, 8])
+        layout = greedy_least_loaded_placement(replication, caps)
+        assert np.all(layout.server_replica_counts() <= caps)
+
+    def test_shares_shift_load(self):
+        replication = make_replication(m=50, n=4, budget=100, theta=0.75)
+        shares = np.array([3.0, 1.0, 1.0, 1.0])
+        layout = greedy_least_loaded_placement(
+            replication, 50, server_shares=shares
+        )
+        loads = layout.replica_weights(replication.popularity).sum(axis=0)
+        assert loads[0] > loads[1:].max() - 1e-12
+
+    def test_no_worse_than_theorem2_bound_in_practice(self):
+        replication = make_replication(m=100, n=8, budget=160)
+        layout = greedy_least_loaded_placement(replication, 20)
+        assert placement_imbalance(layout, replication.popularity) <= slf_imbalance_bound(
+            replication
+        ) + 1e-12
+
+    def test_bad_shares_rejected(self):
+        replication = make_replication()
+        with pytest.raises(ValueError):
+            greedy_least_loaded_placement(
+                replication, 10, server_shares=np.array([1.0, -1.0, 1.0, 1.0])
+            )
+
+    def test_insufficient_total_storage(self):
+        replication = make_replication(m=20, n=4, budget=40)
+        with pytest.raises(PlacementError):
+            greedy_least_loaded_placement(replication, np.array([10, 10, 10, 9]))
+
+    def test_wrapper(self):
+        replication = make_replication()
+        layout = GreedyLeastLoadedPlacer().place(replication, 10)
+        assert layout.total_replicas == replication.total_replicas
+
+
+class TestRandomPlacement:
+    def test_feasible_output(self, rng):
+        replication = make_replication()
+        layout = random_feasible_placement(replication, 10, rng)
+        assert layout.total_replicas == replication.total_replicas
+        assert layout.server_replica_counts().max() <= 10
+
+    def test_deterministic_given_seed(self):
+        replication = make_replication()
+        a = random_feasible_placement(replication, 10, np.random.default_rng(1))
+        b = random_feasible_placement(replication, 10, np.random.default_rng(1))
+        np.testing.assert_array_equal(a.rate_matrix, b.rate_matrix)
+
+    def test_typically_worse_than_slf(self, rng):
+        # Slack storage (27 > 200/8): a fully random order dead-ends with
+        # high probability when capacity is exactly tight.
+        replication = make_replication(m=100, n=8, budget=200, theta=1.0)
+        slf = smallest_load_first_placement(replication, 27)
+        probs = replication.popularity
+        random_imbalances = [
+            placement_imbalance(random_feasible_placement(replication, 27, rng), probs)
+            for _ in range(10)
+        ]
+        assert placement_imbalance(slf, probs) <= min(random_imbalances) + 1e-12
+
+    def test_wrapper_uses_own_rng(self):
+        replication = make_replication()
+        layout = RandomFeasiblePlacer(np.random.default_rng(5)).place(replication, 10)
+        assert layout.total_replicas == replication.total_replicas
+
+
+class TestBounds:
+    def test_bound_value(self):
+        replication = make_replication()
+        expected = replication.max_weight() - replication.min_weight()
+        assert slf_imbalance_bound(replication) == pytest.approx(expected)
+
+    def test_theorem3_bound_trend_non_increasing(self):
+        """Theorem 3: the bound shrinks as the replication degree grows.
+
+        The *max* weight is strictly non-increasing in the budget (tested in
+        test_replication_adams); the max - min spread can tick up by a step
+        when a duplication drops the minimum weight, so the theorem is
+        verified as a trend: each bound stays within one weight-granularity
+        step of the best seen so far, and the endpoints strictly improve.
+        """
+        probs = zipf_probabilities(200, 0.75)
+        bounds = []
+        for budget in [200, 240, 280, 320, 360, 400]:
+            replication = adams_replication(probs, 8, budget)
+            bounds.append(slf_imbalance_bound(replication))
+        assert bounds[-1] < bounds[0]
+        best = np.inf
+        for bound in bounds:
+            assert bound <= best * 1.10 or bound <= best + probs[-1]
+            best = min(best, bound)
+
+    def test_placement_imbalance_matches_manual(self):
+        replication = make_replication(m=4, n=2, budget=4)
+        layout = smallest_load_first_placement(replication, 2)
+        weights = layout.replica_weights(replication.popularity)
+        manual = load_imbalance(weights.sum(axis=0))
+        assert placement_imbalance(layout, replication.popularity) == pytest.approx(manual)

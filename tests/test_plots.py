@@ -1,0 +1,82 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.plots import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        text = ascii_chart([0, 1, 2], {"a": [0.0, 1.0, 2.0]})
+        lines = text.splitlines()
+        assert any("o" in line for line in lines)
+        assert "o=a" in lines[-1]
+
+    def test_title_first_line(self):
+        text = ascii_chart([0, 1], {"a": [0, 1]}, title="My chart")
+        assert text.splitlines()[0] == "My chart"
+
+    def test_y_limits_in_gutter(self):
+        text = ascii_chart([0, 1], {"a": [3.0, 7.0]})
+        assert "7" in text.splitlines()[0]
+        assert "3" in text
+
+    def test_two_series_distinct_markers(self):
+        text = ascii_chart(
+            [0, 1, 2], {"up": [0, 1, 2], "down": [2, 1, 0]}
+        )
+        assert "o=up" in text and "x=down" in text
+        assert "o" in text and "x" in text
+
+    def test_flat_series_renders(self):
+        text = ascii_chart([0, 1, 2], {"flat": [5.0, 5.0, 5.0]})
+        assert "o" in text
+
+    def test_monotone_series_direction(self):
+        text = ascii_chart([0, 1, 2, 3], {"a": [0, 1, 2, 3]}, height=8, width=16)
+        lines = [line.split("|", 1)[1] for line in text.splitlines() if "|" in line]
+        first_marker_row = next(i for i, l in enumerate(lines) if "o" in l)
+        last_marker_row = max(i for i, l in enumerate(lines) if "o" in l)
+        # Increasing data: the highest value is plotted on an upper row.
+        assert first_marker_row < last_marker_row
+        assert "o" in lines[0]  # max at top
+        assert "o" in lines[-1]  # min at bottom
+
+    def test_x_axis_labels(self):
+        text = ascii_chart([10, 45], {"a": [0, 1]}, x_label="lambda")
+        assert "10" in text and "45" in text and "lambda" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ascii_chart([0, 1], {})
+        with pytest.raises(ValueError, match="at least 2"):
+            ascii_chart([0], {"a": [1]})
+        with pytest.raises(ValueError, match="strictly increasing"):
+            ascii_chart([1, 0], {"a": [1, 2]})
+        with pytest.raises(ValueError, match="points"):
+            ascii_chart([0, 1], {"a": [1, 2, 3]})
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {"a": [0, 1]}, width=2)
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [0, 1] for i in range(9)}
+        with pytest.raises(ValueError, match="at most"):
+            ascii_chart([0, 1], series)
+
+    def test_fig_formats_include_charts(self):
+        from repro.experiments.fig4 import format_fig4
+
+        results = {
+            "arrival_rates": [10, 20, 30],
+            "subplots": {
+                "a": {
+                    "combo": "zipf+slf",
+                    "theta": 0.75,
+                    "curves": {1.0: [0.0, 0.1, 0.2], 1.5: [0.0, 0.0, 0.1]},
+                }
+            },
+        }
+        plain = format_fig4(results)
+        charted = format_fig4(results, charts=True)
+        assert len(charted) > len(plain)
+        assert "deg=1" in charted

@@ -1,0 +1,136 @@
+"""Tests for the popularity models (system S1)."""
+
+import numpy as np
+import pytest
+
+from repro.popularity import (
+    EmpiricalPopularity,
+    PopularityModel,
+    TYPICAL_THETA_RANGE,
+    UniformPopularity,
+    ZipfPopularity,
+    fit_zipf_theta,
+    zipf_probabilities,
+)
+
+
+class TestZipfProbabilities:
+    def test_sums_to_one(self):
+        probs = zipf_probabilities(200, 0.75)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_non_increasing(self):
+        probs = zipf_probabilities(50, 0.9)
+        assert np.all(np.diff(probs) <= 0)
+
+    def test_theta_zero_is_uniform(self):
+        probs = zipf_probabilities(7, 0.0)
+        np.testing.assert_allclose(probs, 1.0 / 7)
+
+    def test_exact_small_case(self):
+        # M=3, theta=1: weights 1, 1/2, 1/3 -> normalized by 11/6.
+        probs = zipf_probabilities(3, 1.0)
+        np.testing.assert_allclose(probs, np.array([6, 3, 2]) / 11)
+
+    def test_higher_theta_more_skew(self):
+        low = zipf_probabilities(100, 0.271)
+        high = zipf_probabilities(100, 1.0)
+        assert high[0] > low[0]
+        assert high[-1] < low[-1]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 0.5)
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, -0.1)
+
+    def test_typical_range_constant(self):
+        assert TYPICAL_THETA_RANGE == (0.271, 1.0)
+
+
+class TestPopularityModel:
+    def test_from_probabilities_normalizes(self):
+        model = PopularityModel.from_probabilities(np.array([0.5, 0.3, 0.2]))
+        assert model.num_videos == 3
+        assert model.probabilities.sum() == pytest.approx(1.0)
+
+    def test_probabilities_readonly(self):
+        model = PopularityModel.from_probabilities(np.array([0.6, 0.4]))
+        with pytest.raises(ValueError):
+            model.probabilities[0] = 0.9
+
+    def test_is_sorted(self):
+        assert PopularityModel.from_probabilities(np.array([0.6, 0.4])).is_sorted
+        assert not PopularityModel.from_probabilities(np.array([0.4, 0.6])).is_sorted
+
+    def test_sorted_returns_descending(self):
+        model = PopularityModel.from_probabilities(np.array([0.2, 0.5, 0.3]))
+        np.testing.assert_allclose(model.sorted().probabilities, [0.5, 0.3, 0.2])
+
+    def test_skew_ratio(self):
+        model = ZipfPopularity(10, 1.0)
+        assert model.skew_ratio() == pytest.approx(10.0)
+
+    def test_sample_distribution(self, rng):
+        model = ZipfPopularity(5, 1.0)
+        draws = model.sample(200_000, rng)
+        freq = np.bincount(draws, minlength=5) / draws.size
+        np.testing.assert_allclose(freq, model.probabilities, atol=5e-3)
+
+    def test_sample_zero(self, rng):
+        assert ZipfPopularity(5, 1.0).sample(0, rng).size == 0
+
+    def test_expected_requests(self):
+        model = UniformPopularity(4)
+        np.testing.assert_allclose(model.expected_requests(100), 25.0)
+
+    def test_expected_requests_rejects_negative(self):
+        with pytest.raises(ValueError):
+            UniformPopularity(4).expected_requests(-1)
+
+    def test_rejects_invalid_vector(self):
+        with pytest.raises(ValueError):
+            PopularityModel.from_probabilities(np.array([0.5, 0.6]))
+
+
+class TestEmpiricalPopularity:
+    def test_from_counts(self):
+        model = EmpiricalPopularity(np.array([30, 20, 10]))
+        np.testing.assert_allclose(model.probabilities, [0.5, 1 / 3, 1 / 6])
+
+    def test_smoothing_gives_unseen_mass(self):
+        model = EmpiricalPopularity(np.array([10, 0]), smoothing=1.0)
+        assert model.probabilities[1] > 0
+
+    def test_rejects_all_zero_without_smoothing(self):
+        with pytest.raises(ValueError):
+            EmpiricalPopularity(np.zeros(3))
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            EmpiricalPopularity(np.array([1.0, -2.0]))
+
+
+class TestFitZipfTheta:
+    @pytest.mark.parametrize("theta", [0.271, 0.5, 0.75, 1.0])
+    def test_recovers_theta_from_large_sample(self, theta, rng):
+        model = ZipfPopularity(100, theta)
+        draws = model.sample(100_000, rng)
+        counts = np.bincount(draws, minlength=100)
+        estimate = fit_zipf_theta(counts)
+        assert estimate == pytest.approx(theta, abs=0.05)
+
+    def test_exact_expected_counts(self):
+        # Feeding expected counts recovers theta almost exactly.
+        probs = zipf_probabilities(50, 0.6)
+        estimate = fit_zipf_theta(probs * 1e6)
+        assert estimate == pytest.approx(0.6, abs=1e-3)
+
+    def test_unsorted_counts_are_ranked(self):
+        probs = zipf_probabilities(50, 0.6) * 1e6
+        shuffled = probs[::-1].copy()
+        assert fit_zipf_theta(shuffled) == pytest.approx(0.6, abs=1e-3)
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            fit_zipf_theta(np.array([5.0]))

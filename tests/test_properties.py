@@ -1,0 +1,225 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These exercise the paper's theorems and the library's structural
+invariants over randomized instances:
+
+* Theorem 1 — Adams replication achieves the exact Eq. (8) optimum.
+* Theorem 2 — SLF placement stays within the max-min weight bound.
+* Lemma 4.1 — Zipf-interval totals are monotone in the skew ``u``.
+* Feasibility — every replication fits the budget and Eq. (7); every
+  placement places every replica on distinct servers within storage.
+* Simulator conservation — arrivals are partitioned into served/rejected
+  and bandwidth is never exceeded.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.objective import communication_weights, load_imbalance
+from repro.placement import (
+    round_robin_placement,
+    slf_imbalance_bound,
+    smallest_load_first_placement,
+    theorem2_holds,
+)
+from repro.replication import (
+    adams_replication,
+    classification_replication,
+    interval_replica_counts,
+    optimal_min_max_weight,
+    proportional_replication,
+    round_robin_replication,
+    zipf_interval_replication,
+)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def replication_instances(draw, max_videos=60, max_servers=10):
+    """(popularity, num_servers, budget) with a feasible budget."""
+    m = draw(st.integers(2, max_videos))
+    n = draw(st.integers(2, max_servers))
+    raw = draw(
+        st.lists(
+            st.floats(1e-4, 1.0, allow_nan=False, allow_infinity=False),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    probs = np.asarray(raw)
+    probs = probs / probs.sum()
+    budget = draw(st.integers(m, n * m))
+    return probs, n, budget
+
+
+ALGORITHMS = [
+    adams_replication,
+    zipf_interval_replication,
+    classification_replication,
+    proportional_replication,
+    round_robin_replication,
+]
+
+
+# ----------------------------------------------------------------------
+# Replication invariants
+# ----------------------------------------------------------------------
+class TestReplicationProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(replication_instances())
+    def test_all_algorithms_respect_budget_and_eq7(self, instance):
+        probs, n, budget = instance
+        for algorithm in ALGORITHMS:
+            result = algorithm(probs, n, budget)
+            assert result.total_replicas <= budget, algorithm.__name__
+            assert result.replica_counts.min() >= 1, algorithm.__name__
+            assert result.replica_counts.max() <= n, algorithm.__name__
+
+    @settings(max_examples=60, deadline=None)
+    @given(replication_instances())
+    def test_theorem1_adams_is_optimal(self, instance):
+        probs, n, budget = instance
+        result = adams_replication(probs, n, budget)
+        optimal = optimal_min_max_weight(probs, n, budget)
+        assert result.max_weight() == pytest.approx(optimal, rel=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(replication_instances(max_videos=40), st.integers(0, 1_000_000))
+    def test_lemma41_total_monotone_in_u(self, instance, seed):
+        probs, n, _ = instance
+        rng = np.random.default_rng(seed)
+        us = np.sort(rng.uniform(-10, 10, size=5))
+        totals = [int(interval_replica_counts(probs, n, u).sum()) for u in us]
+        assert all(a <= b for a, b in zip(totals, totals[1:]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(replication_instances())
+    def test_adams_weights_bounded_by_popularity(self, instance):
+        probs, n, budget = instance
+        result = adams_replication(probs, n, budget)
+        weights = result.weights()
+        assert np.all(weights <= probs + 1e-15)
+        assert np.all(weights >= probs / n - 1e-15)
+
+
+# ----------------------------------------------------------------------
+# Placement invariants
+# ----------------------------------------------------------------------
+class TestPlacementProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(replication_instances())
+    def test_slf_structural_feasibility(self, instance):
+        probs, n, budget = instance
+        replication = adams_replication(probs, n, budget)
+        capacity = -(-replication.total_replicas // n)  # ceil
+        layout = smallest_load_first_placement(replication, capacity)
+        np.testing.assert_array_equal(
+            layout.replica_counts, replication.replica_counts
+        )
+        assert layout.server_replica_counts().max() <= capacity
+
+    @settings(max_examples=50, deadline=None)
+    @given(replication_instances())
+    def test_theorem2_bound(self, instance):
+        probs, n, budget = instance
+        replication = adams_replication(probs, n, budget)
+        capacity = -(-replication.total_replicas // n)
+        layout = smallest_load_first_placement(replication, capacity)
+        assert theorem2_holds(layout, replication)
+
+    @settings(max_examples=50, deadline=None)
+    @given(replication_instances())
+    def test_theorem2_bound_for_zipf_replication(self, instance):
+        probs, n, budget = instance
+        replication = zipf_interval_replication(probs, n, budget)
+        capacity = -(-replication.total_replicas // n)
+        layout = smallest_load_first_placement(replication, capacity)
+        assert theorem2_holds(layout, replication)
+
+    @settings(max_examples=50, deadline=None)
+    @given(replication_instances())
+    def test_round_robin_always_feasible(self, instance):
+        """The RR construction is the feasibility witness: it must never fail."""
+        probs, n, budget = instance
+        replication = adams_replication(probs, n, budget)
+        capacity = -(-replication.total_replicas // n)
+        layout = round_robin_placement(replication, capacity)
+        np.testing.assert_array_equal(
+            layout.replica_counts, replication.replica_counts
+        )
+        counts = layout.server_replica_counts()
+        assert counts.max() - counts.min() <= 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(replication_instances())
+    def test_theorem2_strict_bound_full_rounds(self, instance):
+        """The strict max-min bound when the total is a multiple of N
+        (the paper's own evaluation regime)."""
+        probs, n, budget = instance
+        budget = max((budget // n) * n, ((probs.size + n - 1) // n) * n)
+        replication = adams_replication(probs, n, budget)
+        if replication.total_replicas % n != 0:
+            return  # saturated below a full multiple; out of scope
+        capacity = replication.total_replicas // n
+        layout = smallest_load_first_placement(replication, capacity)
+        l_slf = load_imbalance(layout.replica_weights(probs).sum(axis=0))
+        assert l_slf <= slf_imbalance_bound(replication) + 1e-12
+
+
+# ----------------------------------------------------------------------
+# Weight identities
+# ----------------------------------------------------------------------
+class TestWeightProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(replication_instances())
+    def test_total_weight_is_unit(self, instance):
+        """sum_i r_i * w_i == sum_i p_i == 1 whenever every video is placed."""
+        probs, n, budget = instance
+        result = adams_replication(probs, n, budget)
+        weights = communication_weights(probs, result.replica_counts)
+        assert float((weights * result.replica_counts).sum()) == pytest.approx(1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(replication_instances())
+    def test_layout_weights_match_replication(self, instance):
+        probs, n, budget = instance
+        replication = adams_replication(probs, n, budget)
+        capacity = -(-replication.total_replicas // n)
+        layout = smallest_load_first_placement(replication, capacity)
+        per_server = layout.replica_weights(probs).sum(axis=0)
+        assert float(per_server.sum()) == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Simulator conservation
+# ----------------------------------------------------------------------
+class TestSimulatorProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(1, 30),       # arrival rate
+        st.integers(0, 10_000),   # seed
+        st.floats(0.271, 1.0),    # theta
+    )
+    def test_conservation_and_capacity(self, rate, seed, theta):
+        from repro import ClusterSpec, VideoCollection, ZipfPopularity
+        from repro.cluster_sim import VoDClusterSimulator
+        from repro.workload import WorkloadGenerator
+
+        pop = ZipfPopularity(20, theta)
+        cluster = ClusterSpec.homogeneous(3, storage_gb=30.0, bandwidth_mbps=120.0)
+        videos = VideoCollection.homogeneous(20, duration_min=30.0)
+        replication = zipf_interval_replication(pop.probabilities, 3, 30)
+        layout = smallest_load_first_placement(replication, 11)
+        simulator = VoDClusterSimulator(cluster, videos, layout)
+        generator = WorkloadGenerator.poisson_zipf(pop, float(rate))
+        trace = generator.generate(30.0, np.random.default_rng(seed))
+        result = simulator.run(trace, horizon_min=30.0)
+
+        assert result.num_served + result.num_rejected == result.num_requests
+        assert int(result.server_served.sum()) == result.num_served
+        assert np.all(result.server_peak_load_mbps <= 120.0 + 1e-6)
+        assert np.all(result.server_time_avg_load_mbps <= 120.0 + 1e-6)
+        assert np.all(result.per_video_rejected <= result.per_video_requests)

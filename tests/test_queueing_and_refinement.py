@@ -1,0 +1,208 @@
+"""Tests for the wait-queue admission policy and placement refinement."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterSpec, VideoCollection, ZipfPopularity
+from repro.cluster_sim import QueueingClusterSimulator, VoDClusterSimulator
+from repro.model.layout import ReplicaLayout
+from repro.placement import (
+    placement_imbalance,
+    refine_placement,
+    round_robin_placement,
+    smallest_load_first_placement,
+)
+from repro.popularity import zipf_probabilities
+from repro.replication import adams_replication, zipf_interval_replication
+from repro.workload import RequestTrace, WorkloadGenerator
+
+
+# ----------------------------------------------------------------------
+# Wait-queue admission
+# ----------------------------------------------------------------------
+def tiny_queue_sim(patience, slots=1, duration=10.0):
+    cluster = ClusterSpec.homogeneous(
+        1, storage_gb=100.0, bandwidth_mbps=slots * 4.0
+    )
+    videos = VideoCollection.homogeneous(1, duration_min=duration)
+    layout = ReplicaLayout.from_assignment([[0]], 1)
+    return QueueingClusterSimulator(cluster, videos, layout, patience_min=patience)
+
+
+class TestQueueingSimulator:
+    def test_wait_saves_request(self):
+        # Slot busy until t=10; arrival at t=9 waits 1 min < patience 2.
+        sim = tiny_queue_sim(patience=2.0)
+        trace = RequestTrace(np.array([0.0, 9.0]), np.zeros(2, dtype=int))
+        result = sim.run(trace, horizon_min=30.0)
+        assert result.num_defected == 0
+        assert result.num_queued == 1
+        assert result.num_queued_served == 1
+        assert result.mean_wait_min == pytest.approx(1.0)
+
+    def test_patience_expiry_defects(self):
+        # Slot busy until t=10; arrival at t=1 defects at t=3.
+        sim = tiny_queue_sim(patience=2.0)
+        trace = RequestTrace(np.array([0.0, 1.0]), np.zeros(2, dtype=int))
+        result = sim.run(trace, horizon_min=30.0)
+        assert result.num_defected == 1
+        assert result.num_queued_served == 0
+
+    def test_departure_exactly_at_deadline_saves(self):
+        # Stream ends at t=10; waiting request's patience also ends at 10:
+        # DEPARTURE orders before DEFECTION, so it is served.
+        sim = tiny_queue_sim(patience=5.0, duration=10.0)
+        trace = RequestTrace(np.array([0.0, 5.0]), np.zeros(2, dtype=int))
+        result = sim.run(trace, horizon_min=30.0)
+        assert result.num_defected == 0
+        assert result.mean_wait_min == pytest.approx(5.0)
+
+    def test_fifo_order(self):
+        # Two waiters, one slot frees: the older one is served.
+        sim = tiny_queue_sim(patience=20.0, duration=10.0)
+        trace = RequestTrace(np.array([0.0, 1.0, 2.0]), np.zeros(3, dtype=int))
+        result = sim.run(trace, horizon_min=11.0)
+        # At t=10 the first stream ends; the t=1 waiter starts (wait 9).
+        assert result.num_queued_served == 1
+        assert result.mean_wait_min == pytest.approx(9.0)
+
+    def test_zero_patience_matches_plain_simulator(self, rng):
+        pop = ZipfPopularity(20, 0.75)
+        cluster = ClusterSpec.homogeneous(2, storage_gb=100.0, bandwidth_mbps=100.0)
+        videos = VideoCollection.homogeneous(20, duration_min=30.0)
+        replication = zipf_interval_replication(pop.probabilities, 2, 30)
+        layout = smallest_load_first_placement(replication, 20)
+        trace = WorkloadGenerator.poisson_zipf(pop, 4.0).generate(60.0, rng)
+        plain = VoDClusterSimulator(cluster, videos, layout).run(
+            trace, horizon_min=60.0
+        )
+        queued = QueueingClusterSimulator(
+            cluster, videos, layout, patience_min=0.0
+        ).run(trace, horizon_min=60.0)
+        assert queued.base.num_rejected == plain.num_rejected
+
+    def test_patience_reduces_rejection(self, rng):
+        pop = ZipfPopularity(20, 0.75)
+        cluster = ClusterSpec.homogeneous(2, storage_gb=100.0, bandwidth_mbps=80.0)
+        videos = VideoCollection.homogeneous(20, duration_min=30.0)
+        replication = zipf_interval_replication(pop.probabilities, 2, 30)
+        layout = smallest_load_first_placement(replication, 20)
+        trace = WorkloadGenerator.poisson_zipf(pop, 2.0).generate(90.0, rng)
+
+        def rejection(patience):
+            sim = QueueingClusterSimulator(
+                cluster, videos, layout, patience_min=patience
+            )
+            return sim.run(trace, horizon_min=90.0).rejection_rate
+
+        assert rejection(5.0) <= rejection(0.0)
+
+    def test_waiting_at_horizon_counted_rejected(self):
+        sim = tiny_queue_sim(patience=50.0, duration=60.0)
+        trace = RequestTrace(np.array([0.0, 1.0]), np.zeros(2, dtype=int))
+        result = sim.run(trace, horizon_min=10.0)
+        assert result.num_defected == 1  # still waiting at the horizon
+
+    def test_watch_traces_rejected(self):
+        sim = tiny_queue_sim(patience=1.0)
+        trace = RequestTrace(
+            np.array([0.0]), np.zeros(1, dtype=int), np.array([1.0])
+        )
+        with pytest.raises(ValueError, match="watch times"):
+            sim.run(trace, horizon_min=10.0)
+
+    def test_conservation(self, rng):
+        sim = tiny_queue_sim(patience=3.0, slots=2, duration=15.0)
+        times = np.sort(rng.uniform(0, 60, 40))
+        trace = RequestTrace(times, np.zeros(40, dtype=int))
+        result = sim.run(trace, horizon_min=90.0)
+        served = result.base.num_served
+        assert served + result.num_defected == result.base.num_requests
+
+
+# ----------------------------------------------------------------------
+# Placement refinement (DASD-dancing-style)
+# ----------------------------------------------------------------------
+class TestRefinePlacement:
+    def setup_instance(self, m=100, n=8, budget=160, theta=0.75):
+        probs = zipf_probabilities(m, theta)
+        replication = adams_replication(probs, n, budget)
+        capacity = -(-replication.total_replicas // n)
+        return probs, replication, capacity
+
+    def test_never_worse(self):
+        probs, replication, capacity = self.setup_instance()
+        layout = smallest_load_first_placement(replication, capacity)
+        result = refine_placement(layout, probs, capacity)
+        assert result.final_imbalance <= result.initial_imbalance + 1e-15
+        assert placement_imbalance(result.layout, probs) == pytest.approx(
+            result.final_imbalance
+        )
+
+    def test_improves_round_robin_dramatically(self):
+        probs, replication, capacity = self.setup_instance()
+        layout = round_robin_placement(replication, capacity)
+        result = refine_placement(layout, probs, capacity)
+        assert result.final_imbalance < 0.25 * result.initial_imbalance
+
+    def test_counts_preserved(self):
+        probs, replication, capacity = self.setup_instance()
+        layout = round_robin_placement(replication, capacity)
+        result = refine_placement(layout, probs, capacity)
+        np.testing.assert_array_equal(
+            result.layout.replica_counts, layout.replica_counts
+        )
+
+    def test_storage_respected(self):
+        probs, replication, capacity = self.setup_instance()
+        layout = round_robin_placement(replication, capacity)
+        result = refine_placement(layout, probs, capacity)
+        assert result.layout.server_replica_counts().max() <= capacity
+
+    def test_swaps_used_when_storage_tight(self):
+        # Exactly full servers leave no room for moves: only swaps help.
+        probs = zipf_probabilities(200, 0.75)
+        replication = zipf_interval_replication(probs, 8, 240)
+        layout = round_robin_placement(replication, 30)
+        result = refine_placement(layout, probs, 30)
+        assert result.moves == 0
+        assert result.swaps > 0
+        assert result.improvement > 0
+
+    def test_already_optimal_is_stable(self):
+        # Uniform weights placed evenly: nothing to improve.
+        probs = np.full(8, 0.125)
+        replication = adams_replication(probs, 4, 8)
+        layout = round_robin_placement(replication, 2)
+        result = refine_placement(layout, probs, 2)
+        assert result.moves == 0 and result.swaps == 0
+        assert result.final_imbalance == result.initial_imbalance
+
+    def test_validation(self):
+        probs, replication, capacity = self.setup_instance()
+        layout = round_robin_placement(replication, capacity)
+        with pytest.raises(ValueError, match="exceeds"):
+            refine_placement(layout, probs, capacity - 10)
+        with pytest.raises(ValueError, match="entry per video"):
+            refine_placement(layout, np.array([0.5, 0.5]), capacity)
+
+    def test_rejection_benefit_end_to_end(self, rng):
+        """Refined placement should not reject more than unrefined."""
+        probs = zipf_probabilities(50, 1.0)
+        from repro.popularity import PopularityModel
+
+        pop = PopularityModel.from_probabilities(probs)
+        replication = zipf_interval_replication(probs, 4, 60)
+        capacity = 15
+        cluster = ClusterSpec.homogeneous(4, storage_gb=40.5, bandwidth_mbps=900.0)
+        videos = VideoCollection.homogeneous(50)
+        rr = round_robin_placement(replication, capacity)
+        refined = refine_placement(rr, probs, capacity).layout
+        trace = WorkloadGenerator.poisson_zipf(pop, 10.0).generate(90.0, rng)
+        rej_rr = VoDClusterSimulator(cluster, videos, rr).run(
+            trace, horizon_min=90.0
+        ).rejection_rate
+        rej_ref = VoDClusterSimulator(cluster, videos, refined).run(
+            trace, horizon_min=90.0
+        ).rejection_rate
+        assert rej_ref <= rej_rr + 0.02

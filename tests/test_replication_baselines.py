@@ -1,0 +1,135 @@
+"""Tests for classification, proportional and trivial replication baselines."""
+
+import numpy as np
+import pytest
+
+from repro.popularity import zipf_probabilities
+from repro.replication import (
+    ClassificationReplicator,
+    ProportionalReplicator,
+    adams_replication,
+    classification_replication,
+    full_replication,
+    no_replication,
+    proportional_replication,
+    round_robin_replication,
+)
+
+
+class TestClassification:
+    def test_budget_respected(self):
+        probs = zipf_probabilities(200, 0.75)
+        for budget in [200, 240, 320, 400]:
+            result = classification_replication(probs, 8, budget)
+            assert result.total_replicas <= budget
+
+    def test_eq7_bounds(self):
+        probs = zipf_probabilities(200, 0.75)
+        result = classification_replication(probs, 8, 320)
+        assert result.replica_counts.min() >= 1
+        assert result.replica_counts.max() <= 8
+
+    def test_class_members_share_count(self):
+        probs = zipf_probabilities(40, 0.75)
+        result = classification_replication(probs, 4, 80)
+        sizes = result.info["class_sizes"]
+        starts = np.concatenate(([0], np.cumsum(sizes)))
+        counts = result.replica_counts  # already rank-sorted input
+        for k in range(len(sizes)):
+            segment = counts[starts[k] : starts[k + 1]]
+            assert np.all(segment == segment[0])
+
+    def test_hotter_class_never_fewer_replicas(self):
+        probs = zipf_probabilities(200, 0.9)
+        result = classification_replication(probs, 8, 320)
+        per_class = result.info["per_class_count"]
+        assert np.all(np.diff(per_class) <= 0)
+
+    def test_coarser_than_adams(self):
+        """The baseline's weight granularity is coarser -> larger max weight."""
+        probs = zipf_probabilities(200, 0.75)
+        baseline = classification_replication(probs, 8, 240)
+        adams = adams_replication(probs, 8, 240)
+        assert baseline.max_weight() >= adams.max_weight() - 1e-15
+
+    def test_custom_class_count(self):
+        probs = zipf_probabilities(30, 0.75)
+        result = classification_replication(probs, 8, 60, num_classes=3)
+        assert result.info["num_classes"] == 3
+
+    def test_wrapper(self):
+        probs = zipf_probabilities(30, 0.75)
+        wrapped = ClassificationReplicator().replicate(probs, 8, 60)
+        direct = classification_replication(probs, 8, 60)
+        np.testing.assert_array_equal(wrapped.replica_counts, direct.replica_counts)
+
+
+class TestProportional:
+    def test_budget_exact_when_reachable(self):
+        probs = zipf_probabilities(50, 0.75)
+        result = proportional_replication(probs, 8, 100)
+        assert result.total_replicas == 100
+
+    def test_eq7_bounds(self):
+        probs = zipf_probabilities(50, 1.0)
+        result = proportional_replication(probs, 4, 100)
+        assert result.replica_counts.min() >= 1
+        assert result.replica_counts.max() <= 4
+
+    def test_proportionality(self):
+        probs = np.array([0.4, 0.3, 0.2, 0.1])
+        result = proportional_replication(probs, 10, 10)
+        np.testing.assert_array_equal(result.replica_counts, [4, 3, 2, 1])
+
+    def test_tiny_budget_trims(self):
+        # Flooring + 1-replica floor overshoots; must trim back to budget.
+        probs = np.array([0.94, 0.02, 0.02, 0.02])
+        result = proportional_replication(probs, 4, 4)
+        assert result.total_replicas == 4
+        assert result.replica_counts.min() >= 1
+
+    def test_worse_or_equal_to_adams(self):
+        probs = zipf_probabilities(100, 0.75)
+        prop = proportional_replication(probs, 8, 160)
+        adams = adams_replication(probs, 8, 160)
+        assert prop.max_weight() >= adams.max_weight() - 1e-15
+
+    def test_wrapper(self):
+        probs = zipf_probabilities(30, 0.5)
+        wrapped = ProportionalReplicator().replicate(probs, 8, 60)
+        assert wrapped.total_replicas == 60
+
+
+class TestTrivialBaselines:
+    def test_no_replication(self):
+        probs = zipf_probabilities(10, 0.75)
+        result = no_replication(probs, 4)
+        np.testing.assert_array_equal(result.replica_counts, 1)
+        assert result.replication_degree == 1.0
+
+    def test_full_replication(self):
+        probs = zipf_probabilities(10, 0.75)
+        result = full_replication(probs, 4, 40)
+        np.testing.assert_array_equal(result.replica_counts, 4)
+
+    def test_full_replication_needs_budget(self):
+        probs = zipf_probabilities(10, 0.75)
+        with pytest.raises(ValueError, match="full replication"):
+            full_replication(probs, 4, 39)
+
+    def test_round_robin_even_split(self):
+        probs = zipf_probabilities(10, 0.75)
+        result = round_robin_replication(probs, 4, 20)
+        np.testing.assert_array_equal(result.replica_counts, 2)
+
+    def test_round_robin_remainder_to_popular(self):
+        probs = zipf_probabilities(10, 0.75)
+        result = round_robin_replication(probs, 4, 23)
+        assert result.total_replicas == 23
+        np.testing.assert_array_equal(result.replica_counts[:3], 3)
+        np.testing.assert_array_equal(result.replica_counts[3:], 2)
+
+    def test_round_robin_cap(self):
+        probs = zipf_probabilities(4, 0.75)
+        result = round_robin_replication(probs, 2, 8)
+        np.testing.assert_array_equal(result.replica_counts, 2)

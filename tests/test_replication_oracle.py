@@ -1,0 +1,65 @@
+"""Tests for the exact min-max replication oracle."""
+
+import numpy as np
+import pytest
+
+from repro.popularity import zipf_probabilities
+from repro.replication import optimal_min_max_weight, oracle_replication
+
+
+class TestOptimalMinMaxWeight:
+    def test_no_replication_budget(self):
+        probs = np.array([0.5, 0.3, 0.2])
+        # Budget 3 forces r = (1,1,1): optimum is p_1.
+        assert optimal_min_max_weight(probs, 4, 3) == pytest.approx(0.5)
+
+    def test_one_extra_replica(self):
+        probs = np.array([0.5, 0.3, 0.2])
+        # Budget 4: best single duplication halves p_1 -> max(0.25, 0.3) = 0.3.
+        assert optimal_min_max_weight(probs, 4, 4) == pytest.approx(0.3)
+
+    def test_two_extra_replicas(self):
+        probs = np.array([0.5, 0.3, 0.2])
+        # r = (2,2,1): weights 0.25, 0.15, 0.2 -> 0.25.
+        assert optimal_min_max_weight(probs, 4, 5) == pytest.approx(0.25)
+
+    def test_floor_is_pmax_over_n(self):
+        probs = np.array([0.9, 0.1])
+        # Unlimited budget cannot get below p_1 / N.
+        assert optimal_min_max_weight(probs, 3, 6) == pytest.approx(0.3)
+
+    def test_uniform(self):
+        probs = np.full(4, 0.25)
+        assert optimal_min_max_weight(probs, 4, 8) == pytest.approx(0.125)
+
+    def test_brute_force_agreement(self, rng):
+        """Exhaustive check against all feasible assignments on tiny cases."""
+        from itertools import product
+
+        for _ in range(10):
+            m, n = 4, 3
+            probs = rng.random(m) + 0.05
+            probs /= probs.sum()
+            budget = int(rng.integers(m, n * m + 1))
+            best = np.inf
+            for counts in product(range(1, n + 1), repeat=m):
+                if sum(counts) <= budget:
+                    best = min(best, max(p / r for p, r in zip(probs, counts)))
+            assert optimal_min_max_weight(probs, n, budget) == pytest.approx(best)
+
+
+class TestOracleReplication:
+    def test_counts_achieve_reported_optimum(self):
+        probs = zipf_probabilities(30, 0.75)
+        result = oracle_replication(probs, 8, 60)
+        assert result.max_weight() <= result.info["optimal_max_weight"] + 1e-15
+
+    def test_budget_respected(self):
+        probs = zipf_probabilities(30, 0.75)
+        result = oracle_replication(probs, 8, 60)
+        assert result.total_replicas <= 60
+
+    def test_leftover_spent_up_to_cap(self):
+        probs = zipf_probabilities(5, 0.75)
+        result = oracle_replication(probs, 3, 15)
+        assert result.total_replicas == 15

@@ -1,0 +1,149 @@
+"""Tests for the Zipf-like-distribution-based replication (Sec. 4.1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.popularity import zipf_probabilities
+from repro.replication import (
+    ZipfIntervalReplicator,
+    adams_replication,
+    interval_boundaries,
+    interval_replica_counts,
+    zipf_interval_replication,
+)
+
+
+class TestIntervalBoundaries:
+    def test_endpoints(self):
+        z = interval_boundaries(0.5, 0.1, 4, 0.7)
+        assert z[0] == pytest.approx(0.5)
+        assert z[-1] == pytest.approx(0.1)
+        assert len(z) == 5
+
+    def test_strictly_decreasing_for_positive_width(self):
+        z = interval_boundaries(0.5, 0.1, 6, 0.3)
+        assert np.all(np.diff(z) < 0)
+
+    def test_u_zero_uniform_widths(self):
+        z = interval_boundaries(1.0, 0.0, 4, 0.0)
+        np.testing.assert_allclose(np.diff(z), -0.25)
+
+    def test_positive_u_widens_top_interval(self):
+        z = interval_boundaries(1.0, 0.0, 4, 2.0)
+        widths = -np.diff(z)
+        assert widths[0] > widths[-1]
+
+    def test_negative_u_widens_bottom_interval(self):
+        z = interval_boundaries(1.0, 0.0, 4, -2.0)
+        widths = -np.diff(z)
+        assert widths[0] < widths[-1]
+
+    def test_extreme_u_no_overflow(self):
+        z = interval_boundaries(1.0, 0.0, 8, 300.0)
+        assert np.all(np.isfinite(z))
+        z = interval_boundaries(1.0, 0.0, 8, -300.0)
+        assert np.all(np.isfinite(z))
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            interval_boundaries(0.1, 0.5, 4, 0.0)
+
+
+class TestIntervalReplicaCounts:
+    def test_most_popular_gets_n(self):
+        probs = zipf_probabilities(10, 0.75)
+        counts = interval_replica_counts(probs, 4, 0.5)
+        assert counts[0] == 4
+
+    def test_least_popular_gets_one(self):
+        probs = zipf_probabilities(10, 0.75)
+        counts = interval_replica_counts(probs, 4, 0.5)
+        assert counts[-1] == 1
+
+    def test_counts_in_bounds(self):
+        probs = zipf_probabilities(50, 0.5)
+        for u in [-4.0, -1.0, 0.0, 1.0, 4.0]:
+            counts = interval_replica_counts(probs, 8, u)
+            assert counts.min() >= 1 and counts.max() <= 8
+
+    def test_lemma_4_1_monotonicity(self):
+        """Lemma 4.1: total replicas are non-decreasing in u."""
+        probs = zipf_probabilities(100, 0.75)
+        totals = [
+            interval_replica_counts(probs, 8, u).sum()
+            for u in np.linspace(-8, 8, 81)
+        ]
+        assert np.all(np.diff(totals) >= 0)
+
+    def test_per_video_monotonicity_in_u(self):
+        probs = zipf_probabilities(40, 0.5)
+        prev = interval_replica_counts(probs, 8, -6.0)
+        for u in np.linspace(-5.0, 6.0, 23):
+            cur = interval_replica_counts(probs, 8, u)
+            assert np.all(cur >= prev)
+            prev = cur
+
+    def test_counts_non_increasing_with_rank(self):
+        probs = zipf_probabilities(30, 0.75)
+        counts = interval_replica_counts(probs, 8, 1.0)
+        assert np.all(np.diff(counts) <= 0)
+
+
+class TestZipfIntervalReplication:
+    def test_budget_respected(self):
+        probs = zipf_probabilities(200, 0.75)
+        for budget in [240, 280, 320, 360, 400]:
+            result = zipf_interval_replication(probs, 8, budget)
+            assert result.total_replicas <= budget
+
+    def test_budget_well_utilized(self):
+        probs = zipf_probabilities(200, 0.75)
+        result = zipf_interval_replication(probs, 8, 320)
+        assert result.info["budget_utilization"] >= 0.9
+
+    def test_close_to_adams_max_weight(self):
+        """Sec. 5: 'the Zipf replication and the Adams replication achieved
+        nearly the same results in most test cases'."""
+        probs = zipf_probabilities(200, 0.75)
+        zipf = zipf_interval_replication(probs, 8, 320)
+        adams = adams_replication(probs, 8, 320)
+        assert zipf.max_weight() <= 2.0 * adams.max_weight()
+
+    def test_uniform_popularity_degenerates_to_round_robin(self):
+        probs = np.full(10, 0.1)
+        result = zipf_interval_replication(probs, 4, 25)
+        assert result.info.get("degenerate") == "uniform"
+        # 25 replicas over 10 videos: five videos get 3, five get 2.
+        assert result.total_replicas == 25
+        assert set(result.replica_counts) <= {2, 3}
+
+    def test_tiny_budget_triggers_trim(self):
+        # Budget M < M + N - 1 is below the interval scheme's floor.
+        probs = zipf_probabilities(10, 0.75)
+        result = zipf_interval_replication(probs, 8, 10)
+        assert result.total_replicas <= 10
+        assert result.replica_counts.min() >= 1
+
+    def test_full_budget(self):
+        probs = zipf_probabilities(10, 0.75)
+        result = zipf_interval_replication(probs, 4, 40)
+        np.testing.assert_array_equal(result.replica_counts, 4)
+
+    def test_info_fields(self):
+        probs = zipf_probabilities(50, 0.5)
+        result = zipf_interval_replication(probs, 8, 80)
+        assert "u" in result.info
+        assert result.info["evaluations"] >= 1
+        assert result.info["budget"] == 80
+
+    def test_wrapper(self):
+        probs = zipf_probabilities(50, 0.5)
+        direct = zipf_interval_replication(probs, 8, 80)
+        wrapped = ZipfIntervalReplicator().replicate(probs, 8, 80)
+        np.testing.assert_array_equal(direct.replica_counts, wrapped.replica_counts)
+
+    def test_wrapper_validates_config(self):
+        with pytest.raises(ValueError):
+            ZipfIntervalReplicator(tol=0.0)
+        with pytest.raises(ValueError):
+            ZipfIntervalReplicator(max_iterations=0)

@@ -1,0 +1,155 @@
+"""Tests for the wide-striping cluster model (replication's contrast)."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterSpec, ServerSpec, VideoCollection, ZipfPopularity
+from repro.cluster_sim import (
+    FailureEvent,
+    FailureSchedule,
+    StripedClusterSimulator,
+    VoDClusterSimulator,
+)
+from repro.placement import smallest_load_first_placement
+from repro.replication import zipf_interval_replication
+from repro.workload import RequestTrace, WorkloadGenerator
+
+
+def make_striped(overhead=0.0, bandwidth=40.0, num_videos=4):
+    cluster = ClusterSpec.homogeneous(4, storage_gb=100.0, bandwidth_mbps=bandwidth)
+    videos = VideoCollection.homogeneous(num_videos, bit_rate_mbps=4.0, duration_min=60.0)
+    return StripedClusterSimulator(cluster, videos, overhead_per_server=overhead)
+
+
+class TestCapacityModel:
+    def test_zero_overhead_is_pooled_link(self):
+        sim = make_striped(overhead=0.0)
+        assert sim.effective_capacity_mbps == pytest.approx(160.0)
+        assert sim.effective_stream_capacity(4.0) == 40
+
+    def test_overhead_shrinks_capacity(self):
+        sim = make_striped(overhead=0.02)
+        # inflation = 1 + 0.02 * 3 = 1.06
+        assert sim.effective_capacity_mbps == pytest.approx(160.0 / 1.06)
+
+    def test_storage_pool_checked(self):
+        cluster = ClusterSpec.homogeneous(2, storage_gb=1.0, bandwidth_mbps=100.0)
+        videos = VideoCollection.homogeneous(10)  # 27 GB total
+        with pytest.raises(ValueError, match="shared pool"):
+            StripedClusterSimulator(cluster, videos)
+
+    def test_heterogeneous_rejected(self):
+        cluster = ClusterSpec(
+            [ServerSpec(10.0, 100.0), ServerSpec(20.0, 200.0)]
+        )
+        with pytest.raises(ValueError, match="homogeneous"):
+            StripedClusterSimulator(cluster, VideoCollection.homogeneous(1))
+
+
+class TestAdmission:
+    def test_pooled_admission(self):
+        sim = make_striped(overhead=0.0)
+        # 40 concurrent streams fit; the 41st overlapping one does not.
+        trace = RequestTrace(
+            np.linspace(0.0, 1.0, 41), np.zeros(41, dtype=int)
+        )
+        result = sim.run(trace, horizon_min=30.0)
+        assert result.num_rejected == 1
+
+    def test_departures_free_capacity(self):
+        sim = make_striped(overhead=0.0)
+        trace = RequestTrace(
+            np.concatenate([np.linspace(0.0, 1.0, 40), [61.0]]),
+            np.zeros(41, dtype=int),
+        )
+        result = sim.run(trace, horizon_min=90.0)
+        assert result.num_rejected == 0
+
+    def test_loads_perfectly_balanced(self):
+        sim = make_striped(overhead=0.0)
+        trace = RequestTrace(np.array([0.0, 1.0, 2.0]), np.zeros(3, dtype=int))
+        result = sim.run(trace, horizon_min=60.0)
+        loads = result.server_time_avg_load_mbps
+        assert np.ptp(loads) == 0.0
+        assert result.load_imbalance() == 0.0
+
+    def test_watch_times_respected(self):
+        sim = make_striped(overhead=0.0)
+        trace = RequestTrace(
+            np.linspace(0.0, 1.0, 41),
+            np.zeros(41, dtype=int),
+            np.full(41, 0.5),
+        )
+        # All 41 requests arrive within 1 minute but sessions last 0.5 min,
+        # so early ones have departed: only the overlapping excess rejects.
+        result = sim.run(trace, horizon_min=30.0)
+        assert result.num_rejected == 0
+
+
+class TestFailures:
+    def test_single_failure_kills_everything(self):
+        sim = make_striped(overhead=0.0)
+        trace = RequestTrace(np.array([0.0, 1.0, 2.0, 10.0]), np.zeros(4, dtype=int))
+        result = sim.run(
+            trace,
+            horizon_min=30.0,
+            failures=FailureSchedule.single(5.0, 0),
+        )
+        assert result.streams_dropped == 3     # everything active at t=5
+        assert result.num_rejected == 1        # t=10 arrival: member down
+
+    def test_recovery_restores_service(self):
+        sim = make_striped(overhead=0.0)
+        trace = RequestTrace(np.array([0.0, 10.0]), np.zeros(2, dtype=int))
+        result = sim.run(
+            trace,
+            horizon_min=30.0,
+            failures=FailureSchedule([FailureEvent(5.0, 0, down_min=2.0)]),
+        )
+        assert result.num_rejected == 0
+
+
+class TestArchitectureComparison:
+    """The Sec. 1 argument, measured."""
+
+    def setup_systems(self, overhead):
+        pop = ZipfPopularity(50, 0.75)
+        cluster = ClusterSpec.homogeneous(4, storage_gb=81.0, bandwidth_mbps=900.0)
+        videos = VideoCollection.homogeneous(50)
+        replication = zipf_interval_replication(pop.probabilities, 4, 120)
+        layout = smallest_load_first_placement(replication, 30)
+        replicated = VoDClusterSimulator(cluster, videos, layout)
+        striped = StripedClusterSimulator(
+            cluster, videos, overhead_per_server=overhead
+        )
+        return pop, replicated, striped
+
+    def run_both(self, rate, overhead):
+        pop, replicated, striped = self.setup_systems(overhead)
+        generator = WorkloadGenerator.poisson_zipf(pop, rate)
+        rej_r, rej_s = [], []
+        for trace in generator.generate_runs(90.0, 5, 13):
+            rej_r.append(replicated.run(trace, horizon_min=90.0).rejection_rate)
+            rej_s.append(striped.run(trace, horizon_min=90.0).rejection_rate)
+        return float(np.mean(rej_r)), float(np.mean(rej_s))
+
+    def test_ideal_striping_at_least_as_good(self):
+        # Zero overhead: a perfectly pooled link statistically dominates
+        # any partitioned system at the same total bandwidth.
+        rej_repl, rej_stripe = self.run_both(rate=20.0, overhead=0.0)
+        assert rej_stripe <= rej_repl + 1e-9
+
+    def test_overhead_flips_the_comparison(self):
+        # With a realistic coordination cost, replication wins at load.
+        rej_repl, rej_stripe = self.run_both(rate=20.0, overhead=0.05)
+        assert rej_stripe > rej_repl
+
+    def test_failure_blast_radius(self):
+        pop, replicated, striped = self.setup_systems(overhead=0.0)
+        generator = WorkloadGenerator.poisson_zipf(pop, 10.0)
+        trace = next(iter(generator.generate_runs(90.0, 1, 17)))
+        failures = FailureSchedule.single(45.0, 0)
+        res_r = replicated.run(trace, horizon_min=90.0, failures=failures)
+        res_s = striped.run(trace, horizon_min=90.0, failures=failures)
+        # Striping drops every active stream; replication only one server's.
+        assert res_s.streams_dropped > res_r.streams_dropped

@@ -1,0 +1,78 @@
+"""Tests for the Figures 1-3 walkthrough reproductions."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.walkthrough import (
+    figure1_trace,
+    figure2_scenario,
+    figure3_trace,
+)
+from repro.placement import smallest_load_first_placement
+from repro.replication import adams_replication
+
+
+class TestFigure1:
+    def test_default_instance(self):
+        result = figure1_trace()
+        assert result["budget"] == 9
+        assert len(result["trace"]) == 4  # 9 replicas - 5 initial
+        assert result["final_counts"].sum() == 9
+
+    def test_first_iteration_duplicates_v1(self):
+        result = figure1_trace()
+        iteration, video, count, _ = result["trace"][0]
+        assert (iteration, video, count) == (1, 0, 2)
+
+    def test_weights_consistent(self):
+        result = figure1_trace()
+        expected = result["popularity"] / result["final_counts"]
+        np.testing.assert_allclose(result["final_weights"], expected)
+
+
+class TestFigure2:
+    def test_default_scenario(self):
+        result = figure2_scenario()
+        assert result["num_servers"] == 4
+        assert len(result["boundaries"]) == 5
+        assert result["total"] <= result["budget"]
+
+    def test_counts_follow_intervals(self):
+        result = figure2_scenario()
+        counts = result["replica_counts"]
+        assert np.all(np.diff(counts) <= 0)
+        assert counts[0] >= counts[-1]
+
+    def test_boundaries_span_popularity_range(self):
+        result = figure2_scenario()
+        probs = result["popularity"]
+        assert result["boundaries"][0] == pytest.approx(probs.max())
+        assert result["boundaries"][-1] == pytest.approx(probs.min())
+
+
+class TestFigure3:
+    def test_steps_cover_all_replicas(self):
+        result = figure3_trace()
+        assert len(result["steps"]) == result["replication"].total_replicas
+
+    def test_imbalance_within_bound(self):
+        result = figure3_trace()
+        assert result["imbalance"] <= result["bound"] + 1e-12
+
+    def test_trace_matches_production_placement(self):
+        """The walkthrough must mirror the real SLF implementation."""
+        probs = np.array([0.3, 0.25, 0.2, 0.15, 0.1])
+        replication = adams_replication(probs, 3, 8)
+        traced = figure3_trace(replication, capacity=3)
+        layout = smallest_load_first_placement(replication, 3)
+        weights = layout.replica_weights(probs).sum(axis=0)
+        np.testing.assert_allclose(np.sort(traced["final_loads"]), np.sort(weights))
+
+    def test_conflict_steps_flagged(self):
+        # r = (3, 2, 1): in round 2 the smallest-load server already holds
+        # v0, so its third replica must walk to a heavier server (the
+        # Figure 3 highlight).
+        probs = np.array([0.5, 0.3, 0.2])
+        replication = adams_replication(probs, 3, 6)
+        result = figure3_trace(replication, capacity=2)
+        assert any(step["conflict"] for step in result["steps"])

@@ -1,0 +1,189 @@
+"""Tests for the watch-time (early-departure) workload extension."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterSpec, VideoCollection, ZipfPopularity
+from repro.cluster_sim import VoDClusterSimulator
+from repro.model.layout import ReplicaLayout
+from repro.workload import (
+    BimodalWatch,
+    ExponentialWatch,
+    FullWatch,
+    PoissonArrivals,
+    RequestTrace,
+    WorkloadGenerator,
+    load_trace,
+    save_trace,
+)
+
+
+class TestModels:
+    def test_full_watch(self, rng):
+        durations = np.array([90.0, 60.0])
+        np.testing.assert_array_equal(
+            FullWatch().sample(durations, rng), durations
+        )
+
+    def test_exponential_mean(self, rng):
+        durations = np.full(200_000, 90.0)
+        watch = ExponentialWatch(0.3).sample(durations, rng)
+        # Truncation pulls the mean slightly below 0.3 * 90 = 27.
+        assert 20.0 < watch.mean() < 27.0
+        assert watch.max() <= 90.0
+        assert watch.min() > 0.0
+
+    def test_exponential_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialWatch(0.0)
+
+    def test_bimodal_split(self, rng):
+        durations = np.full(100_000, 90.0)
+        watch = BimodalWatch(0.4, browse_fraction=0.1).sample(durations, rng)
+        short = np.isclose(watch, 9.0)
+        full = np.isclose(watch, 90.0)
+        assert np.all(short | full)
+        assert short.mean() == pytest.approx(0.4, abs=0.01)
+
+    def test_bimodal_validation(self):
+        with pytest.raises(ValueError):
+            BimodalWatch(1.5)
+        with pytest.raises(ValueError):
+            BimodalWatch(0.5, browse_fraction=0.0)
+
+
+class TestTraceColumn:
+    def test_trace_carries_watch(self):
+        trace = RequestTrace(
+            np.array([0.0, 1.0]), np.array([0, 1]), np.array([5.0, 10.0])
+        )
+        np.testing.assert_array_equal(trace.watch_min, [5.0, 10.0])
+
+    def test_watch_shape_checked(self):
+        with pytest.raises(ValueError, match="watch_min shape"):
+            RequestTrace(np.array([0.0]), np.array([0]), np.array([1.0, 2.0]))
+
+    def test_watch_positive(self):
+        with pytest.raises(ValueError, match="> 0"):
+            RequestTrace(np.array([0.0]), np.array([0]), np.array([0.0]))
+
+    def test_window_slices_watch(self):
+        trace = RequestTrace(
+            np.array([0.0, 1.0, 2.0]), np.array([0, 1, 2]), np.array([3.0, 4.0, 5.0])
+        )
+        sub = trace.window(1.0, 3.0)
+        np.testing.assert_array_equal(sub.watch_min, [4.0, 5.0])
+
+    def test_equality_includes_watch(self):
+        a = RequestTrace(np.array([0.0]), np.array([0]), np.array([5.0]))
+        b = RequestTrace(np.array([0.0]), np.array([0]), np.array([6.0]))
+        c = RequestTrace(np.array([0.0]), np.array([0]))
+        assert a != b
+        assert a != c
+
+    def test_io_roundtrip_with_watch(self, tmp_path, rng):
+        videos = VideoCollection.homogeneous(10)
+        gen = WorkloadGenerator(
+            ZipfPopularity(10, 0.5),
+            PoissonArrivals(5.0),
+            watch_time_model=ExponentialWatch(0.5),
+            video_durations_min=videos.durations_min,
+        )
+        trace = gen.generate(60.0, rng)
+        assert trace.watch_min is not None
+        path = tmp_path / "watch.csv"
+        save_trace(trace, path)
+        assert load_trace(path) == trace
+
+
+class TestGeneratorIntegration:
+    def test_requires_both_or_neither(self):
+        with pytest.raises(ValueError, match="together"):
+            WorkloadGenerator(
+                ZipfPopularity(5, 0.5),
+                PoissonArrivals(1.0),
+                watch_time_model=FullWatch(),
+            )
+
+    def test_duration_shape_checked(self):
+        with pytest.raises(ValueError, match="per video"):
+            WorkloadGenerator(
+                ZipfPopularity(5, 0.5),
+                PoissonArrivals(1.0),
+                watch_time_model=FullWatch(),
+                video_durations_min=np.full(3, 90.0),
+            )
+
+    def test_watch_bounded_by_video_duration(self, rng):
+        videos = VideoCollection.homogeneous(5, duration_min=30.0)
+        gen = WorkloadGenerator(
+            ZipfPopularity(5, 0.5),
+            PoissonArrivals(20.0),
+            watch_time_model=ExponentialWatch(0.9),
+            video_durations_min=videos.durations_min,
+        )
+        trace = gen.generate(60.0, rng)
+        assert trace.watch_min.max() <= 30.0
+
+
+class TestSimulatorIntegration:
+    def make_sim(self):
+        cluster = ClusterSpec.homogeneous(1, storage_gb=100.0, bandwidth_mbps=8.0)
+        videos = VideoCollection.homogeneous(1, bit_rate_mbps=4.0, duration_min=60.0)
+        layout = ReplicaLayout.from_assignment([[0]], 1)
+        return VoDClusterSimulator(cluster, videos, layout)
+
+    def test_short_watch_frees_bandwidth(self):
+        sim = self.make_sim()
+        # Two slots; three requests with 1-minute sessions never collide.
+        trace = RequestTrace(
+            np.array([0.0, 2.0, 4.0]),
+            np.zeros(3, dtype=int),
+            np.array([1.0, 1.0, 1.0]),
+        )
+        result = sim.run(trace, horizon_min=10.0)
+        assert result.num_rejected == 0
+
+    def test_full_watch_blocks(self):
+        sim = self.make_sim()
+        trace = RequestTrace(np.array([0.0, 2.0, 4.0]), np.zeros(3, dtype=int))
+        result = sim.run(trace, horizon_min=10.0)
+        assert result.num_rejected == 1
+
+    def test_watch_clipped_to_duration(self):
+        sim = self.make_sim()
+        # Watch times above the 60-min duration behave like full watches.
+        trace = RequestTrace(
+            np.array([0.0, 1.0, 2.0]),
+            np.zeros(3, dtype=int),
+            np.array([500.0, 500.0, 500.0]),
+        )
+        result = sim.run(trace, horizon_min=10.0)
+        assert result.num_rejected == 1
+
+    def test_early_departures_raise_throughput(self, rng):
+        """The motivating effect: shorter sessions -> fewer rejections."""
+        pop = ZipfPopularity(20, 0.75)
+        cluster = ClusterSpec.homogeneous(2, storage_gb=100.0, bandwidth_mbps=200.0)
+        videos = VideoCollection.homogeneous(20, duration_min=90.0)
+        layout = ReplicaLayout.from_assignment(
+            [[i % 2] for i in range(20)], 2
+        )
+        sim = VoDClusterSimulator(cluster, videos, layout)
+
+        full_gen = WorkloadGenerator(pop, PoissonArrivals(3.0))
+        short_gen = WorkloadGenerator(
+            pop,
+            PoissonArrivals(3.0),
+            watch_time_model=ExponentialWatch(0.3),
+            video_durations_min=videos.durations_min,
+        )
+        full_rej = np.mean(
+            [sim.run(t, horizon_min=90.0).rejection_rate
+             for t in full_gen.generate_runs(90.0, 5, 1)]
+        )
+        short_rej = np.mean(
+            [sim.run(t, horizon_min=90.0).rejection_rate
+             for t in short_gen.generate_runs(90.0, 5, 1)]
+        )
+        assert short_rej <= full_rej
