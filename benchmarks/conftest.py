@@ -4,15 +4,27 @@
 regenerates every paper figure: each ``bench_fig*`` writes its
 paper-comparable series to ``results/<name>.txt`` (repo root) and prints it
 so the run doubles as the reproduction harness.
+
+Every simulation in the session runs through one
+:class:`repro.runtime.ParallelRunner`:
+
+* ``REPRO_JOBS=N`` sets the worker-process count (default 1 — serial — so
+  kernel timings stay comparable run to run);
+* ``REPRO_CACHE=1`` enables the on-disk result cache (default off: a
+  benchmark that reads cached results measures nothing).
+
+The engine's aggregate run report is printed at the end of the session.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
 from repro.experiments import PaperSetup
+from repro.runtime import ParallelRunner, ResultCache, use_runner
 
 
 @pytest.fixture(scope="session")
@@ -27,6 +39,16 @@ def results_dir() -> Path:
 def bench_setup() -> PaperSetup:
     """Paper setup with a reduced run count (benchmarks re-run the body)."""
     return PaperSetup().quick(num_runs=3)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_runner():
+    """Session-wide experiment engine (see module docstring for env knobs)."""
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    cache = ResultCache() if os.environ.get("REPRO_CACHE") == "1" else None
+    with ParallelRunner(jobs, cache=cache) as runner, use_runner(runner):
+        yield runner
+    print(f"\n[benchmarks] {runner.report.format()}")
 
 
 def emit(results_dir: Path, name: str, report: str) -> None:

@@ -32,6 +32,17 @@ class SimulationResult:
         the extension is disabled).
     horizon_min:
         Measurement horizon (the peak-period length).
+    num_truncated:
+        Arrivals strictly after the horizon that were therefore not
+        simulated; ``num_requests + num_truncated`` recovers the trace's
+        request count.
+    num_events:
+        Events the simulator processed (arrivals, departures, failures,
+        recoveries) — the throughput numerator of the run report.
+    wall_time_sec:
+        Wall-clock time of the simulation run.  Excluded from
+        :meth:`same_outcome`: it varies run to run while every semantic
+        field is deterministic.
     """
 
     num_requests: int
@@ -46,10 +57,15 @@ class SimulationResult:
     num_redirected: int = 0
     #: Streams killed mid-play by server failures (failure extension).
     streams_dropped: int = 0
+    num_truncated: int = 0
+    num_events: int = 0
+    wall_time_sec: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_requests < 0 or self.num_rejected < 0:
             raise ValueError("request counts must be >= 0")
+        if self.num_truncated < 0 or self.num_events < 0:
+            raise ValueError("event counts must be >= 0")
         if self.num_rejected > self.num_requests:
             raise ValueError("cannot reject more requests than arrived")
         if int(self.per_video_requests.sum()) != self.num_requests:
@@ -105,6 +121,37 @@ class SimulationResult:
             load_imbalance(self.server_time_avg_load_mbps, metric)
             / float(self.server_bandwidth_mbps.mean())
             * 100.0
+        )
+
+    def same_outcome(self, other: "SimulationResult") -> bool:
+        """True when every deterministic field matches bit-for-bit.
+
+        Wall-clock time is the only field allowed to differ: it depends on
+        the machine, not the simulated system.  This is the equality the
+        parallel-vs-serial determinism guarantee is stated in.
+        """
+        scalars = (
+            "num_requests",
+            "num_rejected",
+            "horizon_min",
+            "num_redirected",
+            "streams_dropped",
+            "num_truncated",
+            "num_events",
+        )
+        arrays = (
+            "per_video_requests",
+            "per_video_rejected",
+            "server_time_avg_load_mbps",
+            "server_peak_load_mbps",
+            "server_served",
+            "server_bandwidth_mbps",
+        )
+        return all(
+            getattr(self, name) == getattr(other, name) for name in scalars
+        ) and all(
+            np.array_equal(getattr(self, name), getattr(other, name))
+            for name in arrays
         )
 
     def per_video_rejection_rate(self) -> np.ndarray:

@@ -22,6 +22,8 @@ bandwidth for the stream's lifetime.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from .._validation import check_non_negative, check_positive
@@ -140,6 +142,7 @@ class VoDClusterSimulator:
             replica holders — the availability benefit replication buys.
             The paper's static model (False) simply rejects it.
         """
+        start_wall = time.perf_counter()
         if horizon_min is None:
             horizon_min = trace.duration_min if trace.num_requests else 1.0
         check_positive("horizon_min", horizon_min)
@@ -163,6 +166,7 @@ class VoDClusterSimulator:
         # so a crash can return the right amount in bulk.
         backbone_by_server = np.zeros(len(servers))
         streams_dropped = 0
+        events_processed = 0
 
         if failures is not None:
             failures.validate_servers(len(servers))
@@ -172,7 +176,8 @@ class VoDClusterSimulator:
 
         def handle(event) -> None:
             """Apply one departure/failure/recovery event."""
-            nonlocal streams_dropped
+            nonlocal streams_dropped, events_processed
+            events_processed += 1
             if event.kind is EventKind.DEPARTURE:
                 server_id, rate, redirected, epoch = event.payload
                 server = servers[server_id]
@@ -209,8 +214,16 @@ class VoDClusterSimulator:
 
         times = trace.arrival_min
         videos = trace.videos
-        if times.size and int(videos.max()) >= num_videos:
-            raise ValueError("trace references a video outside the collection")
+        if times.size:
+            # Both bounds: a negative id would otherwise wrap through
+            # NumPy's negative indexing into ``self._durations`` and the
+            # rate matrix and silently simulate the wrong videos.
+            if int(videos.min()) < 0:
+                raise ValueError(
+                    f"trace contains negative video id {int(videos.min())}"
+                )
+            if int(videos.max()) >= num_videos:
+                raise ValueError("trace references a video outside the collection")
         # Stream hold times: the full video duration (the paper's model) or
         # the per-request watch times of an early-departure workload.
         if trace.watch_min is not None:
@@ -218,14 +231,20 @@ class VoDClusterSimulator:
         else:
             hold_min = self._durations[videos]
 
+        num_truncated = 0
         for index, (t, video) in enumerate(zip(times, videos)):
             t = float(t)
             if t > horizon_min:
+                # Arrivals are time-ordered: everything from here on is
+                # strictly past the horizon.  An arrival at exactly
+                # ``horizon_min`` is still simulated.
+                num_truncated = int(times.size - index)
                 break
             video = int(video)
             # Apply departures/failures/recoveries at or before t.
             drain(t)
 
+            events_processed += 1
             per_video_requests[video] += 1
             if self._best_rates[video] <= 0.0:
                 # Video has no replica anywhere: nothing can serve it.
@@ -300,6 +319,9 @@ class VoDClusterSimulator:
             horizon_min=float(horizon_min),
             num_redirected=backbone.redirected_streams if backbone else 0,
             streams_dropped=streams_dropped,
+            num_truncated=num_truncated,
+            num_events=events_processed,
+            wall_time_sec=time.perf_counter() - start_wall,
         )
 
     # ------------------------------------------------------------------

@@ -3,19 +3,27 @@
 Usage::
 
     python -m repro.experiments fig4 [--quick] [--out results/]
-    python -m repro.experiments all --quick
+    python -m repro.experiments fig5 --jobs 8            # parallel sweep
+    python -m repro.experiments all --quick --no-cache
 
 Each experiment prints its paper-comparable series and (with ``--out``)
-also writes them to ``<out>/<name>.txt``.
+also writes them to ``<out>/<name>.txt``.  Simulations run through the
+:mod:`repro.runtime` engine: ``--jobs`` controls the worker-process count,
+and results are cached under ``results/cache/`` (disable with
+``--no-cache``) so re-running a sweep only simulates new design points.
+A structured run report (trials, cache hit rate, events/sec) follows each
+experiment.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
 
+from ..runtime import ParallelRunner, ResultCache, use_runner
 from . import (
     ablations,
     adams_vs_zipf,
@@ -71,19 +79,45 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="append ASCII line charts to experiments with curve output",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=os.cpu_count() or 1,
+        metavar="N",
+        help="worker processes for simulation trials (default: cpu count)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="result-cache directory (default: results/cache, or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache (simulate every trial)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        start = time.perf_counter()
-        report = EXPERIMENTS[name](quick=args.quick, chart=args.chart)
-        elapsed = time.perf_counter() - start
-        print(f"=== {name} ({elapsed:.1f}s) ===")
-        print(report)
-        print()
-        if args.out is not None:
-            args.out.mkdir(parents=True, exist_ok=True)
-            (args.out / f"{name}.txt").write_text(report + "\n")
+    with ParallelRunner(args.jobs, cache=cache) as runner:
+        for name in names:
+            runner.report.reset()  # fresh counters per experiment
+            start = time.perf_counter()
+            with use_runner(runner):
+                report = EXPERIMENTS[name](quick=args.quick, chart=args.chart)
+            elapsed = time.perf_counter() - start
+            print(f"=== {name} ({elapsed:.1f}s) ===")
+            print(report)
+            print(runner.report.format())
+            print()
+            if args.out is not None:
+                args.out.mkdir(parents=True, exist_ok=True)
+                (args.out / f"{name}.txt").write_text(report + "\n")
     return 0
 
 

@@ -28,6 +28,7 @@ from ..cluster_sim import VoDClusterSimulator, make_dispatcher_factory
 from ..model.objective import ImbalanceMetric
 from ..placement import smallest_load_first_placement
 from ..replication import zipf_interval_replication
+from ..runtime import simulate_many
 from ..workload import WorkloadGenerator
 from .config import PaperSetup
 from .runner import (
@@ -175,10 +176,11 @@ def run_misprediction(
             replication, capacity, bit_rate_mbps=setup.bit_rate_mbps
         )
         simulator = VoDClusterSimulator(cluster, videos, layout)
-        results = [
-            simulator.run(trace, horizon_min=setup.peak_minutes)
-            for trace in generator.generate_runs(setup.peak_minutes, runs, setup.seed)
-        ]
+        results = simulate_many(
+            simulator,
+            generator.generate_runs(setup.peak_minutes, runs, setup.seed),
+            horizon_min=setup.peak_minutes,
+        )
         rows.append(
             {
                 "noise": noise,
@@ -253,12 +255,11 @@ def run_watch_time(
                     watch_time_model=model,
                     video_durations_min=videos.durations_min,
                 )
-            results = [
-                simulator.run(trace, horizon_min=setup.peak_minutes)
-                for trace in generator.generate_runs(
-                    setup.peak_minutes, runs, setup.seed
-                )
-            ]
+            results = simulate_many(
+                simulator,
+                generator.generate_runs(setup.peak_minutes, runs, setup.seed),
+                horizon_min=setup.peak_minutes,
+            )
             curve.append(float(np.mean([r.rejection_rate for r in results])))
         curves[name] = curve
     return {"arrival_rates": list(setup.arrival_rates_per_min), "curves": curves}
@@ -294,10 +295,11 @@ def run_patience(
         curve = []
         for rate in rates:
             generator = WorkloadGenerator.poisson_zipf(setup.popularity(theta), rate)
-            results = [
-                simulator.run(trace, horizon_min=setup.peak_minutes)
-                for trace in generator.generate_runs(setup.peak_minutes, runs, setup.seed)
-            ]
+            results = simulate_many(
+                simulator,
+                generator.generate_runs(setup.peak_minutes, runs, setup.seed),
+                horizon_min=setup.peak_minutes,
+            )
             curve.append(float(np.mean([r.rejection_rate for r in results])))
         curves[f"patience={patience:g}min"] = curve
     return {"arrival_rates": rates, "curves": curves}

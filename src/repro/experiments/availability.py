@@ -22,6 +22,7 @@ from ..cluster_sim import (
     StripedClusterSimulator,
     VoDClusterSimulator,
 )
+from ..runtime import simulate_many
 from ..workload import WorkloadGenerator
 from .config import PaperSetup
 from .runner import PAPER_COMBOS, build_layout
@@ -58,18 +59,15 @@ def run_availability(
         layout = build_layout(setup, _ZIPF_SLF, theta, degree)
         simulator = VoDClusterSimulator(cluster, videos, layout)
         for failover in (False, True):
-            rejections, dropped = [], []
-            for trace in generator.generate_runs(
-                setup.peak_minutes, runs, setup.seed
-            ):
-                result = simulator.run(
-                    trace,
-                    horizon_min=setup.peak_minutes,
-                    failures=failures,
-                    failover_on_down=failover,
-                )
-                rejections.append(result.rejection_rate)
-                dropped.append(result.streams_dropped)
+            results = simulate_many(
+                simulator,
+                generator.generate_runs(setup.peak_minutes, runs, setup.seed),
+                horizon_min=setup.peak_minutes,
+                failures=failures,
+                failover_on_down=failover,
+            )
+            rejections = [r.rejection_rate for r in results]
+            dropped = [r.streams_dropped for r in results]
             rows.append(
                 {
                     "system": f"replicated deg={degree:g}",
@@ -83,13 +81,14 @@ def run_availability(
     striped = StripedClusterSimulator(
         setup.cluster(1.0), videos, overhead_per_server=0.0
     )
-    rejections, dropped = [], []
-    for trace in generator.generate_runs(setup.peak_minutes, runs, setup.seed):
-        result = striped.run(
-            trace, horizon_min=setup.peak_minutes, failures=failures
-        )
-        rejections.append(result.rejection_rate)
-        dropped.append(result.streams_dropped)
+    results = simulate_many(
+        striped,
+        generator.generate_runs(setup.peak_minutes, runs, setup.seed),
+        horizon_min=setup.peak_minutes,
+        failures=failures,
+    )
+    rejections = [r.rejection_rate for r in results]
+    dropped = [r.streams_dropped for r in results]
     rows.append(
         {
             "system": "striped (0% overhead)",

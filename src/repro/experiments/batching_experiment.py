@@ -14,6 +14,7 @@ import numpy as np
 from ..analysis.erlang import cluster_blocking_bound
 from ..analysis.tables import format_table
 from ..cluster_sim import BatchingClusterSimulator
+from ..runtime import simulate_many
 from ..workload import WorkloadGenerator
 from .config import PaperSetup
 from .runner import PAPER_COMBOS, build_layout
@@ -48,10 +49,9 @@ def run_batching(
             simulator = BatchingClusterSimulator(
                 cluster, videos, layout, window_min=window
             )
-            results = [
-                simulator.run(trace, horizon_min=setup.peak_minutes)
-                for trace in traces
-            ]
+            results = simulate_many(
+                simulator, traces, horizon_min=setup.peak_minutes
+            )
             rows.append(
                 {
                     "arrival_rate": rate,

@@ -14,7 +14,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..analysis.stats import Summary, summarize
-from ..cluster_sim import VoDClusterSimulator, make_dispatcher_factory
 from ..cluster_sim.metrics import SimulationResult
 from ..model.layout import ReplicaLayout
 from ..placement import RoundRobinPlacer, SmallestLoadFirstPlacer
@@ -25,7 +24,7 @@ from ..replication import (
     ZipfIntervalReplicator,
 )
 from ..replication.base import Replicator
-from ..workload import WorkloadGenerator
+from ..runtime import get_runner, make_trials
 from .config import PaperSetup
 
 __all__ = [
@@ -103,28 +102,31 @@ def simulate_combo(
     ``seed_salt`` only — *not* from the algorithm combo — so competing
     algorithms face identical request traces (paired comparison, lower
     variance), mirroring a careful simulation methodology.
+
+    Execution goes through the active :class:`repro.runtime.ParallelRunner`
+    (serial and uncached by default): trials fan out over its worker pool
+    and may be answered from its result cache, bit-identically either way.
     """
     if num_runs is None:
         num_runs = setup.num_runs
     if layout is None:
         layout = build_layout(setup, combo, theta, degree)
-    simulator = VoDClusterSimulator(
-        setup.cluster(degree),
-        setup.videos(),
-        layout,
-        dispatcher_factory=make_dispatcher_factory(dispatcher),
-        backbone_mbps=backbone_mbps,
-    )
-    generator = WorkloadGenerator.poisson_zipf(
-        setup.popularity(theta), arrival_rate_per_min
-    )
     seed = hash(
         (setup.seed, round(float(arrival_rate_per_min) * 1000), round(theta * 1000), seed_salt)
     ) & 0x7FFFFFFF
-    return [
-        simulator.run(trace, horizon_min=setup.peak_minutes)
-        for trace in generator.generate_runs(setup.peak_minutes, num_runs, seed)
-    ]
+    trials = make_trials(
+        setup,
+        layout,
+        theta=theta,
+        degree=degree,
+        arrival_rate_per_min=arrival_rate_per_min,
+        seed=seed,
+        num_runs=num_runs,
+        dispatcher=dispatcher,
+        backbone_mbps=backbone_mbps,
+        horizon_min=setup.peak_minutes,
+    )
+    return get_runner().run_trials(trials)
 
 
 def rejection_summary(results: list[SimulationResult]) -> Summary:

@@ -21,6 +21,7 @@ from ..annealing import ScalableBitRateProblem, SimulatedAnnealer, run_chains
 from ..cluster_sim import VoDClusterSimulator
 from ..placement import smallest_load_first_placement
 from ..replication import zipf_interval_replication
+from ..runtime import simulate_many
 from ..workload import WorkloadGenerator
 from .config import PaperSetup
 
@@ -47,10 +48,11 @@ def _simulate_layout(
         cluster, videos, layout, validate_layout=False
     )
     generator = WorkloadGenerator.poisson_zipf(setup.popularity(theta), rate_per_min)
-    results = [
-        simulator.run(trace, horizon_min=setup.peak_minutes)
-        for trace in generator.generate_runs(setup.peak_minutes, num_runs, seed)
-    ]
+    results = simulate_many(
+        simulator,
+        generator.generate_runs(setup.peak_minutes, num_runs, seed),
+        horizon_min=setup.peak_minutes,
+    )
     rates = layout.rate_matrix[layout.rate_matrix > 0]
     return {
         "rejection": float(np.mean([r.rejection_rate for r in results])),

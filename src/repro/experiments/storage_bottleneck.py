@@ -24,6 +24,7 @@ import numpy as np
 
 from ..analysis.tables import format_table
 from ..storage import ArrayOrganization, DiskArray, DiskSpec, effective_stream_capacity
+from ..runtime import simulate_many
 from ..workload import WorkloadGenerator
 from ..cluster_sim import VoDClusterSimulator
 from .config import PaperSetup
@@ -93,14 +94,10 @@ def run_disk_bound_simulation(
             layout,
             stream_limits=[cap] * setup.num_servers,
         )
-        rejection = float(
-            np.mean(
-                [
-                    simulator.run(t, horizon_min=setup.peak_minutes).rejection_rate
-                    for t in traces
-                ]
-            )
+        results = simulate_many(
+            simulator, traces, horizon_min=setup.peak_minutes
         )
+        rejection = float(np.mean([r.rejection_rate for r in results]))
         rows.append(
             {
                 "disks": count,

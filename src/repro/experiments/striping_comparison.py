@@ -21,6 +21,7 @@ import numpy as np
 
 from ..analysis.tables import format_series
 from ..cluster_sim import StripedClusterSimulator, VoDClusterSimulator
+from ..runtime import simulate_many
 from ..workload import WorkloadGenerator
 from .config import PaperSetup
 from .runner import PAPER_COMBOS, build_layout
@@ -31,14 +32,12 @@ _ZIPF_SLF = PAPER_COMBOS[0]
 
 
 def _mean_rejection(simulator, generator, peak, runs, seed) -> float:
-    return float(
-        np.mean(
-            [
-                simulator.run(trace, horizon_min=peak).rejection_rate
-                for trace in generator.generate_runs(peak, runs, seed)
-            ]
-        )
+    results = simulate_many(
+        simulator,
+        generator.generate_runs(peak, runs, seed),
+        horizon_min=peak,
     )
+    return float(np.mean([r.rejection_rate for r in results]))
 
 
 def run_load_sweep(

@@ -29,6 +29,8 @@ Degenerate cases handled explicitly:
 
 from __future__ import annotations
 
+import heapq
+
 import numpy as np
 
 from .._validation import check_int_in_range
@@ -93,16 +95,31 @@ def _trim_to_budget(
     replicas trimmed.
     """
     counts = counts.copy()
-    trimmed = 0
     excess = int(counts.sum()) - budget
+    if excess <= 0:
+        return counts, 0
+    # Lazy-free min-heap: one live entry per trimmable video.  A removal
+    # only changes that video's own weight, so each step is one pop plus at
+    # most one push — O(excess * log M) against the old full-array argmin
+    # scan's O(excess * M).  Entries are (weight, video); on ties the heap
+    # yields the lowest video index, matching np.argmin's first-minimum
+    # tie-break, so the output is bit-identical to the scan.
+    heap = [
+        (probs[video] / (counts[video] - 1), video)
+        for video in range(counts.size)
+        if counts[video] > 1
+    ]
+    heapq.heapify(heap)
+    trimmed = 0
     while excess > 0:
-        candidate_weight = np.where(counts > 1, probs / np.maximum(counts - 1, 1), np.inf)
-        video = int(np.argmin(candidate_weight))
-        if not np.isfinite(candidate_weight[video]):
+        if not heap:
             raise RuntimeError("cannot trim below one replica per video")
+        _, video = heapq.heappop(heap)
         counts[video] -= 1
         trimmed += 1
         excess -= 1
+        if counts[video] > 1:
+            heapq.heappush(heap, (probs[video] / (counts[video] - 1), video))
     return counts, trimmed
 
 

@@ -1,0 +1,37 @@
+"""Experiment execution engine: parallel trials, result cache, run reports.
+
+The scaling substrate under :mod:`repro.experiments`: every design-point
+sweep fans its independent trials through a :class:`ParallelRunner`
+(process pool + on-disk :class:`ResultCache` + :class:`RunReport`
+instrumentation) while remaining bit-identical to a serial run.  See
+``EXPERIMENTS.md`` ("Parallel execution and caching") for the user-facing
+contract.
+"""
+
+from .cache import ResultCache, code_version, content_key, default_cache_dir
+from .parallel import (
+    ParallelRunner,
+    get_runner,
+    set_runner,
+    simulate_many,
+    use_runner,
+)
+from .report import RunReport
+from .trial import TrialSpec, make_trials, run_trial, trial_cache_key
+
+__all__ = [
+    "ParallelRunner",
+    "ResultCache",
+    "RunReport",
+    "TrialSpec",
+    "code_version",
+    "content_key",
+    "default_cache_dir",
+    "get_runner",
+    "make_trials",
+    "run_trial",
+    "set_runner",
+    "simulate_many",
+    "trial_cache_key",
+    "use_runner",
+]

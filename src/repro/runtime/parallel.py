@@ -1,0 +1,205 @@
+"""The parallel cached experiment engine.
+
+:class:`ParallelRunner` is the single gateway through which experiments
+run simulations.  It fans independent trials out over a
+``ProcessPoolExecutor`` (``jobs`` workers, default ``os.cpu_count()``),
+answers already-simulated trials from the on-disk :class:`ResultCache`,
+and accounts every trial in a :class:`RunReport`.
+
+Determinism contract: results depend only on the trial specs — never on
+``jobs``, the cache state, or scheduling.  Each trial regenerates its trace
+from an independent ``SeedSequence`` child (see :mod:`repro.runtime.trial`),
+and the runner returns results in spec order, so serial and parallel sweeps
+are bit-identical.
+
+Experiment modules reach the engine through the *active runner*
+(:func:`get_runner`): library calls default to a serial, uncached runner —
+identical behavior to the historical inline loops — while the CLI installs
+a configured engine for the whole run via :func:`use_runner`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+
+from ..cluster_sim.metrics import SimulationResult
+from ..workload.requests import RequestTrace
+from .cache import ResultCache
+from .report import RunReport
+from .trial import TrialSpec, run_trial, trial_cache_key
+
+__all__ = [
+    "ParallelRunner",
+    "get_runner",
+    "set_runner",
+    "simulate_many",
+    "use_runner",
+]
+
+
+def _run_simulation(payload) -> object:
+    """Worker entry for :meth:`ParallelRunner.map_simulations`."""
+    simulator, trace, kwargs = payload
+    return simulator.run(trace, **kwargs)
+
+
+class ParallelRunner:
+    """Runs experiment trials over a process pool with result caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` means ``os.cpu_count()``.  ``jobs=1``
+        runs everything inline (no pool, no pickling).
+    cache:
+        Optional :class:`ResultCache`; ``None`` disables caching.
+    report:
+        Optional :class:`RunReport` to accumulate into; a fresh one is
+        created otherwise and exposed as :attr:`report`.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        *,
+        cache: ResultCache | None = None,
+        report: RunReport | None = None,
+    ) -> None:
+        resolved = jobs if jobs is not None else (os.cpu_count() or 1)
+        if resolved < 1:
+            raise ValueError(f"jobs must be >= 1, got {resolved}")
+        self.jobs = int(resolved)
+        self.cache = cache
+        self.report = report if report is not None else RunReport(jobs=self.jobs)
+        self.report.jobs = self.jobs
+        self._executor: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _execute(self, worker, tasks: list) -> list:
+        """Run *tasks* through the pool (or inline), preserving order."""
+        if self.jobs == 1 or len(tasks) <= 1:
+            return [worker(task) for task in tasks]
+        chunksize = max(1, len(tasks) // (self.jobs * 4))
+        return list(self._pool().map(worker, tasks, chunksize=chunksize))
+
+    # ------------------------------------------------------------------
+    def run_trials(
+        self, specs: "Sequence[TrialSpec] | Iterable[TrialSpec]"
+    ) -> list[SimulationResult]:
+        """Simulate (or recall) every trial, returning results in order."""
+        specs = list(specs)
+        start = time.perf_counter()
+        results: list[SimulationResult | None] = [None] * len(specs)
+
+        misses: list[int] = []
+        keys: dict[int, str] = {}
+        if self.cache is not None:
+            for index, spec in enumerate(specs):
+                key = trial_cache_key(spec)
+                keys[index] = key
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[index] = cached
+                    self.report.record_hit(cached)
+                else:
+                    misses.append(index)
+        else:
+            misses = list(range(len(specs)))
+
+        if misses:
+            fresh = self._execute(run_trial, [specs[i] for i in misses])
+            for index, result in zip(misses, fresh):
+                results[index] = result
+                self.report.record_simulated(result)
+                if self.cache is not None:
+                    self.cache.put(keys[index], result)
+
+        self.report.record_batch(time.perf_counter() - start)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def map_simulations(
+        self,
+        simulator,
+        traces: "Iterable[RequestTrace]",
+        **run_kwargs,
+    ) -> list:
+        """Run ``simulator.run(trace, **run_kwargs)`` for every trace.
+
+        The generic escape hatch for extension simulators (queueing,
+        batching, striping, …) whose results are not plain
+        :class:`SimulationResult` objects: parallel, deterministic, but
+        uncached.  The simulator is pickled once per task; simulators are
+        stateless across runs by contract, so sharing one instance across
+        workers is safe.
+        """
+        tasks = [(simulator, trace, run_kwargs) for trace in traces]
+        start = time.perf_counter()
+        results = self._execute(_run_simulation, tasks)
+        for result in results:
+            if isinstance(result, SimulationResult):
+                self.report.record_simulated(result)
+            else:
+                self.report.trials += 1
+                self.report.simulated += 1
+        self.report.record_batch(time.perf_counter() - start)
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cached = "cached" if self.cache is not None else "uncached"
+        return f"ParallelRunner(jobs={self.jobs}, {cached})"
+
+
+#: Serial, uncached fallback — the historical inline-loop behavior.
+_DEFAULT_RUNNER = ParallelRunner(jobs=1)
+_ACTIVE_RUNNER: ParallelRunner | None = None
+
+
+def get_runner() -> ParallelRunner:
+    """The runner experiment modules route simulations through."""
+    return _ACTIVE_RUNNER if _ACTIVE_RUNNER is not None else _DEFAULT_RUNNER
+
+
+def set_runner(runner: "ParallelRunner | None") -> "ParallelRunner | None":
+    """Install (or clear, with ``None``) the active runner; returns the old."""
+    global _ACTIVE_RUNNER
+    previous = _ACTIVE_RUNNER
+    _ACTIVE_RUNNER = runner
+    return previous
+
+
+@contextmanager
+def use_runner(runner: ParallelRunner):
+    """Scope *runner* as the active engine for a ``with`` block."""
+    previous = set_runner(runner)
+    try:
+        yield runner
+    finally:
+        set_runner(previous)
+
+
+def simulate_many(simulator, traces, **run_kwargs) -> list:
+    """Route a generic simulator×traces batch through the active runner."""
+    return get_runner().map_simulations(simulator, traces, **run_kwargs)

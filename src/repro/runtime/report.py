@@ -1,0 +1,125 @@
+"""Run instrumentation: wall time, event throughput, cache effectiveness.
+
+A :class:`RunReport` accumulates counters across every batch an experiment
+pushes through the runner and renders them as the structured run report the
+CLI prints after each experiment::
+
+    run report: 384 trials (372 simulated, 12 cache hits, 3.1% hit rate)
+      jobs=4  wall 9.84s  sim-time 31.20s (3.17x concurrency)
+      events 1,203,511 simulated  122.3k events/s wall, 38.6k events/s per worker
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster_sim.metrics import SimulationResult
+
+__all__ = ["RunReport"]
+
+
+def _si(value: float) -> str:
+    """Compact thousands formatting (``38.6k``, ``1.2M``)."""
+    for divisor, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= divisor:
+            return f"{value / divisor:.1f}{suffix}"
+    return f"{value:.1f}"
+
+
+@dataclass
+class RunReport:
+    """Mutable counters describing one experiment run through the engine.
+
+    Attributes
+    ----------
+    trials:
+        Trials requested (cache hits + simulations).
+    simulated:
+        Trials actually simulated this run.
+    cache_hits:
+        Trials answered from the on-disk result cache.
+    events:
+        Simulator events processed by the simulated trials.
+    sim_time_sec:
+        Sum of per-trial simulator wall times (CPU-side work); with ``jobs``
+        workers this exceeds ``wall_time_sec`` by up to a factor of ``jobs``.
+    wall_time_sec:
+        End-to-end engine time, including cache probes and pool overhead.
+    """
+
+    jobs: int = 1
+    trials: int = 0
+    simulated: int = 0
+    cache_hits: int = 0
+    events: int = 0
+    sim_time_sec: float = 0.0
+    wall_time_sec: float = 0.0
+    batches: int = field(default=0, repr=False)
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every counter (``jobs`` is preserved)."""
+        self.trials = self.simulated = self.cache_hits = 0
+        self.events = self.batches = 0
+        self.sim_time_sec = self.wall_time_sec = 0.0
+
+    def record_hit(self, result: SimulationResult) -> None:
+        self.trials += 1
+        self.cache_hits += 1
+        del result  # cached events were paid for in an earlier run
+
+    def record_simulated(self, result: SimulationResult) -> None:
+        self.trials += 1
+        self.simulated += 1
+        self.events += result.num_events
+        self.sim_time_sec += result.wall_time_sec
+
+    def record_batch(self, wall_sec: float) -> None:
+        self.batches += 1
+        self.wall_time_sec += wall_sec
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of trials answered from cache (0 when no trials ran)."""
+        return self.cache_hits / self.trials if self.trials else 0.0
+
+    @property
+    def events_per_sec(self) -> float:
+        """Simulated events per second of engine wall time."""
+        return self.events / self.wall_time_sec if self.wall_time_sec else 0.0
+
+    @property
+    def concurrency(self) -> float:
+        """Achieved sim-time/wall-time ratio (~jobs under perfect scaling)."""
+        return (
+            self.sim_time_sec / self.wall_time_sec if self.wall_time_sec else 0.0
+        )
+
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        """Render the structured run report (see module docstring)."""
+        lines = [
+            (
+                f"run report: {self.trials} trials ({self.simulated} simulated, "
+                f"{self.cache_hits} cache hits, "
+                f"{self.cache_hit_rate:.1%} hit rate)"
+            ),
+            (
+                f"  jobs={self.jobs}  wall {self.wall_time_sec:.2f}s  "
+                f"sim-time {self.sim_time_sec:.2f}s "
+                f"({self.concurrency:.2f}x concurrency)"
+            ),
+        ]
+        per_worker = (
+            self.events / self.sim_time_sec if self.sim_time_sec else 0.0
+        )
+        lines.append(
+            f"  events {self.events:,} simulated  "
+            f"{_si(self.events_per_sec)} events/s wall, "
+            f"{_si(per_worker)} events/s per worker"
+        )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()

@@ -1,0 +1,165 @@
+"""The unit of parallel work: one simulated peak period at one design point.
+
+A :class:`TrialSpec` carries everything a worker process needs to rebuild
+the trial from scratch: the experiment setup, the (already computed)
+replica layout, the design point, and the *root* workload seed plus the
+trial's run index.  The trace is regenerated inside the worker from
+``SeedSequence(seed, spawn_key=(run_index,))`` — exactly the child that
+``SeedSequence(seed).spawn(num_runs)[run_index]`` produces — so a sweep
+partitioned over any number of processes is bit-identical to the serial
+run, and any single trial can be re-simulated in isolation.
+
+Workers memoize the simulator per configuration (``config_key``), so the
+layout validation and per-video replica indexing are paid once per design
+point per worker rather than once per trial.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..cluster_sim import VoDClusterSimulator, make_dispatcher_factory
+from ..cluster_sim.metrics import SimulationResult
+from ..model.layout import ReplicaLayout
+from ..workload import WorkloadGenerator
+from ..workload.requests import RequestTrace
+from .cache import code_version, content_key
+
+__all__ = ["TrialSpec", "make_trials", "run_trial", "trial_cache_key"]
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One independent simulation run of one experiment design point.
+
+    ``setup`` is duck-typed (anything exposing ``cluster(degree)``,
+    ``videos()``, ``popularity(theta)`` and ``peak_minutes`` works); the
+    stock implementation is :class:`repro.experiments.PaperSetup`.
+    """
+
+    setup: object
+    layout: ReplicaLayout = field(repr=False)
+    theta: float
+    degree: float
+    arrival_rate_per_min: float
+    seed: int
+    run_index: int
+    dispatcher: str = "static_rr"
+    backbone_mbps: float = 0.0
+    horizon_min: float | None = None
+    #: Content hash shared by all trials of one design point; fills in the
+    #: worker-side simulator memo and the cache key.  Computed by
+    #: :func:`make_trials`.
+    config_key: str = ""
+
+    def resolved_horizon_min(self) -> float:
+        return float(
+            self.horizon_min
+            if self.horizon_min is not None
+            else self.setup.peak_minutes
+        )
+
+
+def make_trials(
+    setup,
+    layout: ReplicaLayout,
+    *,
+    theta: float,
+    degree: float,
+    arrival_rate_per_min: float,
+    seed: int,
+    num_runs: int,
+    dispatcher: str = "static_rr",
+    backbone_mbps: float = 0.0,
+    horizon_min: float | None = None,
+) -> list[TrialSpec]:
+    """Build the *num_runs* trial specs of one design point.
+
+    The configuration hash binds the full setup, the layout contents, the
+    design point, the dispatcher/backbone options, and the code version —
+    the cache-invalidation key of the ISSUE's contract.
+    """
+    base = TrialSpec(
+        setup=setup,
+        layout=layout,
+        theta=float(theta),
+        degree=float(degree),
+        arrival_rate_per_min=float(arrival_rate_per_min),
+        seed=int(seed),
+        run_index=0,
+        dispatcher=dispatcher,
+        backbone_mbps=float(backbone_mbps),
+        horizon_min=horizon_min,
+    )
+    config_key = content_key(
+        {
+            "setup": base.setup,
+            "layout": layout.rate_matrix,
+            "theta": base.theta,
+            "degree": base.degree,
+            "arrival_rate_per_min": base.arrival_rate_per_min,
+            "seed": base.seed,
+            "dispatcher": base.dispatcher,
+            "backbone_mbps": base.backbone_mbps,
+            "horizon_min": base.horizon_min,
+            "simulator": VoDClusterSimulator.__qualname__,
+            "code_version": code_version(),
+        }
+    )
+    return [
+        replace(base, run_index=i, config_key=config_key)
+        for i in range(int(num_runs))
+    ]
+
+
+def trial_cache_key(spec: TrialSpec) -> str:
+    """Cache key of one trial: the design-point hash plus the run index."""
+    return hashlib.sha256(
+        f"{spec.config_key}:{spec.run_index}".encode()
+    ).hexdigest()
+
+
+def trial_trace(spec: TrialSpec) -> RequestTrace:
+    """Regenerate the trial's request trace (bit-identical to serial)."""
+    generator = WorkloadGenerator.poisson_zipf(
+        spec.setup.popularity(spec.theta), spec.arrival_rate_per_min
+    )
+    child = np.random.SeedSequence(
+        entropy=spec.seed, spawn_key=(spec.run_index,)
+    )
+    return generator.generate(
+        spec.resolved_horizon_min(), np.random.default_rng(child)
+    )
+
+
+#: Worker-local simulator memo, keyed by ``config_key`` (bounded FIFO).
+_SIM_MEMO: dict[str, VoDClusterSimulator] = {}
+_SIM_MEMO_MAX = 32
+
+
+def _simulator_for(spec: TrialSpec) -> VoDClusterSimulator:
+    simulator = _SIM_MEMO.get(spec.config_key) if spec.config_key else None
+    if simulator is None:
+        simulator = VoDClusterSimulator(
+            spec.setup.cluster(spec.degree),
+            spec.setup.videos(),
+            spec.layout,
+            dispatcher_factory=make_dispatcher_factory(spec.dispatcher),
+            backbone_mbps=spec.backbone_mbps,
+        )
+        if spec.config_key:
+            if len(_SIM_MEMO) >= _SIM_MEMO_MAX:
+                _SIM_MEMO.pop(next(iter(_SIM_MEMO)))
+            _SIM_MEMO[spec.config_key] = simulator
+    return simulator
+
+
+def run_trial(spec: TrialSpec) -> SimulationResult:
+    """Simulate one trial (the function a pool worker executes)."""
+    simulator = _simulator_for(spec)
+    return simulator.run(
+        trial_trace(spec), horizon_min=spec.resolved_horizon_min()
+    )

@@ -43,8 +43,30 @@ class TestSummarize:
 
     def test_ci_formula(self):
         summary = summarize([0.0, 2.0])
-        # std = sqrt(2), ci = 1.96 * sqrt(2) / sqrt(2) = 1.96...
-        assert summary.ci95 == pytest.approx(1.959963984540054 * np.sqrt(2) / np.sqrt(2))
+        # n=2 -> df=1 -> Student-t 12.7062 (z=1.96 would understate by 6.5x)
+        assert summary.ci95 == pytest.approx(12.7062 * np.sqrt(2) / np.sqrt(2))
+
+    def test_ci_uses_student_t_for_small_n(self):
+        from repro.analysis.stats import t_critical_975
+
+        rng = np.random.default_rng(7)
+        for n, t in ((2, 12.7062), (3, 4.3027), (4, 3.1824), (5, 2.7764)):
+            values = rng.normal(size=n)
+            summary = summarize(values)
+            expected = t * values.std(ddof=1) / np.sqrt(n)
+            assert summary.ci95 == pytest.approx(expected)
+            assert t_critical_975(n - 1) == t
+
+    def test_t_critical_monotone_and_limits(self):
+        from repro.analysis.stats import t_critical_975
+
+        values = [t_critical_975(df) for df in range(1, 200)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        # between anchors: conservative (next lower df's critical value)
+        assert t_critical_975(35) == t_critical_975(30)
+        assert t_critical_975(200) == pytest.approx(1.959963984540054)
+        with pytest.raises(ValueError):
+            t_critical_975(0)
 
     def test_singleton(self):
         summary = summarize([5.0])

@@ -147,3 +147,69 @@ class TestZipfIntervalReplication:
             ZipfIntervalReplicator(tol=0.0)
         with pytest.raises(ValueError):
             ZipfIntervalReplicator(max_iterations=0)
+
+
+class TestTrimToBudget:
+    """The heap-based trim must match the original argmin scan exactly."""
+
+    @staticmethod
+    def _reference_trim(probs, counts, budget):
+        """The pre-heap O(excess * M) implementation, kept as the oracle."""
+        counts = counts.copy()
+        trimmed = 0
+        excess = int(counts.sum()) - budget
+        while excess > 0:
+            weight = np.where(
+                counts > 1, probs / np.maximum(counts - 1, 1), np.inf
+            )
+            video = int(np.argmin(weight))
+            if not np.isfinite(weight[video]):
+                raise RuntimeError("cannot trim below one replica per video")
+            counts[video] -= 1
+            trimmed += 1
+            excess -= 1
+        return counts, trimmed
+
+    def test_identical_to_reference_on_skewed_instance(self):
+        from repro.replication.zipf_interval import _trim_to_budget
+
+        probs = zipf_probabilities(300, 0.9)
+        counts = interval_replica_counts(probs, 8, -8.0)
+        budget = 300 + 8 - 5  # below the algorithm's floor: forces trimming
+        expected_counts, expected_trimmed = self._reference_trim(
+            probs, counts, budget
+        )
+        got_counts, got_trimmed = _trim_to_budget(probs, counts, budget)
+        np.testing.assert_array_equal(got_counts, expected_counts)
+        assert got_trimmed == expected_trimmed
+        assert int(got_counts.sum()) == budget
+
+    def test_identical_under_heavy_ties(self):
+        from repro.replication.zipf_interval import _trim_to_budget
+
+        # Uniform popularity maximizes weight ties: tie-breaking must match.
+        probs = np.full(40, 1.0 / 40)
+        counts = np.full(40, 3, dtype=np.int64)
+        expected_counts, expected_trimmed = self._reference_trim(
+            probs, counts, 75
+        )
+        got_counts, got_trimmed = _trim_to_budget(probs, counts, 75)
+        np.testing.assert_array_equal(got_counts, expected_counts)
+        assert got_trimmed == expected_trimmed
+
+    def test_no_trim_needed(self):
+        from repro.replication.zipf_interval import _trim_to_budget
+
+        probs = zipf_probabilities(10, 0.5)
+        counts = np.full(10, 2, dtype=np.int64)
+        got_counts, trimmed = _trim_to_budget(probs, counts, 25)
+        np.testing.assert_array_equal(got_counts, counts)
+        assert trimmed == 0
+
+    def test_impossible_budget_raises(self):
+        from repro.replication.zipf_interval import _trim_to_budget
+
+        probs = zipf_probabilities(5, 0.5)
+        counts = np.full(5, 2, dtype=np.int64)
+        with pytest.raises(RuntimeError):
+            _trim_to_budget(probs, counts, 3)

@@ -1,0 +1,259 @@
+"""Tests for the parallel cached experiment engine (repro.runtime)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster_sim import VoDClusterSimulator
+from repro.experiments import PAPER_COMBOS, PaperSetup, build_layout, simulate_combo
+from repro.runtime import (
+    ParallelRunner,
+    ResultCache,
+    RunReport,
+    TrialSpec,
+    code_version,
+    content_key,
+    get_runner,
+    make_trials,
+    run_trial,
+    trial_cache_key,
+    use_runner,
+)
+from repro.runtime.trial import trial_trace
+from repro.workload import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def small_setup() -> PaperSetup:
+    return PaperSetup().scaled_down(num_videos=30, num_servers=4, num_runs=3)
+
+
+def _fig5_style_sweep(setup, rates=(10.0, 20.0)):
+    """A miniature Figure 5 slice: 2 combos x len(rates) points x 3 runs."""
+    results = []
+    for combo in (PAPER_COMBOS[0], PAPER_COMBOS[3]):
+        for rate in rates:
+            results.extend(simulate_combo(setup, combo, 0.75, 1.2, rate))
+    return results
+
+
+class TestSeeding:
+    def test_spawn_key_matches_generate_runs(self, small_setup):
+        """Per-trial SeedSequence children must equal the serial spawn tree."""
+        setup = small_setup
+        layout = build_layout(setup, PAPER_COMBOS[0], 0.75, 1.2)
+        trials = make_trials(
+            setup,
+            layout,
+            theta=0.75,
+            degree=1.2,
+            arrival_rate_per_min=15.0,
+            seed=424242,
+            num_runs=4,
+            horizon_min=setup.peak_minutes,
+        )
+        generator = WorkloadGenerator.poisson_zipf(setup.popularity(0.75), 15.0)
+        serial = list(generator.generate_runs(setup.peak_minutes, 4, 424242))
+        for spec, trace in zip(trials, serial):
+            assert trial_trace(spec) == trace
+
+    def test_run_trial_matches_inline_simulation(self, small_setup):
+        setup = small_setup
+        layout = build_layout(setup, PAPER_COMBOS[0], 0.75, 1.2)
+        [spec] = make_trials(
+            setup,
+            layout,
+            theta=0.75,
+            degree=1.2,
+            arrival_rate_per_min=15.0,
+            seed=99,
+            num_runs=1,
+            horizon_min=setup.peak_minutes,
+        )
+        simulator = VoDClusterSimulator(
+            setup.cluster(1.2), setup.videos(), layout
+        )
+        inline = simulator.run(trial_trace(spec), horizon_min=setup.peak_minutes)
+        assert run_trial(spec).same_outcome(inline)
+
+
+class TestParallelDeterminism:
+    def test_parallel_sweep_bit_identical_to_serial(self, small_setup):
+        """The ISSUE's headline guarantee, on a fig5-style mini sweep."""
+        serial = _fig5_style_sweep(small_setup)
+        with ParallelRunner(jobs=2) as runner, use_runner(runner):
+            parallel = _fig5_style_sweep(small_setup)
+        assert len(serial) == len(parallel) == 12
+        assert all(a.same_outcome(b) for a, b in zip(serial, parallel))
+
+    def test_map_simulations_matches_inline(self, small_setup):
+        setup = small_setup
+        layout = build_layout(setup, PAPER_COMBOS[0], 0.75, 1.2)
+        simulator = VoDClusterSimulator(setup.cluster(1.2), setup.videos(), layout)
+        generator = WorkloadGenerator.poisson_zipf(setup.popularity(0.75), 10.0)
+        traces = list(generator.generate_runs(setup.peak_minutes, 3, 7))
+        inline = [simulator.run(t, horizon_min=setup.peak_minutes) for t in traces]
+        with ParallelRunner(jobs=2) as runner:
+            fanned = runner.map_simulations(
+                simulator, traces, horizon_min=setup.peak_minutes
+            )
+        assert all(a.same_outcome(b) for a, b in zip(inline, fanned))
+
+
+class TestResultCache:
+    def test_npz_round_trip_is_exact(self, small_setup, tmp_path):
+        setup = small_setup
+        layout = build_layout(setup, PAPER_COMBOS[0], 0.75, 1.2)
+        [spec] = make_trials(
+            setup, layout, theta=0.75, degree=1.2,
+            arrival_rate_per_min=15.0, seed=5, num_runs=1,
+        )
+        result = run_trial(spec)
+        cache = ResultCache(tmp_path)
+        key = trial_cache_key(spec)
+        cache.put(key, result)
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert loaded.same_outcome(result)
+        assert loaded.wall_time_sec == result.wall_time_sec
+        np.testing.assert_array_equal(
+            loaded.server_time_avg_load_mbps, result.server_time_avg_load_mbps
+        )
+        assert loaded.per_video_requests.dtype == result.per_video_requests.dtype
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultCache(tmp_path).get("0" * 64) is None
+
+    def test_corrupt_entry_treated_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not an npz archive")
+        assert cache.get(key) is None
+
+    def test_warm_rerun_simulates_nothing(self, small_setup, tmp_path):
+        """Second identical sweep: all cache hits, zero simulations."""
+        cache = ResultCache(tmp_path)
+        with ParallelRunner(jobs=1, cache=cache) as cold, use_runner(cold):
+            first = _fig5_style_sweep(small_setup)
+            assert cold.report.simulated == 12
+            assert cold.report.cache_hits == 0
+        assert len(cache) == 12
+
+        with ParallelRunner(jobs=1, cache=cache) as warm, use_runner(warm):
+            second = _fig5_style_sweep(small_setup)
+            assert warm.report.simulated == 0
+            assert warm.report.cache_hits == 12
+            assert warm.report.cache_hit_rate == 1.0
+        assert all(a.same_outcome(b) for a, b in zip(first, second))
+
+    def test_key_distinguishes_design_points(self, small_setup):
+        setup = small_setup
+        layout = build_layout(setup, PAPER_COMBOS[0], 0.75, 1.2)
+        kwargs = dict(theta=0.75, degree=1.2, arrival_rate_per_min=10.0, seed=1, num_runs=1)
+        [base] = make_trials(setup, layout, **kwargs)
+        [other_rate] = make_trials(setup, layout, **{**kwargs, "arrival_rate_per_min": 20.0})
+        [other_seed] = make_trials(setup, layout, **{**kwargs, "seed": 2})
+        keys = {trial_cache_key(s) for s in (base, other_rate, other_seed)}
+        assert len(keys) == 3
+
+    def test_key_binds_code_version(self, small_setup, monkeypatch):
+        setup = small_setup
+        layout = build_layout(setup, PAPER_COMBOS[0], 0.75, 1.2)
+        kwargs = dict(theta=0.75, degree=1.2, arrival_rate_per_min=10.0, seed=1, num_runs=1)
+        [before] = make_trials(setup, layout, **kwargs)
+        import repro.runtime.trial as trial_mod
+
+        monkeypatch.setattr(trial_mod, "code_version", lambda: "different")
+        [after] = make_trials(setup, layout, **kwargs)
+        assert trial_cache_key(before) != trial_cache_key(after)
+
+    def test_clear_and_len(self, small_setup, tmp_path):
+        cache = ResultCache(tmp_path)
+        with ParallelRunner(cache=cache, jobs=1) as runner, use_runner(runner):
+            simulate_combo(small_setup, PAPER_COMBOS[0], 0.75, 1.2, 10.0, num_runs=2)
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestContentKey:
+    def test_stable_across_calls(self, small_setup):
+        assert content_key(small_setup) == content_key(small_setup)
+
+    def test_sensitive_to_fields(self, small_setup):
+        other = PaperSetup().scaled_down(num_videos=31, num_servers=4, num_runs=3)
+        assert content_key(small_setup) != content_key(other)
+
+    def test_array_hashing(self):
+        a = np.arange(10.0)
+        b = np.arange(10.0)
+        b[3] = -1.0
+        assert content_key(a) == content_key(np.arange(10.0))
+        assert content_key(a) != content_key(b)
+
+    def test_code_version_format(self):
+        version = code_version()
+        assert isinstance(version, str) and len(version) == 16
+        assert version == code_version()  # cached and stable
+
+
+class TestRunReport:
+    def test_counters_and_format(self, small_setup):
+        report = RunReport(jobs=3)
+        with ParallelRunner(jobs=1, report=report) as runner, use_runner(runner):
+            simulate_combo(small_setup, PAPER_COMBOS[0], 0.75, 1.2, 10.0)
+        assert report.jobs == 1  # runner owns the worker count
+        assert report.trials == 3 and report.simulated == 3
+        assert report.events > 0
+        assert report.sim_time_sec > 0.0 and report.wall_time_sec > 0.0
+        text = report.format()
+        assert "3 trials" in text and "events/s" in text and "hit rate" in text
+
+    def test_reset(self):
+        report = RunReport(jobs=2)
+        report.trials = report.simulated = 5
+        report.reset()
+        assert report.trials == 0 and report.jobs == 2
+
+    def test_events_per_sec_zero_without_wall(self):
+        assert RunReport().events_per_sec == 0.0
+
+
+class TestActiveRunner:
+    def test_default_runner_is_serial_uncached(self):
+        runner = get_runner()
+        assert runner.jobs == 1 and runner.cache is None
+
+    def test_use_runner_scopes_and_restores(self):
+        with ParallelRunner(jobs=1) as runner:
+            with use_runner(runner):
+                assert get_runner() is runner
+            assert get_runner() is not runner
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=0)
+
+
+class TestTrialSpec:
+    def test_resolved_horizon_defaults_to_setup(self, small_setup):
+        layout = build_layout(small_setup, PAPER_COMBOS[0], 0.75, 1.2)
+        spec = TrialSpec(
+            setup=small_setup, layout=layout, theta=0.75, degree=1.2,
+            arrival_rate_per_min=10.0, seed=1, run_index=0,
+        )
+        assert spec.resolved_horizon_min() == small_setup.peak_minutes
+        assert TrialSpec(
+            setup=small_setup, layout=layout, theta=0.75, degree=1.2,
+            arrival_rate_per_min=10.0, seed=1, run_index=0, horizon_min=42.0,
+        ).resolved_horizon_min() == 42.0
+
+    def test_specs_share_config_key_across_run_indices(self, small_setup):
+        layout = build_layout(small_setup, PAPER_COMBOS[0], 0.75, 1.2)
+        trials = make_trials(
+            small_setup, layout, theta=0.75, degree=1.2,
+            arrival_rate_per_min=10.0, seed=1, num_runs=3,
+        )
+        assert len({t.config_key for t in trials}) == 1
+        assert len({trial_cache_key(t) for t in trials}) == 3
