@@ -11,7 +11,12 @@ repair.
 """
 
 from .chains import ChainResult, run_chains
-from .engine import AnnealingProblem, AnnealingResult, SimulatedAnnealer
+from .engine import (
+    AnnealingProblem,
+    AnnealingResult,
+    IncrementalContext,
+    SimulatedAnnealer,
+)
 from .schedule import (
     CoolingSchedule,
     GeometricCooling,
@@ -26,6 +31,7 @@ __all__ = [
     "run_chains",
     "AnnealingProblem",
     "AnnealingResult",
+    "IncrementalContext",
     "SimulatedAnnealer",
     "CoolingSchedule",
     "GeometricCooling",

@@ -46,10 +46,18 @@ def run_chains(
 ) -> ChainResult:
     """Run ``num_chains`` independent annealing chains and keep the best."""
     check_int_in_range("num_chains", num_chains, 1)
+    # Local import: the runtime layer imports nothing from annealing, so
+    # this stays acyclic while every experiment's run report picks up SA
+    # throughput automatically.
+    from ..runtime.parallel import get_runner
+
+    report = get_runner().report
     root = np.random.SeedSequence(seed)
     results = []
     for child in root.spawn(num_chains):
         rng = np.random.default_rng(child)
-        results.append(annealer.run(problem, rng, record_history=record_history))
+        result = annealer.run(problem, rng, record_history=record_history)
+        report.record_annealing(result)
+        results.append(result)
     best_index = int(np.argmin([r.best_cost for r in results]))
     return ChainResult(results=tuple(results), best_index=best_index)

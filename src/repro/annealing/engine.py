@@ -6,10 +6,34 @@ proposal) can be annealed.  Design choices mirror what the paper delegates
 to the ``parsa`` library: temperature levels with a fixed number of steps
 each, Metropolis acceptance, best-so-far tracking, and stall-based
 termination.
+
+Incremental (delta-cost) protocol
+---------------------------------
+Re-copying and re-scanning the full state on every Metropolis step makes
+``cost`` the dominant term of a run.  A problem may therefore opt into the
+incremental interface by providing ``make_incremental(state)`` returning an
+:class:`IncrementalContext`: a mutable view of one annealing trajectory that
+proposes moves in place, returns the cost delta in O(touched entries),
+and either commits or rolls the move back exactly (bitwise state
+restoration).  The engine uses the context automatically when present;
+problems that do not opt in anneal through the original full-recompute
+loop, which is also the cross-check oracle for the incremental path
+(``tests/test_annealing_incremental.py``).
+
+Contract for contexts:
+
+* ``propose(rng)`` must consume random numbers exactly like the problem's
+  ``propose`` so the two paths follow statistically identical trajectories;
+* ``rollback()`` must restore the state bitwise;
+* cached floats may drift from full recomputation by accumulation error,
+  so the engine calls ``resync()`` at every level boundary and recomputes
+  the final best cost with ``problem.cost``.
 """
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass, field
 from typing import Any, Protocol, runtime_checkable
 
@@ -18,7 +42,12 @@ import numpy as np
 from .._validation import check_int_in_range, check_non_negative
 from .schedule import CoolingSchedule, GeometricCooling, estimate_initial_temperature
 
-__all__ = ["AnnealingProblem", "AnnealingResult", "SimulatedAnnealer"]
+__all__ = [
+    "AnnealingProblem",
+    "AnnealingResult",
+    "IncrementalContext",
+    "SimulatedAnnealer",
+]
 
 
 @runtime_checkable
@@ -38,6 +67,43 @@ class AnnealingProblem(Protocol):
         ...
 
 
+@runtime_checkable
+class IncrementalContext(Protocol):
+    """One trajectory's mutable state plus O(touched) move evaluation.
+
+    Obtained from an opted-in problem's ``make_incremental(state)``; see the
+    module docstring for the drift/rng contract.
+    """
+
+    def cost(self) -> float:
+        """Cost of the current state (from caches; O(servers))."""
+        ...
+
+    def propose(self, rng: np.random.Generator) -> float | None:
+        """Apply one pending move in place; return its cost delta.
+
+        Returns None when the move fell through (state unchanged).  The
+        move stays pending until :meth:`commit` or :meth:`rollback`.
+        """
+        ...
+
+    def commit(self) -> None:
+        """Keep the pending move."""
+        ...
+
+    def rollback(self) -> None:
+        """Undo the pending move exactly (bitwise state restoration)."""
+        ...
+
+    def resync(self) -> None:
+        """Recompute all caches from the state, clearing float drift."""
+        ...
+
+    def export_state(self) -> Any:
+        """An independent copy of the current state."""
+        ...
+
+
 @dataclass(frozen=True)
 class AnnealingResult:
     """Outcome of one annealing run."""
@@ -49,11 +115,18 @@ class AnnealingResult:
     steps: int
     accepted: int
     cost_history: list[float] = field(repr=False, default_factory=list)
+    #: Wall-clock duration of the run (calibration included).
+    wall_time_sec: float = 0.0
 
     @property
     def acceptance_rate(self) -> float:
         """Fraction of proposed moves accepted across the whole run."""
         return self.accepted / self.steps if self.steps else 0.0
+
+    @property
+    def steps_per_sec(self) -> float:
+        """Metropolis throughput of the run (0 when too fast to measure)."""
+        return self.steps / self.wall_time_sec if self.wall_time_sec > 0 else 0.0
 
 
 class SimulatedAnnealer:
@@ -105,6 +178,12 @@ class SimulatedAnnealer:
             new_cost = problem.cost(neighbor)
             deltas.append(new_cost - cost)
             current, cost = neighbor, new_cost
+        if not deltas:
+            # Every proposal fell through (e.g. a fully saturated state
+            # whose repairs always fail): there is no uphill statistics to
+            # calibrate from.  A unit temperature keeps early acceptance
+            # permissive instead of freezing the search at the 1e-6 floor.
+            return GeometricCooling(1.0)
         initial = estimate_initial_temperature(np.asarray(deltas, dtype=np.float64))
         return GeometricCooling(max(initial, 1e-6))
 
@@ -115,8 +194,41 @@ class SimulatedAnnealer:
         rng: np.random.Generator,
         *,
         record_history: bool = True,
+        use_incremental: bool = True,
     ) -> AnnealingResult:
-        """Anneal *problem* and return the best state found."""
+        """Anneal *problem* and return the best state found.
+
+        When the problem provides ``make_incremental`` (see
+        :class:`IncrementalContext`) and ``use_incremental`` is True, moves
+        are evaluated in O(touched entries); pass ``use_incremental=False``
+        to force the full-recompute loop (the cross-check reference).
+        """
+        start_wall = time.perf_counter()
+        make_incremental = getattr(problem, "make_incremental", None)
+        if use_incremental and make_incremental is not None:
+            result = self._run_incremental(problem, rng, record_history)
+        else:
+            result = self._run_full(problem, rng, record_history)
+        wall = time.perf_counter() - start_wall
+        return AnnealingResult(
+            best_state=result.best_state,
+            best_cost=result.best_cost,
+            final_cost=result.final_cost,
+            levels=result.levels,
+            steps=result.steps,
+            accepted=result.accepted,
+            cost_history=result.cost_history,
+            wall_time_sec=wall,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_full(
+        self,
+        problem: AnnealingProblem,
+        rng: np.random.Generator,
+        record_history: bool,
+    ) -> AnnealingResult:
+        """The original copy-and-rescan Metropolis loop."""
         state = problem.initial_state(rng)
         cost = problem.cost(state)
         best_state, best_cost = state, cost
@@ -159,6 +271,75 @@ class SimulatedAnnealer:
             best_state=best_state,
             best_cost=best_cost,
             final_cost=cost,
+            levels=level + 1,
+            steps=steps,
+            accepted=accepted,
+            cost_history=history,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_incremental(
+        self,
+        problem: AnnealingProblem,
+        rng: np.random.Generator,
+        record_history: bool,
+    ) -> AnnealingResult:
+        """Delta-cost Metropolis loop over an :class:`IncrementalContext`."""
+        state = problem.initial_state(rng)
+        schedule = self._schedule or self._calibrate_schedule(problem, state, rng)
+
+        context: IncrementalContext = problem.make_incremental(state)
+        cost = context.cost()
+        best_state = context.export_state()
+        best_cost = cost
+
+        history: list[float] = [cost] if record_history else []
+        steps = 0
+        accepted = 0
+        stall = 0
+        level = 0
+        exp = math.exp
+        random = rng.random
+        for level in range(self._max_levels):
+            temperature = schedule.temperature(level)
+            improved_this_level = False
+            for _ in range(self._steps_per_level):
+                delta = context.propose(rng)
+                steps += 1
+                if delta is None:
+                    continue
+                # Same rng discipline as the full loop: random() is drawn
+                # only for uphill moves at positive temperature.
+                if delta <= 0.0 or (
+                    temperature > 0.0 and random() < exp(-delta / temperature)
+                ):
+                    context.commit()
+                    cost += delta
+                    accepted += 1
+                    if cost < best_cost:
+                        best_state = context.export_state()
+                        best_cost = cost
+                        improved_this_level = True
+                else:
+                    context.rollback()
+            # Clear accumulated float drift before it can affect the next
+            # level's accept/reject decisions.
+            context.resync()
+            cost = context.cost()
+            if record_history:
+                history.append(cost)
+            stall = 0 if improved_this_level else stall + 1
+            if self._patience and stall >= self._patience:
+                break
+            if schedule.is_frozen(level):
+                break
+
+        # Report drift-free costs: both are full recomputations.
+        best_cost = problem.cost(best_state)
+        return AnnealingResult(
+            best_state=best_state,
+            best_cost=best_cost,
+            final_cost=problem.cost(context.export_state()),
             levels=level + 1,
             steps=steps,
             accepted=accepted,

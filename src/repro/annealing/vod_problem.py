@@ -21,9 +21,26 @@ The three problem-specific decisions the paper lists:
    constraint, decrease the rate of — or delete — lowest-rate replicas on
    that server.  A video's last replica is never deleted (Eq. 7), and a
    repair that cannot restore feasibility voids the proposal.
+
+Incremental evaluation
+----------------------
+:meth:`ScalableBitRateProblem.make_incremental` opts the problem into the
+engine's delta-cost protocol (see :mod:`repro.annealing.engine`): the
+returned context replays the *same* neighborhood — move selection is shared
+code, so both paths consume identical rng sequences — but evaluates each
+move by updating cached per-video replica counts/rate sums and per-server
+load/storage vectors in O(touched entries) instead of copying and
+rescanning the ``(M, N)`` state.  Rolled-back moves restore the state
+bitwise; cached floats are resynced by the engine at level boundaries, so
+any accumulation drift stays below the acceptance noise floor.  The
+full-recompute path remains the behavior oracle
+(``tests/test_annealing_incremental.py`` cross-checks deltas, rollbacks,
+and end-to-end trajectories).
 """
 
 from __future__ import annotations
+
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -31,6 +48,9 @@ from ..model.layout import ReplicaLayout
 from ..model.problem import ReplicationProblem
 
 __all__ = ["ScalableBitRateProblem"]
+
+#: Constraint slack shared by the full and incremental feasibility checks.
+_SLACK = 1e-9
 
 
 class ScalableBitRateProblem:
@@ -44,6 +64,8 @@ class ScalableBitRateProblem:
             )
         self._problem = problem
         self._rates = np.asarray(problem.allowed_bit_rates_mbps, dtype=np.float64)
+        self._min_rate = float(self._rates[0])
+        self._max_rate = float(self._rates[-1])
         self._probs = problem.probabilities
         self._requests = problem.requests_per_peak
         self._storage_gb = problem.cluster.storage_gb
@@ -60,11 +82,11 @@ class ScalableBitRateProblem:
 
     @property
     def min_rate(self) -> float:
-        return float(self._rates[0])
+        return self._min_rate
 
     @property
     def max_rate(self) -> float:
-        return float(self._rates[-1])
+        return self._max_rate
 
     # ------------------------------------------------------------------
     # AnnealingProblem protocol
@@ -123,6 +145,10 @@ class ScalableBitRateProblem:
             return None
         return new_state
 
+    def make_incremental(self, state: np.ndarray) -> "_IncrementalScalableState":
+        """Delta-cost context for the engine's incremental protocol."""
+        return _IncrementalScalableState(self, state)
+
     # ------------------------------------------------------------------
     # Conversions
     # ------------------------------------------------------------------
@@ -161,16 +187,32 @@ class ScalableBitRateProblem:
         counts = (state > 0).sum(axis=1)
         loads = self._server_loads(state, np.maximum(counts, 1))
         storage = (state * self._gb_per_mbps[:, None]).sum(axis=0)
-        bad = (loads > self._bandwidth + 1e-9) | (storage > self._storage_gb + 1e-9)
+        bad = (loads > self._bandwidth + _SLACK) | (
+            storage > self._storage_gb + _SLACK
+        )
         return np.flatnonzero(bad)
 
+    # The three mutating methods below are shared verbatim by the full and
+    # incremental paths: ``on_set`` (when given) replaces direct matrix
+    # assignment so the incremental context can maintain its caches and
+    # undo log, while move *selection* — and hence rng consumption — is
+    # identical in both.
+
     def _improve_server(
-        self, state: np.ndarray, server: int, rng: np.random.Generator
+        self,
+        state: np.ndarray,
+        server: int,
+        rng: np.random.Generator,
+        *,
+        on_set: Callable[[int, int, float], None] | None = None,
     ) -> int | None:
         """Apply the raise-rate or add-video move; return the video touched."""
-        on_server = np.flatnonzero(state[:, server] > 0)
-        raisable = on_server[state[on_server, server] < self.max_rate - 1e-12]
-        absent = np.flatnonzero(state[:, server] == 0)
+        column = state[:, server]
+        present = column > 0
+        on_server = present.nonzero()[0]
+        raisable = on_server[column[on_server] < self._max_rate - 1e-12]
+        # Rates are non-negative, so "== 0" is exactly "not > 0".
+        absent = (~present).nonzero()[0]
 
         moves = []
         if raisable.size:
@@ -183,48 +225,288 @@ class ScalableBitRateProblem:
 
         if move == "raise":
             video = int(raisable[rng.integers(raisable.size)])
-            current = state[video, server]
-            next_idx = int(np.searchsorted(self._rates, current + 1e-12))
-            state[video, server] = self._rates[min(next_idx, self._rates.size - 1)]
+            current = column[video]
+            next_idx = int(self._rates.searchsorted(current + 1e-12))
+            value = float(self._rates[min(next_idx, self._rates.size - 1)])
         else:
             video = int(absent[rng.integers(absent.size)])
-            state[video, server] = self.min_rate
+            value = self._min_rate
+        if on_set is None:
+            state[video, server] = value
+        else:
+            on_set(video, server, value)
         return video
 
-    def _repair_server(self, state: np.ndarray, server: int, *, protect: int) -> bool:
+    def _repair_server(
+        self,
+        state: np.ndarray,
+        server: int,
+        *,
+        protect: int,
+        on_set: Callable[[int, int, float], None] | None = None,
+        feasible: Callable[[int], tuple[bool, bool]] | None = None,
+        counts: Sequence[int] | None = None,
+    ) -> bool:
         """Shed storage/load on *server* until feasible; False if impossible."""
         max_steps = state.shape[0] * self._rates.size + 1
         for _ in range(max_steps):
-            storage_ok = (
-                self._server_storage(state, server) <= self._storage_gb[server] + 1e-9
-            )
-            load_ok = (
-                self._server_load_one(state, server) <= self._bandwidth[server] + 1e-9
-            )
+            if feasible is None:
+                storage_ok = (
+                    self._server_storage(state, server)
+                    <= self._storage_gb[server] + _SLACK
+                )
+                load_ok = (
+                    self._server_load_one(state, server)
+                    <= self._bandwidth[server] + _SLACK
+                )
+            else:
+                storage_ok, load_ok = feasible(server)
             if storage_ok and load_ok:
                 return True
-            if not self._shed_one(state, server, protect):
+            if not self._shed_one(
+                state, server, protect, on_set=on_set, counts=counts
+            ):
                 return False
         return False  # pragma: no cover - bounded by construction
 
-    def _shed_one(self, state: np.ndarray, server: int, protect: int) -> bool:
+    def _shed_one(
+        self,
+        state: np.ndarray,
+        server: int,
+        protect: int,
+        *,
+        on_set: Callable[[int, int, float], None] | None = None,
+        counts: Sequence[int] | None = None,
+    ) -> bool:
         """Decrease or delete the lowest-rate shedable replica on *server*."""
         column = state[:, server]
-        candidates = np.flatnonzero(column > 0)
+        candidates = (column > 0).nonzero()[0]
         candidates = candidates[candidates != protect]
         if candidates.size == 0:
             return False
-        order = candidates[np.argsort(column[candidates], kind="stable")]
-        replica_counts = (state > 0).sum(axis=1)
+        shed_rates = column[candidates]
+        order = candidates[shed_rates.argsort(kind="stable")]
+        replica_counts = (
+            (state > 0).sum(axis=1) if counts is None else counts
+        )
+        min_rate = self._min_rate
         for video in order:
             video = int(video)
             rate = column[video]
-            if rate > self.min_rate + 1e-12:
-                idx = int(np.searchsorted(self._rates, rate - 1e-12)) - 1
-                state[video, server] = self._rates[max(idx, 0)]
+            if rate > min_rate + 1e-12:
+                idx = int(self._rates.searchsorted(rate - 1e-12)) - 1
+                value = float(self._rates[max(idx, 0)])
+                if on_set is None:
+                    state[video, server] = value
+                else:
+                    on_set(video, server, value)
                 return True
             if replica_counts[video] > 1:
-                state[video, server] = 0.0
+                if on_set is None:
+                    state[video, server] = 0.0
+                else:
+                    on_set(video, server, 0.0)
                 return True
             # Last replica at the lowest rate: protected by Eq. 7, try next.
         return False
+
+
+class _IncrementalScalableState:
+    """Delta-cost trajectory state for :class:`ScalableBitRateProblem`.
+
+    Caches, per video: replica count (exact int), rate row sum, mean-rate
+    quality term; per server: expected load and storage (Mb/s, GB); plus
+    the quality-sum and total-replica scalars.  One ``_set`` updates all of
+    them in O(N) worst case (a replica-count change touches the video's
+    whole load row), so a Metropolis step costs O(touched entries) instead
+    of the full O(M·N) rescan.
+
+    Rollback restores the state matrix and integer/row caches from the undo
+    log (bitwise) and the small per-server vectors from snapshots taken at
+    propose time.  ``resync`` recomputes everything from the matrix.
+    """
+
+    __slots__ = (
+        "_p",
+        "_state",
+        "_M",
+        "_N",
+        "_probs_l",
+        "_gb_l",
+        "_bw_l",
+        "_cap_l",
+        "_R",
+        "_counts",
+        "_row_sums",
+        "_quality",
+        "_quality_sum",
+        "_total_replicas",
+        "_loads",
+        "_storage",
+        "_log",
+        "_loads_snap",
+        "_storage_snap",
+        "_qsum_snap",
+        "_total_snap",
+    )
+
+    def __init__(self, problem: ScalableBitRateProblem, state: np.ndarray) -> None:
+        self._p = problem
+        self._state = np.array(state, dtype=np.float64, copy=True)
+        self._M, self._N = self._state.shape
+        # Static per-video/per-server tables as plain lists (no numpy
+        # scalar boxing in the per-move updates).
+        self._probs_l = problem._probs.tolist()
+        self._gb_l = problem._gb_per_mbps.tolist()
+        self._bw_l = np.asarray(problem._bandwidth, dtype=np.float64).tolist()
+        self._cap_l = np.asarray(problem._storage_gb, dtype=np.float64).tolist()
+        self._R = float(problem._requests)
+        self._log: list[tuple[int, int, float, int, float, float]] = []
+        self.resync()
+
+    # -- IncrementalContext protocol ----------------------------------
+    def cost(self) -> float:
+        """Current cost from caches; O(N)."""
+        loads = self._loads
+        mean_load = sum(loads) / self._N
+        if mean_load:
+            worst = 0.0
+            for load in loads:
+                dev = load - mean_load
+                if dev < 0.0:
+                    dev = -dev
+                if dev > worst:
+                    worst = dev
+            imbalance = worst / mean_load
+        else:
+            imbalance = 0.0
+        p = self._p
+        objective = (
+            (self._quality_sum / self._M) / p._max_rate
+            + p._alpha * (self._total_replicas / self._M) / self._N
+            - p._beta * imbalance
+        )
+        return -objective
+
+    def propose(self, rng: np.random.Generator) -> float | None:
+        """Same neighborhood as the full path, evaluated from caches."""
+        p = self._p
+        server = int(rng.integers(self._N))
+        before = self.cost()
+        self._log.clear()
+        self._loads_snap = self._loads.copy()
+        self._storage_snap = self._storage.copy()
+        self._qsum_snap = self._quality_sum
+        self._total_snap = self._total_replicas
+        video = p._improve_server(self._state, server, rng, on_set=self._set)
+        if video is None:
+            return None
+        if not p._repair_server(
+            self._state,
+            server,
+            protect=video,
+            on_set=self._set,
+            feasible=self._server_feasible,
+            counts=self._counts,
+        ):
+            self.rollback()
+            return None
+        # Global feasibility re-check (repair shifts load to other
+        # servers); O(N) against the cached vectors.
+        bw, cap = self._bw_l, self._cap_l
+        loads, storage = self._loads, self._storage
+        for k in range(self._N):
+            if loads[k] > bw[k] + _SLACK or storage[k] > cap[k] + _SLACK:
+                self.rollback()
+                return None
+        return self.cost() - before
+
+    def commit(self) -> None:
+        self._log.clear()
+
+    def rollback(self) -> None:
+        state = self._state
+        counts = self._counts
+        row_sums = self._row_sums
+        quality = self._quality
+        for video, server, old, c_old, rs_old, q_old in reversed(self._log):
+            state[video, server] = old
+            counts[video] = c_old
+            row_sums[video] = rs_old
+            quality[video] = q_old
+        self._log.clear()
+        self._loads = self._loads_snap
+        self._storage = self._storage_snap
+        self._quality_sum = self._qsum_snap
+        self._total_replicas = self._total_snap
+
+    def resync(self) -> None:
+        """Recompute every cache from the state matrix (clears drift)."""
+        state = self._state
+        p = self._p
+        present = state > 0
+        counts_arr = present.sum(axis=1)
+        if np.any(counts_arr < 1):
+            raise ValueError("state lost a video's last replica (Eq. 7)")
+        self._counts = counts_arr.tolist()
+        self._row_sums = state.sum(axis=1).tolist()
+        self._quality = [
+            rs / c for rs, c in zip(self._row_sums, self._counts)
+        ]
+        self._quality_sum = float(sum(self._quality))
+        self._total_replicas = int(counts_arr.sum())
+        weights = p._probs / counts_arr
+        self._loads = (
+            p._requests * (weights[:, None] * state).sum(axis=0)
+        ).tolist()
+        self._storage = (state * p._gb_per_mbps[:, None]).sum(axis=0).tolist()
+        self._log.clear()
+
+    def export_state(self) -> np.ndarray:
+        return self._state.copy()
+
+    # -- internals -----------------------------------------------------
+    def _server_feasible(self, server: int) -> tuple[bool, bool]:
+        """(storage_ok, load_ok) for one server, from caches; O(1)."""
+        return (
+            self._storage[server] <= self._cap_l[server] + _SLACK,
+            self._loads[server] <= self._bw_l[server] + _SLACK,
+        )
+
+    def _set(self, video: int, server: int, value: float) -> None:
+        """Write one matrix entry and update every cache; O(N) worst case."""
+        state = self._state
+        old = float(state[video, server])
+        state[video, server] = value
+        c_old = self._counts[video]
+        rs_old = self._row_sums[video]
+        q_old = self._quality[video]
+        self._log.append((video, server, old, c_old, rs_old, q_old))
+
+        c_new = c_old + ((value > 0.0) - (old > 0.0))
+        rs_new = rs_old + (value - old)
+        q_new = rs_new / c_new
+        self._counts[video] = c_new
+        self._row_sums[video] = rs_new
+        self._quality[video] = q_new
+        self._quality_sum += q_new - q_old
+        self._total_replicas += c_new - c_old
+        self._storage[server] += self._gb_l[video] * (value - old)
+
+        scaled = self._R * self._probs_l[video]
+        loads = self._loads
+        if c_new == c_old:
+            loads[server] += scaled * (value - old) / c_old
+        else:
+            # Replica-count change redistributes the video's weight across
+            # its whole row.
+            inv_new = 1.0 / c_new
+            inv_old = 1.0 / c_old
+            row = state[video].tolist()
+            for k in range(self._N):
+                if k == server:
+                    loads[k] += scaled * (value * inv_new - old * inv_old)
+                else:
+                    rate_k = row[k]
+                    if rate_k:
+                        loads[k] += scaled * rate_k * (inv_new - inv_old)

@@ -31,6 +31,7 @@ from .failures import FailureEvent, FailureSchedule
 from .metrics import SimulationResult
 from .queueing import QueueingClusterSimulator, QueueingResult
 from .redirection import BackboneLink
+from .reference import ReferenceClusterSimulator
 from .server import StreamingServer
 from .simulator import VoDClusterSimulator
 from .striping import StripedClusterSimulator
@@ -51,6 +52,7 @@ __all__ = [
     "BackboneLink",
     "QueueingClusterSimulator",
     "QueueingResult",
+    "ReferenceClusterSimulator",
     "StreamingServer",
     "StripedClusterSimulator",
     "VoDClusterSimulator",

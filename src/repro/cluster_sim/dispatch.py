@@ -18,8 +18,6 @@ from __future__ import annotations
 import abc
 from collections.abc import Callable, Sequence
 
-import numpy as np
-
 from ..model.layout import ReplicaLayout
 from .server import StreamingServer
 
@@ -32,9 +30,17 @@ __all__ = [
 ]
 
 
-def _replica_servers(layout: ReplicaLayout) -> list[np.ndarray]:
-    """Per-video arrays of replica-holding servers (ascending ids)."""
-    return [layout.servers_of(video) for video in range(layout.num_videos)]
+def _replica_servers(layout: ReplicaLayout) -> list[tuple[int, ...]]:
+    """Per-video tuples of replica-holding server ids (ascending).
+
+    Plain ``int`` tuples, not numpy arrays: the simulator's request loop
+    iterates candidates per request, and numpy scalar boxing there costs
+    more than the whole admission check.
+    """
+    return [
+        tuple(int(s) for s in layout.servers_of(video))
+        for video in range(layout.num_videos)
+    ]
 
 
 class Dispatcher(abc.ABC):
@@ -51,8 +57,8 @@ class Dispatcher(abc.ABC):
     def __init__(self, layout: ReplicaLayout) -> None:
         self._servers_of = _replica_servers(layout)
 
-    def holders(self, video: int) -> np.ndarray:
-        """Servers holding a replica of *video*."""
+    def holders(self, video: int) -> tuple[int, ...]:
+        """Servers holding a replica of *video* (ascending ids)."""
         return self._servers_of[video]
 
     @abc.abstractmethod
@@ -73,18 +79,19 @@ class StaticRoundRobinDispatcher(Dispatcher):
 
     def __init__(self, layout: ReplicaLayout) -> None:
         super().__init__(layout)
-        self._counters = np.zeros(layout.num_videos, dtype=np.int64)
+        self._counters = [0] * layout.num_videos
 
     def candidates(
         self, video: int, servers: Sequence[StreamingServer]
     ) -> Sequence[int]:
         del servers  # static: ignores load
         holders = self._servers_of[video]
-        if holders.size == 0:
+        if not holders:
             return ()
-        index = self._counters[video] % holders.size
-        self._counters[video] += 1
-        return (int(holders[index]),)
+        counters = self._counters
+        index = counters[video]
+        counters[video] = index + 1
+        return (holders[index % len(holders)],)
 
 
 class LeastLoadedDispatcher(Dispatcher):
@@ -96,11 +103,11 @@ class LeastLoadedDispatcher(Dispatcher):
         self, video: int, servers: Sequence[StreamingServer]
     ) -> Sequence[int]:
         holders = self._servers_of[video]
-        if holders.size == 0:
+        if not holders:
             return ()
-        utilization = np.array([servers[s].utilization for s in holders])
-        order = np.argsort(utilization, kind="stable")
-        return [int(holders[i]) for i in order]
+        # Stable sort == np.argsort(kind="stable"): equal-utilization
+        # holders keep ascending-id order.
+        return sorted(holders, key=lambda s: servers[s].utilization)
 
 
 class FirstFitDispatcher(Dispatcher):
@@ -112,7 +119,7 @@ class FirstFitDispatcher(Dispatcher):
         self, video: int, servers: Sequence[StreamingServer]
     ) -> Sequence[int]:
         del servers
-        return [int(s) for s in self._servers_of[video]]
+        return list(self._servers_of[video])
 
 
 def make_dispatcher_factory(

@@ -4,6 +4,15 @@ A thin, fully-tested priority queue over ``heapq`` with deterministic
 ordering: events sort by time, then by kind priority (departures before
 arrivals at the same instant, so a slot freed at time ``t`` can serve an
 arrival at time ``t``), then by insertion order.
+
+Heap entries are *plain tuples*: :class:`Event` is a ``NamedTuple``, so
+``heapq`` compares ``(time, kind, seq, payload)`` tuples through CPython's
+fast C tuple comparison instead of dataclass ``__lt__`` dispatch.  The
+``seq`` tiebreak is unique per queue, so comparison never reaches the
+payload.  Hot paths (the cluster simulator's request loop) may bypass the
+method API entirely and push bare ``(time, kind, seq, payload)`` tuples
+onto :attr:`EventQueue.heap`; bare tuples and :class:`Event` entries
+interoperate because ``Event`` *is* a tuple.
 """
 
 from __future__ import annotations
@@ -11,8 +20,7 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, NamedTuple
 
 __all__ = ["EventKind", "Event", "EventQueue"]
 
@@ -38,50 +46,64 @@ class EventKind(enum.IntEnum):
     DEFECTION = 5
 
 
-@dataclass(frozen=True, order=True)
-class Event:
-    """A scheduled event (payload excluded from ordering)."""
+class Event(NamedTuple):
+    """A scheduled event — a plain tuple with named fields.
+
+    The unique ``seq`` makes ordering total before the payload is ever
+    compared, preserving the old dataclass semantics (payload excluded
+    from ordering) for every entry produced through :meth:`EventQueue.push`.
+    """
 
     time: float
     kind: EventKind
     seq: int
-    payload: Any = field(compare=False, default=None)
+    payload: Any = None
 
 
 class EventQueue:
-    """Deterministic min-heap of :class:`Event` objects."""
+    """Deterministic min-heap of :class:`Event` tuples."""
+
+    __slots__ = ("heap", "_counter")
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        #: The raw tuple heap.  Hot loops may operate on it directly with
+        #: ``heapq`` plus :meth:`next_seq`, as long as entries keep the
+        #: ``(time, kind, seq, payload)`` shape with valid times.
+        self.heap: list[Event] = []
         self._counter = itertools.count()
+
+    def next_seq(self) -> int:
+        """Next insertion-order tiebreak (for direct-heap producers)."""
+        return next(self._counter)
 
     def push(self, time: float, kind: EventKind, payload: Any = None) -> None:
         """Schedule an event; time must be finite and >= 0."""
         if not (time >= 0.0) or time != time or time == float("inf"):
             raise ValueError(f"event time must be finite and >= 0, got {time!r}")
-        heapq.heappush(self._heap, Event(time, kind, next(self._counter), payload))
+        heapq.heappush(self.heap, Event(time, kind, next(self._counter), payload))
 
     def pop(self) -> Event:
         """Remove and return the earliest event."""
-        if not self._heap:
+        if not self.heap:
             raise IndexError("pop from empty EventQueue")
-        return heapq.heappop(self._heap)
+        return heapq.heappop(self.heap)
 
     def peek(self) -> Event:
         """Return (without removing) the earliest event."""
-        if not self._heap:
+        if not self.heap:
             raise IndexError("peek on empty EventQueue")
-        return self._heap[0]
+        return self.heap[0]
 
     def pop_until(self, time: float) -> list[Event]:
         """Pop all events with ``event.time <= time``, in order."""
         events: list[Event] = []
-        while self._heap and self._heap[0].time <= time:
-            events.append(heapq.heappop(self._heap))
+        heap = self.heap
+        while heap and heap[0][0] <= time:
+            events.append(heapq.heappop(heap))
         return events
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self.heap)
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return bool(self.heap)

@@ -1,0 +1,228 @@
+"""Reference (clarity-first) implementation of the cluster simulator.
+
+:class:`ReferenceClusterSimulator` preserves the original straight-line
+``run()`` of :class:`~repro.cluster_sim.simulator.VoDClusterSimulator` —
+per-request numpy indexing, closure-based event handling, method-call
+server accounting — as the executable specification of the simulator's
+semantics.  The optimized simulator must produce bit-identical
+:class:`SimulationResult` fields (everything except wall time) on every
+workload; ``tests/test_simulator_equivalence.py`` enforces that over
+randomized configurations crossing failures × redirection × stream limits
+× watch-time traces, and ``benchmarks/bench_hotpaths.py`` re-checks it on
+every benchmark run.
+
+Keep this module boring: it exists to be obviously correct, not fast.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .._validation import check_positive
+from .dispatch import Dispatcher
+from .events import EventKind, EventQueue
+from .failures import FailureSchedule
+from .metrics import SimulationResult
+from .redirection import BackboneLink
+from .server import StreamingServer
+from .simulator import VoDClusterSimulator
+from ..workload.requests import RequestTrace
+
+__all__ = ["ReferenceClusterSimulator"]
+
+
+class ReferenceClusterSimulator(VoDClusterSimulator):
+    """The pre-optimization simulator: same constructor, original ``run``."""
+
+    def run(
+        self,
+        trace: RequestTrace,
+        *,
+        horizon_min: float | None = None,
+        failures: FailureSchedule | None = None,
+        failover_on_down: bool = False,
+    ) -> SimulationResult:
+        """Simulate one trace exactly as the original implementation did."""
+        start_wall = time.perf_counter()
+        if horizon_min is None:
+            horizon_min = trace.duration_min if trace.num_requests else 1.0
+        check_positive("horizon_min", horizon_min)
+
+        servers = [
+            StreamingServer(
+                k,
+                spec.bandwidth_mbps,
+                max_streams=(
+                    self._stream_limits[k] if self._stream_limits else None
+                ),
+            )
+            for k, spec in enumerate(self._cluster)
+        ]
+        dispatcher: Dispatcher = self._dispatcher_factory(self._layout)
+        backbone = (
+            BackboneLink(self._backbone_mbps) if self._backbone_mbps > 0 else None
+        )
+        events = EventQueue()
+        # Backbone bandwidth attributable to redirected streams per server,
+        # so a crash can return the right amount in bulk.
+        backbone_by_server = np.zeros(len(servers))
+        streams_dropped = 0
+        events_processed = 0
+
+        if failures is not None:
+            failures.validate_servers(len(servers))
+            for failure in failures:
+                if failure.time_min <= horizon_min:
+                    events.push(failure.time_min, EventKind.FAILURE, failure)
+
+        def handle(event) -> None:
+            """Apply one departure/failure/recovery event."""
+            nonlocal streams_dropped, events_processed
+            events_processed += 1
+            if event.kind == EventKind.DEPARTURE:
+                server_id, rate, redirected, epoch = event.payload
+                server = servers[server_id]
+                if server.epoch != epoch:
+                    return  # stream already dropped by a crash
+                server.release(event.time, rate)
+                if redirected and backbone is not None:
+                    backbone.release(rate)
+                    backbone_by_server[server_id] -= rate
+            elif event.kind == EventKind.FAILURE:
+                failure = event.payload
+                streams_dropped += servers[failure.server].fail(event.time)
+                if backbone is not None and backbone_by_server[failure.server] > 0:
+                    backbone.release(float(backbone_by_server[failure.server]))
+                    backbone_by_server[failure.server] = 0.0
+                if np.isfinite(failure.recovery_min):
+                    events.push(failure.recovery_min, EventKind.RECOVERY, failure.server)
+            elif event.kind == EventKind.RECOVERY:
+                servers[event.payload].recover(event.time)
+
+        def drain(until: float) -> None:
+            """Handle every queued event up to *until* (inclusive).
+
+            Re-checks the queue after each event because handling a
+            failure schedules its recovery, which may also fall inside
+            the window.
+            """
+            while events and events.peek().time <= until:
+                handle(events.pop())
+
+        num_videos = self._videos.num_videos
+        per_video_requests = np.zeros(num_videos, dtype=np.int64)
+        per_video_rejected = np.zeros(num_videos, dtype=np.int64)
+
+        times = trace.arrival_min
+        videos = trace.videos
+        if times.size:
+            # Both bounds: a negative id would otherwise wrap through
+            # NumPy's negative indexing into ``self._durations`` and the
+            # rate matrix and silently simulate the wrong videos.
+            if int(videos.min()) < 0:
+                raise ValueError(
+                    f"trace contains negative video id {int(videos.min())}"
+                )
+            if int(videos.max()) >= num_videos:
+                raise ValueError("trace references a video outside the collection")
+        # Stream hold times: the full video duration (the paper's model) or
+        # the per-request watch times of an early-departure workload.
+        if trace.watch_min is not None:
+            hold_min = np.minimum(trace.watch_min, self._durations[videos])
+        else:
+            hold_min = self._durations[videos]
+
+        num_truncated = 0
+        for index, (t, video) in enumerate(zip(times, videos)):
+            t = float(t)
+            if t > horizon_min:
+                # Arrivals are time-ordered: everything from here on is
+                # strictly past the horizon.  An arrival at exactly
+                # ``horizon_min`` is still simulated.
+                num_truncated = int(times.size - index)
+                break
+            video = int(video)
+            # Apply departures/failures/recoveries at or before t.
+            drain(t)
+
+            events_processed += 1
+            per_video_requests[video] += 1
+            if self._best_rates[video] <= 0.0:
+                # Video has no replica anywhere: nothing can serve it.
+                per_video_rejected[video] += 1
+                continue
+            end_time = t + float(hold_min[index])
+
+            candidates = list(dispatcher.candidates(video, servers))
+            if failover_on_down and any(
+                not servers[s].is_up for s in candidates
+            ):
+                # Replication's availability payoff: retry the remaining
+                # holders when the dispatched server has crashed.
+                extra = [
+                    int(s)
+                    for s in dispatcher.holders(video)
+                    if int(s) not in candidates
+                ]
+                extra.sort(key=lambda s: servers[s].utilization)
+                candidates.extend(extra)
+
+            admitted = False
+            for server_id in candidates:
+                rate = float(self._rate_matrix[video, server_id])
+                if rate > 0.0 and servers[server_id].can_admit(rate):
+                    server = servers[server_id]
+                    server.admit(t, rate)
+                    events.push(
+                        end_time,
+                        EventKind.DEPARTURE,
+                        (server_id, rate, False, server.epoch),
+                    )
+                    admitted = True
+                    break
+
+            if not admitted and backbone is not None:
+                # Redirection: any server with free outgoing bandwidth may
+                # stream the video's best copy over the backbone.
+                rate = float(self._best_rates[video])
+                if backbone.can_carry(rate):
+                    delegate = self._least_utilized_with_room(servers, rate)
+                    if delegate is not None:
+                        backbone.acquire(rate)
+                        backbone_by_server[delegate] += rate
+                        servers[delegate].admit(t, rate)
+                        events.push(
+                            end_time,
+                            EventKind.DEPARTURE,
+                            (delegate, rate, True, servers[delegate].epoch),
+                        )
+                        admitted = True
+
+            if not admitted:
+                per_video_rejected[video] += 1
+
+        # Apply remaining events inside the horizon, close the integrals.
+        drain(horizon_min)
+        for server in servers:
+            server.advance(horizon_min)
+
+        return SimulationResult(
+            num_requests=int(per_video_requests.sum()),
+            num_rejected=int(per_video_rejected.sum()),
+            per_video_requests=per_video_requests,
+            per_video_rejected=per_video_rejected,
+            server_time_avg_load_mbps=np.array(
+                [s.time_avg_load_mbps(horizon_min) for s in servers]
+            ),
+            server_peak_load_mbps=np.array([s.peak_load_mbps for s in servers]),
+            server_served=np.array([s.served_requests for s in servers]),
+            server_bandwidth_mbps=self._cluster.bandwidth_mbps,
+            horizon_min=float(horizon_min),
+            num_redirected=backbone.redirected_streams if backbone else 0,
+            streams_dropped=streams_dropped,
+            num_truncated=num_truncated,
+            num_events=events_processed,
+            wall_time_sec=time.perf_counter() - start_wall,
+        )

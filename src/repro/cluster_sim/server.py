@@ -73,7 +73,8 @@ class StreamingServer:
 
     def admit(self, time_min: float, rate_mbps: float) -> None:
         """Start a stream at ``time_min`` (caller checked :meth:`can_admit`)."""
-        check_positive("rate_mbps", rate_mbps)
+        if not rate_mbps > 0:
+            raise ValueError(f"rate_mbps must be > 0, got {rate_mbps}")
         if not self.is_up:
             raise RuntimeError(f"server {self.server_id} is down")
         if not self.can_admit(rate_mbps):
@@ -82,32 +83,38 @@ class StreamingServer:
                 f"{self.used_mbps + rate_mbps:.3f} > {self.bandwidth_mbps} Mb/s"
             )
         self.advance(time_min)
-        self.used_mbps += rate_mbps
+        used = self.used_mbps + rate_mbps
+        self.used_mbps = used
         self.active_streams += 1
         self.served_requests += 1
-        self.peak_load_mbps = max(self.peak_load_mbps, self.used_mbps)
+        if used > self.peak_load_mbps:
+            self.peak_load_mbps = used
 
     def release(self, time_min: float, rate_mbps: float) -> None:
         """End a stream at ``time_min``."""
         if self.active_streams <= 0:
             raise RuntimeError(f"server {self.server_id} released with no streams")
         self.advance(time_min)
-        self.used_mbps -= rate_mbps
+        used = self.used_mbps - rate_mbps
+        if used < 0.0:
+            if used < -_EPS_MBPS:
+                raise RuntimeError(
+                    f"server {self.server_id} bandwidth accounting went negative"
+                )
+            used = 0.0
+        self.used_mbps = used
         self.active_streams -= 1
-        if self.used_mbps < -_EPS_MBPS:
-            raise RuntimeError(
-                f"server {self.server_id} bandwidth accounting went negative"
-            )
-        self.used_mbps = max(self.used_mbps, 0.0)
 
     def advance(self, time_min: float) -> None:
         """Accumulate the load integral up to ``time_min`` (monotone)."""
-        if time_min < self._last_time_min - 1e-12:
-            raise ValueError(
-                f"time moved backwards: {time_min} < {self._last_time_min}"
-            )
-        delta = max(time_min - self._last_time_min, 0.0)
-        self._load_integral += self.used_mbps * delta
+        last = self._last_time_min
+        if time_min <= last:
+            if time_min < last - 1e-12:
+                raise ValueError(
+                    f"time moved backwards: {time_min} < {last}"
+                )
+            return
+        self._load_integral += self.used_mbps * (time_min - last)
         self._last_time_min = time_min
 
     # ------------------------------------------------------------------

@@ -18,11 +18,26 @@ With ``backbone_mbps > 0`` the request-redirection extension is active: a
 request all of whose replica holders are saturated may be served by *any*
 server with free outgoing bandwidth at the additional cost of backbone
 bandwidth for the stream's lifetime.
+
+Implementation notes (hot path)
+-------------------------------
+``run()`` is the per-trial inner loop of every experiment, so it avoids
+numpy scalar boxing entirely: arrival times, video ids, hold times, the
+rate matrix rows and the per-video best rates are converted to plain
+Python lists once per run (or once per simulator for the static tables),
+heap events are bare ``(time, kind, seq, payload)`` tuples compared by
+CPython's C tuple ordering, and the common DEPARTURE case plus the
+admission accounting are inlined instead of dispatching through
+:class:`StreamingServer` methods.  The clarity-first original lives on as
+:class:`~repro.cluster_sim.reference.ReferenceClusterSimulator`; the two
+are bit-identical field for field (see
+``tests/test_simulator_equivalence.py``).
 """
 
 from __future__ import annotations
 
 import time
+from heapq import heappop, heappush
 
 import numpy as np
 
@@ -32,13 +47,23 @@ from ..model.layout import ReplicaLayout
 from ..model.video import VideoCollection
 from ..workload.requests import RequestTrace
 from .dispatch import Dispatcher, StaticRoundRobinDispatcher
-from .events import EventKind, EventQueue
+from .events import EventKind
 from .failures import FailureSchedule
 from .metrics import SimulationResult
 from .redirection import BackboneLink
 from .server import StreamingServer
 
 __all__ = ["VoDClusterSimulator"]
+
+#: Integer event kinds for bare-tuple heap entries (== EventKind values).
+_DEPARTURE = int(EventKind.DEPARTURE)
+_FAILURE = int(EventKind.FAILURE)
+_RECOVERY = int(EventKind.RECOVERY)
+
+#: Admission slack (Mb/s); mirrors ``server._EPS_MBPS``.
+_EPS_MBPS = 1e-6
+
+_INF = float("inf")
 
 
 class VoDClusterSimulator:
@@ -108,6 +133,12 @@ class VoDClusterSimulator:
         self._rate_matrix = layout.rate_matrix
         self._best_rates = layout.video_bit_rates
         self._durations = videos.durations_min
+        # Pure-Python lookup tables so the request loop never touches
+        # numpy scalars: row lists of per-server rates and per-video
+        # best-rate/duration floats.
+        self._rate_rows: list[list[float]] = self._rate_matrix.tolist()
+        self._best_rates_list: list[float] = self._best_rates.tolist()
+        self._durations_list: list[float] = self._durations.tolist()
 
     # ------------------------------------------------------------------
     @property
@@ -146,6 +177,7 @@ class VoDClusterSimulator:
         if horizon_min is None:
             horizon_min = trace.duration_min if trace.num_requests else 1.0
         check_positive("horizon_min", horizon_min)
+        horizon_min = float(horizon_min)
 
         servers = [
             StreamingServer(
@@ -161,10 +193,14 @@ class VoDClusterSimulator:
         backbone = (
             BackboneLink(self._backbone_mbps) if self._backbone_mbps > 0 else None
         )
-        events = EventQueue()
+        # Bare-tuple event heap: (time, kind, seq, payload).  seq is the
+        # insertion-order tiebreak, so tuple comparison never reaches the
+        # payload (identical ordering to EventQueue).
+        heap: list = []
+        seq = 0
         # Backbone bandwidth attributable to redirected streams per server,
         # so a crash can return the right amount in bulk.
-        backbone_by_server = np.zeros(len(servers))
+        backbone_by_server = [0.0] * len(servers)
         streams_dropped = 0
         events_processed = 0
 
@@ -172,45 +208,29 @@ class VoDClusterSimulator:
             failures.validate_servers(len(servers))
             for failure in failures:
                 if failure.time_min <= horizon_min:
-                    events.push(failure.time_min, EventKind.FAILURE, failure)
+                    heappush(heap, (failure.time_min, _FAILURE, seq, failure))
+                    seq += 1
 
-        def handle(event) -> None:
-            """Apply one departure/failure/recovery event."""
-            nonlocal streams_dropped, events_processed
-            events_processed += 1
-            if event.kind is EventKind.DEPARTURE:
-                server_id, rate, redirected, epoch = event.payload
-                server = servers[server_id]
-                if server.epoch != epoch:
-                    return  # stream already dropped by a crash
-                server.release(event.time, rate)
-                if redirected and backbone is not None:
-                    backbone.release(rate)
-                    backbone_by_server[server_id] -= rate
-            elif event.kind is EventKind.FAILURE:
-                failure = event.payload
-                streams_dropped += servers[failure.server].fail(event.time)
+        def handle_rare(event: tuple, seq: int) -> int:
+            """Apply one failure/recovery event; returns the updated seq."""
+            nonlocal streams_dropped
+            if event[1] == _FAILURE:
+                failure = event[3]
+                streams_dropped += servers[failure.server].fail(event[0])
                 if backbone is not None and backbone_by_server[failure.server] > 0:
-                    backbone.release(float(backbone_by_server[failure.server]))
+                    backbone.release(backbone_by_server[failure.server])
                     backbone_by_server[failure.server] = 0.0
-                if np.isfinite(failure.recovery_min):
-                    events.push(failure.recovery_min, EventKind.RECOVERY, failure.server)
-            elif event.kind is EventKind.RECOVERY:
-                servers[event.payload].recover(event.time)
-
-        def drain(until: float) -> None:
-            """Handle every queued event up to *until* (inclusive).
-
-            Re-checks the queue after each event because handling a
-            failure schedules its recovery, which may also fall inside
-            the window.
-            """
-            while events and events.peek().time <= until:
-                handle(events.pop())
+                recovery = failure.recovery_min
+                if recovery < _INF:
+                    heappush(heap, (recovery, _RECOVERY, seq, failure.server))
+                    seq += 1
+            else:  # _RECOVERY
+                servers[event[3]].recover(event[0])
+            return seq
 
         num_videos = self._videos.num_videos
-        per_video_requests = np.zeros(num_videos, dtype=np.int64)
-        per_video_rejected = np.zeros(num_videos, dtype=np.int64)
+        per_video_requests = [0] * num_videos
+        per_video_rejected = [0] * num_videos
 
         times = trace.arrival_min
         videos = trace.videos
@@ -227,96 +247,196 @@ class VoDClusterSimulator:
         # Stream hold times: the full video duration (the paper's model) or
         # the per-request watch times of an early-departure workload.
         if trace.watch_min is not None:
-            hold_min = np.minimum(trace.watch_min, self._durations[videos])
+            hold_list = np.minimum(trace.watch_min, self._durations[videos]).tolist()
         else:
-            hold_min = self._durations[videos]
+            hold_list = self._durations[videos].tolist()
+        times_list = times.tolist()
+        videos_list = videos.tolist()
+        num_arrivals = len(times_list)
+
+        # Hot-loop locals (attribute lookups hoisted out of the loop).
+        rate_rows = self._rate_rows
+        best_rates = self._best_rates_list
+        candidates_of = dispatcher.candidates
+        eps = _EPS_MBPS
 
         num_truncated = 0
-        for index, (t, video) in enumerate(zip(times, videos)):
-            t = float(t)
+        for index in range(num_arrivals):
+            t = times_list[index]
             if t > horizon_min:
                 # Arrivals are time-ordered: everything from here on is
                 # strictly past the horizon.  An arrival at exactly
                 # ``horizon_min`` is still simulated.
-                num_truncated = int(times.size - index)
+                num_truncated = num_arrivals - index
                 break
-            video = int(video)
-            # Apply departures/failures/recoveries at or before t.
-            drain(t)
+            video = videos_list[index]
+
+            # Apply departures/failures/recoveries at or before t.  The
+            # DEPARTURE case (release + integral update) is inlined; the
+            # rare kinds go through handle_rare.
+            while heap and heap[0][0] <= t:
+                event = heappop(heap)
+                events_processed += 1
+                if event[1] == _DEPARTURE:
+                    server_id, rate, redirected, epoch = event[3]
+                    server = servers[server_id]
+                    if server.epoch != epoch:
+                        continue  # stream already dropped by a crash
+                    etime = event[0]
+                    last = server._last_time_min
+                    if etime > last:
+                        server._load_integral += server.used_mbps * (etime - last)
+                        server._last_time_min = etime
+                    used = server.used_mbps - rate
+                    if used < 0.0:
+                        if used < -eps:
+                            raise RuntimeError(
+                                f"server {server_id} bandwidth accounting "
+                                "went negative"
+                            )
+                        used = 0.0
+                    server.used_mbps = used
+                    server.active_streams -= 1
+                    if redirected:
+                        backbone.release(rate)
+                        backbone_by_server[server_id] -= rate
+                else:
+                    seq = handle_rare(event, seq)
 
             events_processed += 1
             per_video_requests[video] += 1
-            if self._best_rates[video] <= 0.0:
+            if best_rates[video] <= 0.0:
                 # Video has no replica anywhere: nothing can serve it.
                 per_video_rejected[video] += 1
                 continue
-            end_time = t + float(hold_min[index])
+            end_time = t + hold_list[index]
 
-            candidates = list(dispatcher.candidates(video, servers))
-            if failover_on_down and any(
-                not servers[s].is_up for s in candidates
-            ):
-                # Replication's availability payoff: retry the remaining
-                # holders when the dispatched server has crashed.
-                extra = [
-                    int(s)
-                    for s in dispatcher.holders(video)
-                    if int(s) not in candidates
-                ]
-                extra.sort(key=lambda s: servers[s].utilization)
-                candidates.extend(extra)
+            if failover_on_down:
+                candidates = list(candidates_of(video, servers))
+                if any(not servers[s].is_up for s in candidates):
+                    # Replication's availability payoff: retry the remaining
+                    # holders when the dispatched server has crashed.
+                    extra = [
+                        s
+                        for s in dispatcher.holders(video)
+                        if s not in candidates
+                    ]
+                    extra.sort(key=lambda s: servers[s].utilization)
+                    candidates.extend(extra)
+            else:
+                candidates = candidates_of(video, servers)
 
             admitted = False
+            row = rate_rows[video]
             for server_id in candidates:
-                rate = float(self._rate_matrix[video, server_id])
-                if rate > 0.0 and servers[server_id].can_admit(rate):
+                rate = row[server_id]
+                if rate > 0.0:
                     server = servers[server_id]
-                    server.admit(t, rate)
-                    events.push(
-                        end_time,
-                        EventKind.DEPARTURE,
-                        (server_id, rate, False, server.epoch),
-                    )
-                    admitted = True
-                    break
+                    if (
+                        server.is_up
+                        and server.used_mbps + rate
+                        <= server.bandwidth_mbps + eps
+                        and (
+                            server.max_streams is None
+                            or server.active_streams < server.max_streams
+                        )
+                    ):
+                        # Inlined StreamingServer.admit.
+                        last = server._last_time_min
+                        if t > last:
+                            server._load_integral += server.used_mbps * (t - last)
+                            server._last_time_min = t
+                        used = server.used_mbps + rate
+                        server.used_mbps = used
+                        server.active_streams += 1
+                        server.served_requests += 1
+                        if used > server.peak_load_mbps:
+                            server.peak_load_mbps = used
+                        heappush(
+                            heap,
+                            (end_time, _DEPARTURE, seq,
+                             (server_id, rate, False, server.epoch)),
+                        )
+                        seq += 1
+                        admitted = True
+                        break
 
             if not admitted and backbone is not None:
                 # Redirection: any server with free outgoing bandwidth may
                 # stream the video's best copy over the backbone.
-                rate = float(self._best_rates[video])
-                if backbone.can_carry(rate):
-                    delegate = self._least_utilized_with_room(servers, rate)
+                rate = best_rates[video]
+                if backbone.used_mbps + rate <= backbone.capacity_mbps + eps:
+                    delegate = None
+                    best_util = _INF
+                    for server in servers:
+                        if (
+                            server.is_up
+                            and server.used_mbps + rate
+                            <= server.bandwidth_mbps + eps
+                            and (
+                                server.max_streams is None
+                                or server.active_streams < server.max_streams
+                            )
+                        ):
+                            util = server.used_mbps / server.bandwidth_mbps
+                            if util < best_util:
+                                delegate = server
+                                best_util = util
                     if delegate is not None:
+                        delegate_id = delegate.server_id
                         backbone.acquire(rate)
-                        backbone_by_server[delegate] += rate
-                        servers[delegate].admit(t, rate)
-                        events.push(
-                            end_time,
-                            EventKind.DEPARTURE,
-                            (delegate, rate, True, servers[delegate].epoch),
+                        backbone_by_server[delegate_id] += rate
+                        last = delegate._last_time_min
+                        if t > last:
+                            delegate._load_integral += delegate.used_mbps * (t - last)
+                            delegate._last_time_min = t
+                        used = delegate.used_mbps + rate
+                        delegate.used_mbps = used
+                        delegate.active_streams += 1
+                        delegate.served_requests += 1
+                        if used > delegate.peak_load_mbps:
+                            delegate.peak_load_mbps = used
+                        heappush(
+                            heap,
+                            (end_time, _DEPARTURE, seq,
+                             (delegate_id, rate, True, delegate.epoch)),
                         )
+                        seq += 1
                         admitted = True
 
             if not admitted:
                 per_video_rejected[video] += 1
 
         # Apply remaining events inside the horizon, close the integrals.
-        drain(horizon_min)
+        while heap and heap[0][0] <= horizon_min:
+            event = heappop(heap)
+            events_processed += 1
+            if event[1] == _DEPARTURE:
+                server_id, rate, redirected, epoch = event[3]
+                server = servers[server_id]
+                if server.epoch != epoch:
+                    continue
+                server.release(event[0], rate)
+                if redirected:
+                    backbone.release(rate)
+                    backbone_by_server[server_id] -= rate
+            else:
+                seq = handle_rare(event, seq)
         for server in servers:
             server.advance(horizon_min)
 
         return SimulationResult(
-            num_requests=int(per_video_requests.sum()),
-            num_rejected=int(per_video_rejected.sum()),
-            per_video_requests=per_video_requests,
-            per_video_rejected=per_video_rejected,
+            num_requests=sum(per_video_requests),
+            num_rejected=sum(per_video_rejected),
+            per_video_requests=np.asarray(per_video_requests, dtype=np.int64),
+            per_video_rejected=np.asarray(per_video_rejected, dtype=np.int64),
             server_time_avg_load_mbps=np.array(
                 [s.time_avg_load_mbps(horizon_min) for s in servers]
             ),
             server_peak_load_mbps=np.array([s.peak_load_mbps for s in servers]),
             server_served=np.array([s.served_requests for s in servers]),
             server_bandwidth_mbps=self._cluster.bandwidth_mbps,
-            horizon_min=float(horizon_min),
+            horizon_min=horizon_min,
             num_redirected=backbone.redirected_streams if backbone else 0,
             streams_dropped=streams_dropped,
             num_truncated=num_truncated,
@@ -331,7 +451,7 @@ class VoDClusterSimulator:
     ) -> int | None:
         """Least-utilized server that can carry one more stream, if any."""
         best: int | None = None
-        best_util = np.inf
+        best_util = _INF
         for server in servers:
             if server.can_admit(rate) and server.utilization < best_util:
                 best = server.server_id

@@ -79,10 +79,15 @@ def refine_placement(
         raise ValueError("popularity must have one entry per video")
     if int(layout.server_replica_counts().max()) > capacity_replicas:
         raise ValueError("layout already exceeds capacity_replicas")
+    if not layout.total_replicas:
+        # No replicas means no loads to balance and no bit rate to carry
+        # over into the refined layout; a silent fallback rate here would
+        # fabricate a layout the caller never described.
+        raise ValueError("cannot refine an empty layout (no replicas)")
 
     holds = layout.presence.copy()
     weights = communication_weights(probs, layout.replica_counts)
-    rate = float(layout.rate_matrix.max()) if layout.total_replicas else 4.0
+    rate = float(layout.rate_matrix.max())
 
     loads = (holds * weights[:, None]).sum(axis=0)
     storage = holds.sum(axis=0).astype(np.int64)

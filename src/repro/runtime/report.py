@@ -45,6 +45,9 @@ class RunReport:
         workers this exceeds ``wall_time_sec`` by up to a factor of ``jobs``.
     wall_time_sec:
         End-to-end engine time, including cache probes and pool overhead.
+    sa_runs / sa_steps / sa_time_sec:
+        Simulated-annealing chains recorded via :meth:`record_annealing`:
+        run count, total Metropolis steps, and summed annealer wall time.
     """
 
     jobs: int = 1
@@ -54,6 +57,9 @@ class RunReport:
     events: int = 0
     sim_time_sec: float = 0.0
     wall_time_sec: float = 0.0
+    sa_runs: int = 0
+    sa_steps: int = 0
+    sa_time_sec: float = 0.0
     batches: int = field(default=0, repr=False)
 
     # ------------------------------------------------------------------
@@ -62,6 +68,8 @@ class RunReport:
         self.trials = self.simulated = self.cache_hits = 0
         self.events = self.batches = 0
         self.sim_time_sec = self.wall_time_sec = 0.0
+        self.sa_runs = self.sa_steps = 0
+        self.sa_time_sec = 0.0
 
     def record_hit(self, result: SimulationResult) -> None:
         self.trials += 1
@@ -78,6 +86,17 @@ class RunReport:
         self.batches += 1
         self.wall_time_sec += wall_sec
 
+    def record_annealing(self, result) -> None:
+        """Fold one annealing run (anything with ``steps``/``wall_time_sec``).
+
+        Duck-typed so :mod:`repro.annealing` stays import-independent of
+        the runtime layer; :func:`repro.annealing.run_chains` calls this on
+        the active runner's report for every chain.
+        """
+        self.sa_runs += 1
+        self.sa_steps += int(result.steps)
+        self.sa_time_sec += float(result.wall_time_sec)
+
     # ------------------------------------------------------------------
     @property
     def cache_hit_rate(self) -> float:
@@ -88,6 +107,11 @@ class RunReport:
     def events_per_sec(self) -> float:
         """Simulated events per second of engine wall time."""
         return self.events / self.wall_time_sec if self.wall_time_sec else 0.0
+
+    @property
+    def sa_steps_per_sec(self) -> float:
+        """Metropolis steps per second of summed annealer wall time."""
+        return self.sa_steps / self.sa_time_sec if self.sa_time_sec else 0.0
 
     @property
     def concurrency(self) -> float:
@@ -119,6 +143,12 @@ class RunReport:
             f"{_si(self.events_per_sec)} events/s wall, "
             f"{_si(per_worker)} events/s per worker"
         )
+        if self.sa_runs:
+            lines.append(
+                f"  annealing {self.sa_runs} chains  "
+                f"{self.sa_steps:,} steps  "
+                f"{_si(self.sa_steps_per_sec)} steps/s"
+            )
         return "\n".join(lines)
 
     def __str__(self) -> str:

@@ -206,3 +206,20 @@ class TestRefinePlacement:
             trace, horizon_min=90.0
         ).rejection_rate
         assert rej_ref <= rej_rr + 0.02
+
+
+class TestRefineEmptyLayout:
+    def test_empty_layout_rejected_explicitly(self):
+        """No silent fallback bit rate: an all-zero layout is an error."""
+        layout = ReplicaLayout(rate_matrix=np.zeros((4, 3)))
+        probs = zipf_probabilities(4, 0.75)
+        with pytest.raises(ValueError, match="empty layout"):
+            refine_placement(layout, probs, 2)
+
+    def test_rate_carried_from_layout(self):
+        """The refined layout keeps the input layout's bit rate."""
+        probs = zipf_probabilities(20, 0.75)
+        replication = zipf_interval_replication(probs, 4, 30)
+        layout = round_robin_placement(replication, 10, bit_rate_mbps=2.5)
+        refined = refine_placement(layout, probs, 10).layout
+        assert float(refined.rate_matrix.max()) == 2.5

@@ -219,6 +219,21 @@ class TestRunReport:
     def test_events_per_sec_zero_without_wall(self):
         assert RunReport().events_per_sec == 0.0
 
+    def test_record_annealing_counters(self):
+        class FakeResult:
+            steps = 1200
+            wall_time_sec = 0.5
+
+        report = RunReport()
+        report.record_annealing(FakeResult())
+        report.record_annealing(FakeResult())
+        assert report.sa_runs == 2 and report.sa_steps == 2400
+        assert report.sa_steps_per_sec == pytest.approx(2400.0)
+        assert "steps/s" in report.format()
+        report.reset()
+        assert report.sa_runs == 0 and report.sa_steps_per_sec == 0.0
+        assert "annealing" not in report.format()
+
 
 class TestActiveRunner:
     def test_default_runner_is_serial_uncached(self):

@@ -1,0 +1,155 @@
+"""Optimized-vs-reference simulator equivalence (the tentpole oracle).
+
+The optimized :class:`VoDClusterSimulator` must produce *bit-identical*
+``SimulationResult`` fields (everything ``same_outcome`` compares, i.e. all
+deterministic outputs) against :class:`ReferenceClusterSimulator` — the
+retained pre-optimization ``run()`` — on every workload.  This suite crosses
+the feature space randomly: failures x redirection x per-server stream
+limits x watch-time traces x dispatch policies, over generated instances of
+varying size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ClusterSpec, VideoCollection, ZipfPopularity
+from repro.cluster_sim import (
+    FirstFitDispatcher,
+    LeastLoadedDispatcher,
+    ReferenceClusterSimulator,
+    StaticRoundRobinDispatcher,
+    VoDClusterSimulator,
+)
+from repro.cluster_sim.failures import FailureSchedule
+from repro.placement import smallest_load_first_placement
+from repro.replication import zipf_interval_replication
+from repro.workload import ExponentialWatch, WorkloadGenerator
+
+_DISPATCHERS = (
+    StaticRoundRobinDispatcher,
+    LeastLoadedDispatcher,
+    FirstFitDispatcher,
+)
+
+#: 16 configs crossing every feature pair + 8 fully random extras.
+_NUM_CONFIGS = 24
+
+
+def _random_config(index: int) -> dict:
+    """Deterministic pseudo-random config; bits of *index* cross features."""
+    rng = np.random.default_rng(777 + index)
+    num_videos = int(rng.integers(15, 60))
+    num_servers = int(rng.integers(3, 9))
+    config = {
+        "index": index,
+        "num_videos": num_videos,
+        "num_servers": num_servers,
+        "theta": float(rng.uniform(0.2, 1.0)),
+        "bandwidth_mbps": float(rng.uniform(200.0, 900.0)),
+        "rate_per_min": float(rng.uniform(5.0, 30.0)),
+        "duration_min": float(rng.uniform(30.0, 120.0)),
+        "capacity": int(rng.integers(num_videos // 2 + 2, num_videos + 4)),
+        # First 16 configs cross the 4 feature bits exhaustively; the rest
+        # draw them at random.
+        "failures": bool(index & 1) if index < 16 else bool(rng.integers(2)),
+        "redirection": bool(index & 2) if index < 16 else bool(rng.integers(2)),
+        "stream_limits": bool(index & 4) if index < 16 else bool(rng.integers(2)),
+        "watch_time": bool(index & 8) if index < 16 else bool(rng.integers(2)),
+        "dispatcher": _DISPATCHERS[index % len(_DISPATCHERS)],
+    }
+    return config
+
+
+def _build(config: dict):
+    rng = np.random.default_rng(31_000 + config["index"])
+    num_videos = config["num_videos"]
+    num_servers = config["num_servers"]
+    popularity = ZipfPopularity(num_videos, config["theta"])
+    videos = VideoCollection.homogeneous(
+        num_videos, duration_min=float(rng.uniform(10.0, 45.0))
+    )
+    cluster = ClusterSpec.homogeneous(
+        num_servers,
+        storage_gb=1.0e6,  # storage non-binding; bandwidth is the constraint
+        bandwidth_mbps=config["bandwidth_mbps"],
+    )
+    replication = zipf_interval_replication(
+        popularity.probabilities,
+        num_servers,
+        min(num_videos + num_servers * 2, config["capacity"] * num_servers),
+    )
+    layout = smallest_load_first_placement(replication, config["capacity"])
+
+    watch_model = ExponentialWatch(0.6) if config["watch_time"] else None
+    generator = WorkloadGenerator(
+        popularity,
+        WorkloadGenerator.poisson_zipf(
+            popularity, config["rate_per_min"]
+        ).arrivals,
+        watch_time_model=watch_model,
+        video_durations_min=videos.durations_min if watch_model else None,
+    )
+    trace = generator.generate(config["duration_min"], rng)
+
+    stream_limits = None
+    if config["stream_limits"]:
+        stream_limits = rng.integers(3, 40, size=num_servers).tolist()
+
+    failures = None
+    if config["failures"]:
+        failures = FailureSchedule.random(
+            num_servers,
+            config["duration_min"],
+            rng,
+            mtbf_min=config["duration_min"] / 2.0,
+            mttr_min=config["duration_min"] / 6.0,
+        )
+
+    kwargs = dict(
+        dispatcher_factory=config["dispatcher"],
+        backbone_mbps=config["bandwidth_mbps"] / 2.0 if config["redirection"] else 0.0,
+        stream_limits=stream_limits,
+    )
+    run_kwargs = dict(
+        horizon_min=config["duration_min"],
+        failures=failures,
+        failover_on_down=config["failures"] and bool(config["index"] % 2 == 0),
+    )
+    return cluster, videos, layout, kwargs, trace, run_kwargs
+
+
+@pytest.mark.parametrize("index", range(_NUM_CONFIGS))
+def test_optimized_matches_reference(index):
+    config = _random_config(index)
+    cluster, videos, layout, kwargs, trace, run_kwargs = _build(config)
+
+    optimized = VoDClusterSimulator(cluster, videos, layout, **kwargs)
+    reference = ReferenceClusterSimulator(cluster, videos, layout, **kwargs)
+    result_opt = optimized.run(trace, **run_kwargs)
+    result_ref = reference.run(trace, **run_kwargs)
+
+    assert result_opt.same_outcome(result_ref), (
+        f"config {config} diverged: opt rejected {result_opt.num_rejected} "
+        f"vs ref {result_ref.num_rejected}"
+    )
+    # same_outcome already covers every deterministic field; double-check
+    # the float arrays bitwise (not just allclose) to pin the guarantee.
+    np.testing.assert_array_equal(
+        result_opt.server_time_avg_load_mbps, result_ref.server_time_avg_load_mbps
+    )
+    np.testing.assert_array_equal(
+        result_opt.server_peak_load_mbps, result_ref.server_peak_load_mbps
+    )
+    assert result_opt.num_events == result_ref.num_events
+
+
+def test_repeat_runs_are_deterministic():
+    """The optimized simulator is a pure function of (layout, trace)."""
+    config = _random_config(3)
+    cluster, videos, layout, kwargs, trace, run_kwargs = _build(config)
+    simulator = VoDClusterSimulator(cluster, videos, layout, **kwargs)
+    first = simulator.run(trace, **run_kwargs)
+    second = simulator.run(trace, **run_kwargs)
+    assert first.same_outcome(second)
