@@ -82,6 +82,8 @@ def summarize(values: Sequence[float] | np.ndarray) -> Summary:
     interval appropriate for the small run counts the experiments use.
     """
     arr = as_float_array("values", values)
+    if arr.size == 0:
+        raise ValueError("values must be non-empty")
     n = arr.size
     std = float(arr.std(ddof=1)) if n > 1 else 0.0
     ci95 = t_critical_975(n - 1) * std / np.sqrt(n) if n > 1 else 0.0

@@ -55,7 +55,10 @@ class FailureSchedule:
         events = sorted(events, key=lambda e: e.time_min)
         busy_until: dict[int, float] = {}
         for event in events:
-            if event.time_min < busy_until.get(event.server, -1.0):
+            # <= rather than <: at equal timestamps the simulator processes
+            # FAILURE before RECOVERY, so a failure at the exact recovery
+            # instant would still hit a down server.
+            if event.time_min <= busy_until.get(event.server, -1.0):
                 raise ValueError(
                     f"server {event.server} fails at {event.time_min} while "
                     "still down from a previous failure"
@@ -100,7 +103,7 @@ class FailureSchedule:
             t += rng.exponential(1.0 / rate)
             if t >= horizon_min:
                 break
-            up = np.flatnonzero(busy_until <= t)
+            up = np.flatnonzero(busy_until < t)
             if up.size == 0:
                 continue
             server = int(rng.choice(up))

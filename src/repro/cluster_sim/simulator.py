@@ -153,6 +153,7 @@ class VoDClusterSimulator:
         horizon_min: float | None = None,
         failures: FailureSchedule | None = None,
         failover_on_down: bool = False,
+        auditors=None,
     ) -> SimulationResult:
         """Simulate one trace and return the collected metrics.
 
@@ -172,7 +173,29 @@ class VoDClusterSimulator:
             (not merely saturated) is retried on the video's remaining
             replica holders — the availability benefit replication buys.
             The paper's static model (False) simply rejects it.
+        auditors:
+            Optional list of :class:`repro.verify.InvariantAuditor`
+            checkers.  When non-empty the run is delegated to the audited
+            loop (bit-identical results, in-situ invariant checking) and
+            any violation raises
+            :class:`repro.verify.InvariantViolation`.  ``None``/empty
+            keeps this plain hot loop — auditing off costs nothing.
         """
+        if auditors:
+            # Lazy import: cluster_sim must stay importable without the
+            # verify package (and vice versa).
+            from ..verify.audit import run_audited
+
+            result, report = run_audited(
+                self,
+                trace,
+                auditors=list(auditors),
+                horizon_min=horizon_min,
+                failures=failures,
+                failover_on_down=failover_on_down,
+            )
+            report.raise_if_failed()
+            return result
         start_wall = time.perf_counter()
         if horizon_min is None:
             horizon_min = trace.duration_min if trace.num_requests else 1.0

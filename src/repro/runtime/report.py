@@ -48,6 +48,9 @@ class RunReport:
     sa_runs / sa_steps / sa_time_sec:
         Simulated-annealing chains recorded via :meth:`record_annealing`:
         run count, total Metropolis steps, and summed annealer wall time.
+    audited_runs / audited_events / audit_violations:
+        In-situ invariant audits recorded via :meth:`record_audit`: audited
+        simulator runs, events those runs checked, and total violations.
     """
 
     jobs: int = 1
@@ -60,6 +63,9 @@ class RunReport:
     sa_runs: int = 0
     sa_steps: int = 0
     sa_time_sec: float = 0.0
+    audited_runs: int = 0
+    audited_events: int = 0
+    audit_violations: int = 0
     batches: int = field(default=0, repr=False)
 
     # ------------------------------------------------------------------
@@ -70,6 +76,7 @@ class RunReport:
         self.sim_time_sec = self.wall_time_sec = 0.0
         self.sa_runs = self.sa_steps = 0
         self.sa_time_sec = 0.0
+        self.audited_runs = self.audited_events = self.audit_violations = 0
 
     def record_hit(self, result: SimulationResult) -> None:
         self.trials += 1
@@ -96,6 +103,16 @@ class RunReport:
         self.sa_runs += 1
         self.sa_steps += int(result.steps)
         self.sa_time_sec += float(result.wall_time_sec)
+
+    def record_audit(self, report) -> None:
+        """Fold one audited run (anything shaped like an ``AuditReport``).
+
+        Duck-typed for the same reason as :meth:`record_annealing`: the
+        runtime layer never imports :mod:`repro.verify`.
+        """
+        self.audited_runs += 1
+        self.audited_events += int(report.events_audited)
+        self.audit_violations += int(report.num_violations)
 
     # ------------------------------------------------------------------
     @property
@@ -148,6 +165,16 @@ class RunReport:
                 f"  annealing {self.sa_runs} chains  "
                 f"{self.sa_steps:,} steps  "
                 f"{_si(self.sa_steps_per_sec)} steps/s"
+            )
+        if self.audited_runs:
+            status = (
+                "clean"
+                if not self.audit_violations
+                else f"{self.audit_violations} violations"
+            )
+            lines.append(
+                f"  audit {self.audited_runs} runs  "
+                f"{self.audited_events:,} events checked  {status}"
             )
         return "\n".join(lines)
 

@@ -1,0 +1,75 @@
+"""In-situ invariant auditing and deterministic differential fuzzing.
+
+This package is the correctness backstop for the optimized hot paths:
+
+* :mod:`repro.verify.auditors` — pluggable :class:`InvariantAuditor`
+  checkers (bandwidth caps, stream conservation, replica distinctness,
+  event-time monotonicity, objective accounting) hooked into
+  :meth:`repro.cluster_sim.simulator.VoDClusterSimulator.run` via its
+  ``auditors`` argument;
+* :mod:`repro.verify.audit` — the audited simulation loop and the
+  :class:`AuditReport` it produces;
+* :mod:`repro.verify.fuzz` — the deterministic scenario fuzzer
+  (``python -m repro.verify.fuzz --cases N --seed S``) running
+  fast-vs-reference DES and incremental-vs-full annealing differentially;
+* :mod:`repro.verify.scenarios` / :mod:`repro.verify.shrink` /
+  :mod:`repro.verify.corpus` — case generation, greedy minimization of
+  failing cases, and the JSON regression corpus under ``tests/corpus/``.
+"""
+
+from .audit import AuditReport, run_audited
+from .auditors import (
+    BandwidthCapAuditor,
+    EventMonotonicityAuditor,
+    InvariantAuditor,
+    InvariantViolation,
+    ObjectiveAccountingAuditor,
+    ReplicaDistinctnessAuditor,
+    StreamConservationAuditor,
+    Violation,
+    standard_auditors,
+)
+from .corpus import load_case, load_corpus, save_case
+from .scenarios import FuzzCase, build_des, build_sa, draw_case
+from .shrink import shrink_case
+
+#: Names served lazily from :mod:`repro.verify.fuzz` (PEP 562) so that
+#: ``python -m repro.verify.fuzz`` does not import the module twice.
+_FUZZ_EXPORTS = frozenset(
+    {"CaseOutcome", "FuzzReport", "fuzz", "replay", "run_case"}
+)
+
+
+def __getattr__(name: str):
+    if name in _FUZZ_EXPORTS:
+        from . import fuzz as _fuzz
+
+        return getattr(_fuzz, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "AuditReport",
+    "run_audited",
+    "BandwidthCapAuditor",
+    "EventMonotonicityAuditor",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "ObjectiveAccountingAuditor",
+    "ReplicaDistinctnessAuditor",
+    "StreamConservationAuditor",
+    "Violation",
+    "standard_auditors",
+    "load_case",
+    "load_corpus",
+    "save_case",
+    "CaseOutcome",
+    "FuzzReport",
+    "fuzz",
+    "replay",
+    "run_case",
+    "FuzzCase",
+    "build_des",
+    "build_sa",
+    "draw_case",
+    "shrink_case",
+]

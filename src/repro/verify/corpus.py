@@ -1,0 +1,53 @@
+"""JSON repro corpus: shrunk failing fuzz cases as regression tests.
+
+Failing cases found by :mod:`repro.verify.fuzz` are shrunk and serialized
+here; ``tests/test_fuzz_corpus.py`` auto-collects every ``*.json`` under
+``tests/corpus/`` and replays it on each test run, so a once-found
+divergence can never silently return.  Hand-written cases pinning known
+edge cases (failure at t=0, repair while draining, saturated backbone,
+horizon truncation) live in the same corpus.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .scenarios import FuzzCase
+
+__all__ = ["save_case", "load_case", "load_corpus"]
+
+
+def save_case(
+    case: FuzzCase,
+    directory: "str | Path",
+    *,
+    reason: str = "",
+    violations: "list[str] | None" = None,
+) -> Path:
+    """Serialize *case* under *directory*; returns the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = case.to_json()
+    if reason:
+        payload["reason"] = reason
+    if violations:
+        payload["violations"] = list(violations)
+    path = directory / f"{case.name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_case(path: "str | Path") -> FuzzCase:
+    """Load one serialized case."""
+    return FuzzCase.from_json(json.loads(Path(path).read_text()))
+
+
+def load_corpus(directory: "str | Path") -> list[tuple[Path, FuzzCase]]:
+    """All ``(path, case)`` pairs under *directory*, sorted by filename."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [
+        (path, load_case(path)) for path in sorted(directory.glob("*.json"))
+    ]

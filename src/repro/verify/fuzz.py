@@ -1,0 +1,335 @@
+"""Deterministic differential fuzzer for the simulator and the annealer.
+
+``python -m repro.verify.fuzz --cases 200 --seed 0`` draws scenario
+configs from :class:`numpy.random.SeedSequence` spawn keys and runs, per
+case:
+
+* **DES cases** — the optimized :class:`VoDClusterSimulator` against the
+  clarity-first :class:`ReferenceClusterSimulator` (bit-identical
+  ``same_outcome`` required), the audited loop (bit-identical *and* zero
+  invariant violations required), and a repeat run (purity required);
+* **SA cases** — the incremental (delta-cost) annealing context against
+  full recomputation: per-move delta exactness, rng parity, bitwise
+  commit/rollback state agreement, plus engine-level invariants
+  (``best_cost`` is a true recomputation, feasibility of the best state).
+
+The run is bit-reproducible: the same ``--cases/--seed`` produce the same
+case stream and the same outcome digest (a SHA-256 over every case's
+deterministic result summary).  Failing cases are greedily shrunk
+(:mod:`repro.verify.shrink`) and serialized as JSON repro files that the
+test suite replays from ``tests/corpus/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .audit import run_audited
+from .scenarios import FuzzCase, build_des, build_sa, draw_case
+from .shrink import shrink_case
+
+__all__ = ["CaseOutcome", "FuzzReport", "run_case", "replay", "fuzz", "main"]
+
+#: Delta-vs-recompute tolerance (matches tests/test_annealing_incremental).
+_DELTA_ABS = 1e-9
+
+
+@dataclass(frozen=True)
+class CaseOutcome:
+    """Result of one fuzz case: failure messages + deterministic summary."""
+
+    name: str
+    failures: tuple[str, ...]
+    summary: dict = field(hash=False)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass(frozen=True)
+class FuzzReport:
+    """Outcome of one fuzz campaign."""
+
+    cases: int
+    seed: int
+    digest: str
+    failures: tuple[CaseOutcome, ...]
+    corpus_paths: tuple[str, ...]
+    elapsed_sec: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _run_des(params: dict) -> tuple[list[str], dict]:
+    optimized, reference, trace, run_kwargs = build_des(params)
+    failures: list[str] = []
+
+    result = optimized.run(trace, **run_kwargs)
+    ref_result = reference.run(trace, **run_kwargs)
+    if not result.same_outcome(ref_result):
+        failures.append(
+            "des-equivalence: optimized diverged from reference "
+            f"(rejected {result.num_rejected} vs {ref_result.num_rejected}, "
+            f"events {result.num_events} vs {ref_result.num_events})"
+        )
+
+    audited, report = run_audited(optimized, trace, **run_kwargs)
+    if not result.same_outcome(audited):
+        failures.append(
+            "des-audit-equivalence: audited loop diverged from plain run "
+            f"(rejected {result.num_rejected} vs {audited.num_rejected})"
+        )
+    for violation in report.violations:
+        failures.append(f"des-audit: {violation}")
+
+    again = optimized.run(trace, **run_kwargs)
+    if not result.same_outcome(again):
+        failures.append("des-determinism: repeat run changed the outcome")
+
+    summary = {
+        "num_requests": result.num_requests,
+        "num_rejected": result.num_rejected,
+        "num_events": result.num_events,
+        "num_truncated": result.num_truncated,
+        "num_redirected": result.num_redirected,
+        "streams_dropped": result.streams_dropped,
+        "avg_load": [repr(float(x)) for x in result.server_time_avg_load_mbps],
+        "peak_load": [repr(float(x)) for x in result.server_peak_load_mbps],
+    }
+    return failures, summary
+
+
+def _run_sa(params: dict) -> tuple[list[str], dict]:
+    problem, annealer = build_sa(params)
+    failures: list[str] = []
+
+    state = problem.initial_state(
+        np.random.default_rng(int(params["init_seed"]))
+    )
+    context = problem.make_incremental(state)
+    full_state = state.copy()
+    walk_seed = int(params["walk_seed"])
+    checked = 0
+    for i in range(int(params["crosscheck_moves"])):
+        seed = walk_seed + i
+        before = problem.cost(full_state)
+        neighbor = problem.propose(full_state, np.random.default_rng(seed))
+        delta = context.propose(np.random.default_rng(seed))
+        if neighbor is None:
+            if delta is not None:
+                failures.append(
+                    f"sa-parity: move {i} fell through on the full path "
+                    "but not the incremental one"
+                )
+                context.rollback()
+            continue
+        if delta is None:
+            failures.append(
+                f"sa-parity: move {i} fell through on the incremental "
+                "path but not the full one"
+            )
+            continue
+        expected = problem.cost(neighbor) - before
+        if abs(delta - expected) > _DELTA_ABS + 1e-9 * abs(before):
+            failures.append(
+                f"sa-delta: move {i} delta {delta!r} != recomputed "
+                f"{expected!r}"
+            )
+        checked += 1
+        if i % 2 == 0:
+            full_state = neighbor
+            context.commit()
+        else:
+            context.rollback()
+        if not np.array_equal(context.export_state(), full_state):
+            failures.append(
+                f"sa-state: incremental state diverged bitwise after "
+                f"{'commit' if i % 2 == 0 else 'rollback'} at move {i}"
+            )
+            break  # everything downstream would re-report the same drift
+
+    engine_seed = int(params["engine_seed"])
+    result = annealer.run(problem, np.random.default_rng(engine_seed))
+    recomputed = problem.cost(result.best_state)
+    if abs(result.best_cost - recomputed) > 1e-9 * max(1.0, abs(recomputed)):
+        failures.append(
+            f"sa-engine: best_cost {result.best_cost!r} is not a true "
+            f"recomputation ({recomputed!r})"
+        )
+    steps_per_level = int(params["steps_per_level"])
+    if result.steps != steps_per_level * result.levels:
+        failures.append(
+            f"sa-engine: steps {result.steps} != "
+            f"{steps_per_level} * {result.levels} levels"
+        )
+    if problem._violating_servers(result.best_state).size:
+        failures.append("sa-engine: best state violates server bandwidth")
+    summary = {
+        "checked_moves": checked,
+        "best_cost": repr(float(result.best_cost)),
+        "steps": result.steps,
+        "accepted": result.accepted,
+    }
+    if params.get("compare_engines"):
+        full = annealer.run(
+            problem,
+            np.random.default_rng(engine_seed),
+            use_incremental=False,
+        )
+        if full.steps != result.steps:
+            failures.append(
+                f"sa-engine: full path took {full.steps} steps, "
+                f"incremental {result.steps}"
+            )
+        # Float-noise acceptance flips can diverge trajectories; only a
+        # regime-level disagreement is a finding.
+        scale = max(abs(full.best_cost), abs(result.best_cost), 1e-12)
+        if abs(full.best_cost - result.best_cost) > 0.05 * scale:
+            failures.append(
+                f"sa-engine: incremental best {result.best_cost!r} far "
+                f"from full-recompute best {full.best_cost!r}"
+            )
+        summary["full_best_cost"] = repr(float(full.best_cost))
+    return failures, summary
+
+
+def run_case(case: FuzzCase) -> CaseOutcome:
+    """Run every differential check for one case."""
+    try:
+        if case.kind == "des":
+            failures, summary = _run_des(case.params)
+        elif case.kind == "sa":
+            failures, summary = _run_sa(case.params)
+        else:
+            raise ValueError(f"unknown case kind {case.kind!r}")
+    except Exception as exc:  # a crash is a finding, not an abort
+        # The exception type is part of the shrink category, so greedy
+        # reduction cannot morph one crash into an unrelated one.
+        failures = [f"exception-{type(exc).__name__}: {exc}"]
+        summary = {}
+    return CaseOutcome(case.name, tuple(failures), summary)
+
+
+def replay(case_or_path: "FuzzCase | str | Path") -> CaseOutcome:
+    """Replay a case (or a serialized corpus file)."""
+    if not isinstance(case_or_path, FuzzCase):
+        from .corpus import load_case
+
+        case_or_path = load_case(case_or_path)
+    return run_case(case_or_path)
+
+
+def fuzz(
+    num_cases: int,
+    seed: int,
+    *,
+    corpus_dir: "str | Path | None" = None,
+    shrink: bool = True,
+    log=None,
+) -> FuzzReport:
+    """Run a fuzz campaign; shrink + serialize failures when a dir is given."""
+    start = time.perf_counter()
+    digest = hashlib.sha256()
+    failing: list[CaseOutcome] = []
+    corpus_paths: list[str] = []
+    children = np.random.SeedSequence(int(seed)).spawn(int(num_cases))
+    for index, child in enumerate(children):
+        case = draw_case(child, index)
+        outcome = run_case(case)
+        digest.update(
+            json.dumps(
+                {"name": outcome.name, "summary": outcome.summary},
+                sort_keys=True,
+            ).encode()
+        )
+        if not outcome.ok:
+            if shrink:
+                minimal, messages = shrink_case(
+                    case, lambda c: list(run_case(c).failures)
+                )
+                outcome = CaseOutcome(
+                    minimal.name, tuple(messages), run_case(minimal).summary
+                )
+                case = minimal
+            failing.append(outcome)
+            if corpus_dir is not None:
+                from .corpus import save_case
+
+                path = save_case(
+                    case,
+                    corpus_dir,
+                    reason=f"fuzz --seed {seed} case {index}",
+                    violations=list(outcome.failures),
+                )
+                corpus_paths.append(str(path))
+            if log is not None:
+                log(f"FAIL {case.name}: {outcome.failures[0]}")
+        if log is not None and (index + 1) % 50 == 0:
+            log(
+                f"  ... {index + 1}/{num_cases} cases, "
+                f"{len(failing)} failing"
+            )
+    return FuzzReport(
+        cases=int(num_cases),
+        seed=int(seed),
+        digest=digest.hexdigest(),
+        failures=tuple(failing),
+        corpus_paths=tuple(corpus_paths),
+        elapsed_sec=time.perf_counter() - start,
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify.fuzz",
+        description="Deterministic differential fuzzing of the DES and the "
+        "annealer (see repro.verify).",
+    )
+    parser.add_argument("--cases", type=int, default=200,
+                        help="number of cases to draw (default: 200)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default: 0)")
+    parser.add_argument("--corpus-dir", default="tests/corpus",
+                        help="where shrunk failing cases are serialized "
+                        "(default: tests/corpus)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="serialize failing cases without minimizing")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress output")
+    args = parser.parse_args(argv)
+
+    log = (lambda msg: None) if args.quiet else print
+    report = fuzz(
+        args.cases,
+        args.seed,
+        corpus_dir=args.corpus_dir,
+        shrink=not args.no_shrink,
+        log=log,
+    )
+    print(
+        f"fuzz: {report.cases} cases (seed {report.seed}) in "
+        f"{report.elapsed_sec:.1f}s, {len(report.failures)} failing, "
+        f"digest {report.digest[:16]}"
+    )
+    for outcome in report.failures:
+        print(f"  {outcome.name}:")
+        for message in outcome.failures[:5]:
+            print(f"    {message}")
+    for path in report.corpus_paths:
+        print(f"  repro written: {path}")
+    return 1 if report.failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

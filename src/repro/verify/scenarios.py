@@ -1,0 +1,294 @@
+"""Deterministic scenario generation for the differential fuzzer.
+
+A :class:`FuzzCase` is a *self-contained* JSON-serializable description of
+one differential check: its kind (``"des"`` for simulator equivalence,
+``"sa"`` for annealing delta cross-checks) plus a flat parameter dict that
+includes every seed the builders consume.  Replaying a case therefore
+needs nothing but the JSON — no global seed, no generation order — which
+is what makes the shrunk repro files under ``tests/corpus/`` stable
+regression tests.
+
+Cases are drawn from :class:`numpy.random.SeedSequence` spawn keys (one
+child sequence per case index), so the fuzzer's case stream is
+bit-reproducible for a given ``--seed`` and embarrassingly parallel in
+principle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FuzzCase", "draw_case", "build_des", "build_sa", "DISPATCHER_NAMES"]
+
+DISPATCHER_NAMES = ("static_rr", "least_loaded", "first_fit")
+
+#: Largest seed stored in params (fits comfortably in JSON ints).
+_SEED_MAX = 2**31 - 1
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One self-contained fuzz scenario."""
+
+    kind: str  # "des" | "sa"
+    name: str
+    params: dict = field(hash=False)
+
+    def to_json(self) -> dict:
+        return {"format": 1, "kind": self.kind, "name": self.name,
+                "params": dict(self.params)}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "FuzzCase":
+        if payload.get("format") != 1:
+            raise ValueError(
+                f"unsupported fuzz-case format {payload.get('format')!r}"
+            )
+        if payload["kind"] not in ("des", "sa"):
+            raise ValueError(f"unknown fuzz-case kind {payload['kind']!r}")
+        return cls(
+            kind=payload["kind"],
+            name=str(payload["name"]),
+            params=dict(payload["params"]),
+        )
+
+
+def _seed(rng: np.random.Generator) -> int:
+    return int(rng.integers(0, _SEED_MAX))
+
+
+def draw_case(seed_seq: np.random.SeedSequence, index: int) -> FuzzCase:
+    """Draw one case from a spawned :class:`SeedSequence` child."""
+    rng = np.random.default_rng(seed_seq)
+    # Roughly one annealing case per three simulator cases: DES runs are
+    # the cheaper check and the larger attack surface.
+    if rng.random() < 0.25:
+        return _draw_sa(rng, index)
+    return _draw_des(rng, index)
+
+
+def _draw_des(rng: np.random.Generator, index: int) -> FuzzCase:
+    num_videos = int(rng.integers(8, 61))
+    num_servers = int(rng.integers(2, 10))
+    duration_min = float(rng.uniform(20.0, 120.0))
+    params = {
+        "num_videos": num_videos,
+        "num_servers": num_servers,
+        "theta": float(rng.uniform(0.2, 1.2)),
+        "bandwidth_mbps": float(rng.uniform(150.0, 900.0)),
+        "rate_per_min": float(rng.uniform(2.0, 35.0)),
+        "duration_min": duration_min,
+        "video_duration_min": float(rng.uniform(8.0, 45.0)),
+        "capacity": int(rng.integers(num_videos // 2 + 2, num_videos + 4)),
+        "dispatcher": DISPATCHER_NAMES[int(rng.integers(len(DISPATCHER_NAMES)))],
+        # Feature flags; each edge case gets forced occasionally so the
+        # corpus keeps hitting the rare paths.
+        "failures": bool(rng.random() < 0.5),
+        "failure_at_t0": bool(rng.random() < 0.15),
+        "mtbf_frac": float(rng.uniform(0.25, 1.0)),
+        "mttr_frac": float(rng.uniform(0.05, 0.35)),
+        "redirection": bool(rng.random() < 0.5),
+        "backbone_frac": float(rng.uniform(0.15, 0.8)),
+        "stream_limits": bool(rng.random() < 0.4),
+        "watch_time": bool(rng.random() < 0.4),
+        "watch_mean": float(rng.uniform(0.3, 0.9)),
+        "failover_on_down": bool(rng.random() < 0.5),
+        # < 1 exercises horizon truncation of the arrival tail.
+        "horizon_frac": float(rng.uniform(0.6, 1.0))
+        if rng.random() < 0.3
+        else 1.0,
+        "trace_seed": _seed(rng),
+        "build_seed": _seed(rng),
+        "failure_seed": _seed(rng),
+        "limits_seed": _seed(rng),
+    }
+    if params["failure_at_t0"]:
+        params["failures"] = True
+    return FuzzCase(kind="des", name=f"des_{index:05d}", params=params)
+
+
+def _draw_sa(rng: np.random.Generator, index: int) -> FuzzCase:
+    num_videos = int(rng.integers(25, 56))
+    num_servers = int(rng.integers(3, 7))
+    arrival_rate = float(rng.uniform(10.0, 30.0))
+    peak_minutes = float(rng.uniform(60.0, 120.0))
+    theta = float(rng.uniform(0.4, 1.1))
+    # Keep the instance feasible at the paper's initial solution (lowest
+    # rate, one replica per video, round-robin): the round-robin stripe
+    # concentrates Zipf mass on low-id servers, so size the link off the
+    # *heaviest* server's expected demand, with head room.
+    from .. import ZipfPopularity
+
+    probs = ZipfPopularity(num_videos, theta).probabilities
+    mass = np.zeros(num_servers)
+    np.add.at(mass, np.arange(num_videos) % num_servers, probs)
+    heaviest = arrival_rate * peak_minutes * 1.5 * float(mass.max())
+    params = {
+        "num_videos": num_videos,
+        "num_servers": num_servers,
+        "theta": theta,
+        "bandwidth_mbps": float(heaviest * rng.uniform(1.2, 2.2)),
+        "storage_gb": float(num_videos * rng.uniform(0.7, 1.3)),
+        "arrival_rate_per_min": arrival_rate,
+        "peak_minutes": peak_minutes,
+        "crosscheck_moves": int(rng.integers(120, 301)),
+        "steps_per_level": int(rng.integers(20, 50)),
+        "max_levels": int(rng.integers(4, 10)),
+        "compare_engines": bool(rng.random() < 0.3),
+        "init_seed": _seed(rng),
+        "walk_seed": _seed(rng),
+        "engine_seed": _seed(rng),
+    }
+    return FuzzCase(kind="sa", name=f"sa_{index:05d}", params=params)
+
+
+# ----------------------------------------------------------------------
+# Builders: params dict -> runnable objects.  All randomness comes from
+# seeds stored in the params, so a case replays identically from JSON.
+# ----------------------------------------------------------------------
+def build_des(params: dict):
+    """Build ``(optimized, reference, trace, run_kwargs)`` for a DES case."""
+    from .. import ClusterSpec, VideoCollection, ZipfPopularity
+    from ..cluster_sim import ReferenceClusterSimulator, VoDClusterSimulator
+    from ..cluster_sim.dispatch import make_dispatcher_factory
+    from ..cluster_sim.failures import FailureEvent, FailureSchedule
+    from ..placement import smallest_load_first_placement
+    from ..replication import zipf_interval_replication
+    from ..workload import ExponentialWatch, WorkloadGenerator
+
+    num_videos = int(params["num_videos"])
+    num_servers = int(params["num_servers"])
+    duration_min = float(params["duration_min"])
+    # Keep the layout feasible under shrinking: every video needs at
+    # least one replica, so per-server capacity must cover M/N.
+    capacity = max(
+        int(params["capacity"]), math.ceil(num_videos / num_servers) + 1
+    )
+
+    popularity = ZipfPopularity(num_videos, float(params["theta"]))
+    videos = VideoCollection.homogeneous(
+        num_videos, duration_min=float(params["video_duration_min"])
+    )
+    cluster = ClusterSpec.homogeneous(
+        num_servers,
+        storage_gb=1.0e6,  # bandwidth-constrained regime, like the paper
+        bandwidth_mbps=float(params["bandwidth_mbps"]),
+    )
+    replication = zipf_interval_replication(
+        popularity.probabilities,
+        num_servers,
+        min(num_videos + num_servers * 2, capacity * num_servers),
+    )
+    layout = smallest_load_first_placement(replication, capacity)
+
+    watch_model = ExponentialWatch(float(params["watch_mean"])) if params[
+        "watch_time"
+    ] else None
+    generator = WorkloadGenerator(
+        popularity,
+        WorkloadGenerator.poisson_zipf(
+            popularity, float(params["rate_per_min"])
+        ).arrivals,
+        watch_time_model=watch_model,
+        video_durations_min=videos.durations_min if watch_model else None,
+    )
+    trace = generator.generate(
+        duration_min, np.random.default_rng(int(params["trace_seed"]))
+    )
+
+    stream_limits = None
+    if params["stream_limits"]:
+        stream_limits = (
+            np.random.default_rng(int(params["limits_seed"]))
+            .integers(3, 40, size=num_servers)
+            .tolist()
+        )
+
+    failures = None
+    if params["failures"]:
+        frng = np.random.default_rng(int(params["failure_seed"]))
+        mttr = duration_min * float(params["mttr_frac"])
+        if params["failure_at_t0"]:
+            # Forced edge case: a server is already down when the first
+            # request arrives (and may repair mid-run).
+            events = [
+                FailureEvent(
+                    0.0, int(frng.integers(num_servers)), float(mttr)
+                )
+            ]
+            if num_servers > 1 and frng.random() < 0.7:
+                others = [
+                    s for s in range(num_servers) if s != events[0].server
+                ]
+                events.append(
+                    FailureEvent(
+                        float(frng.uniform(0.0, duration_min)),
+                        int(frng.choice(others)),
+                        float(frng.exponential(mttr)),
+                    )
+                )
+            failures = FailureSchedule(events)
+        else:
+            failures = FailureSchedule.random(
+                num_servers,
+                duration_min,
+                frng,
+                mtbf_min=duration_min * float(params["mtbf_frac"]),
+                mttr_min=mttr,
+            )
+
+    sim_kwargs = dict(
+        dispatcher_factory=make_dispatcher_factory(str(params["dispatcher"])),
+        backbone_mbps=(
+            float(params["bandwidth_mbps"]) * float(params["backbone_frac"])
+            if params["redirection"]
+            else 0.0
+        ),
+        stream_limits=stream_limits,
+    )
+    optimized = VoDClusterSimulator(cluster, videos, layout, **sim_kwargs)
+    reference = ReferenceClusterSimulator(cluster, videos, layout, **sim_kwargs)
+    run_kwargs = dict(
+        horizon_min=duration_min * float(params["horizon_frac"]),
+        failures=failures,
+        failover_on_down=bool(params["failover_on_down"]),
+    )
+    return optimized, reference, trace, run_kwargs
+
+
+def build_sa(params: dict):
+    """Build ``(problem, annealer)`` for an annealing case."""
+    from .. import ClusterSpec, VideoCollection, ZipfPopularity
+    from ..annealing import (
+        GeometricCooling,
+        ScalableBitRateProblem,
+        SimulatedAnnealer,
+    )
+    from ..model.problem import ReplicationProblem
+
+    num_videos = int(params["num_videos"])
+    popularity = ZipfPopularity(num_videos, float(params["theta"]))
+    cluster = ClusterSpec.homogeneous(
+        int(params["num_servers"]),
+        storage_gb=float(params["storage_gb"]),
+        bandwidth_mbps=float(params["bandwidth_mbps"]),
+    )
+    videos = VideoCollection.homogeneous(num_videos)
+    problem = ReplicationProblem(
+        cluster,
+        videos,
+        popularity,
+        arrival_rate_per_min=float(params["arrival_rate_per_min"]),
+        peak_minutes=float(params["peak_minutes"]),
+        allowed_bit_rates_mbps=(1.5, 3.0, 4.0, 6.0),
+    )
+    annealer = SimulatedAnnealer(
+        GeometricCooling(0.05),
+        steps_per_level=int(params["steps_per_level"]),
+        max_levels=int(params["max_levels"]),
+        patience_levels=0,
+    )
+    return ScalableBitRateProblem(problem), annealer

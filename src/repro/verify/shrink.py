@@ -1,0 +1,126 @@
+"""Greedy minimization of failing fuzz cases.
+
+A failing case is shrunk one parameter at a time: numeric parameters are
+halved toward a floor (repeatedly, while the failure persists) and boolean
+feature flags are switched off.  A candidate reduction is accepted only if
+the re-run still fails *in the same category* (e.g. a DES mismatch must
+stay a DES mismatch — a reduction that merely makes the builder crash is
+not a valid repro of the original bug).  The process loops to a fixpoint,
+so the serialized corpus entry is locally minimal: restoring any single
+shrunk parameter is necessary to reproduce the failure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from .scenarios import FuzzCase
+
+__all__ = ["shrink_case"]
+
+#: (param, floor) pairs halved toward the floor, per case kind.
+_NUMERIC_RULES: dict[str, list[tuple[str, float]]] = {
+    "des": [
+        ("num_videos", 2),
+        ("num_servers", 2),
+        ("capacity", 2),
+        ("duration_min", 5.0),
+        ("rate_per_min", 0.5),
+        ("bandwidth_mbps", 50.0),
+        ("video_duration_min", 2.0),
+    ],
+    "sa": [
+        ("num_videos", 8),
+        ("num_servers", 2),
+        ("crosscheck_moves", 20),
+        ("steps_per_level", 5),
+        ("max_levels", 2),
+    ],
+}
+
+#: Feature flags switched off (True -> False), per case kind.
+_FLAG_RULES: dict[str, list[str]] = {
+    "des": [
+        "failures",
+        "failure_at_t0",
+        "redirection",
+        "stream_limits",
+        "watch_time",
+        "failover_on_down",
+    ],
+    "sa": ["compare_engines"],
+}
+
+
+def _category(message: str) -> str:
+    """Failure category: the machine-readable prefix before the colon."""
+    return message.split(":", 1)[0]
+
+
+def _halve(value, floor):
+    if isinstance(value, bool):  # bools are ints; never "halve" them
+        return value
+    if isinstance(value, int):
+        candidate = max(int(floor), value // 2)
+    else:
+        candidate = max(float(floor), value / 2.0)
+    return candidate
+
+
+def shrink_case(
+    case: FuzzCase,
+    run: Callable[[FuzzCase], list[str]],
+    *,
+    max_rounds: int = 12,
+) -> tuple[FuzzCase, list[str]]:
+    """Greedily minimize *case*; returns ``(minimal_case, failures)``.
+
+    ``run`` executes a case and returns its failure messages (empty when
+    the case passes).  The input case must fail; the returned case fails
+    in at least one of the same categories.
+    """
+    failures = run(case)
+    if not failures:
+        raise ValueError("shrink_case called with a passing case")
+    categories = {_category(m) for m in failures}
+
+    def still_fails(candidate: FuzzCase) -> "list[str] | None":
+        messages = run(candidate)
+        if messages and categories & {_category(m) for m in messages}:
+            return messages
+        return None
+
+    current = case
+    for _ in range(max_rounds):
+        progressed = False
+        for param in _FLAG_RULES.get(case.kind, []):
+            if current.params.get(param):
+                params = dict(current.params)
+                params[param] = False
+                messages = still_fails(
+                    FuzzCase(case.kind, case.name, params)
+                )
+                if messages is not None:
+                    current = FuzzCase(case.kind, case.name, params)
+                    failures = messages
+                    progressed = True
+        for param, floor in _NUMERIC_RULES.get(case.kind, []):
+            value = current.params.get(param)
+            if value is None:
+                continue
+            candidate_value = _halve(value, floor)
+            while candidate_value != current.params[param]:
+                params = dict(current.params)
+                params[param] = candidate_value
+                messages = still_fails(
+                    FuzzCase(case.kind, case.name, params)
+                )
+                if messages is None:
+                    break
+                current = FuzzCase(case.kind, case.name, params)
+                failures = messages
+                progressed = True
+                candidate_value = _halve(candidate_value, floor)
+        if not progressed:
+            break
+    return current, failures

@@ -72,6 +72,26 @@ class TestSummarize:
         summary = summarize([5.0])
         assert summary.std == 0.0 and summary.ci95 == 0.0
 
+    def test_singleton_is_degenerate_point_interval(self):
+        # Regression: a single sample must yield a finite point interval
+        # (mean ± 0), never NaN from std(ddof=1) on one value — and it
+        # must do so without tripping any numpy warning.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            summary = summarize(np.array([3.25]))
+        assert summary.mean == 3.25
+        assert summary.min == 3.25 and summary.max == 3.25
+        assert summary.n == 1
+        assert np.isfinite(summary.std) and summary.std == 0.0
+        assert np.isfinite(summary.ci95) and summary.ci95 == 0.0
+        assert "3.2500 ± 0.0000" in str(summary)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            summarize([])
+
     def test_str(self):
         assert "n=3" in str(summarize([1.0, 2.0, 3.0]))
 

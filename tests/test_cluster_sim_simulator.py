@@ -138,6 +138,81 @@ class TestRedirection:
         assert result.num_redirected == 0
         assert result.num_rejected == 2
 
+    def test_backbone_room_but_no_delegate_rejects(self):
+        # The backbone has capacity to spare, but every up server's own
+        # outgoing link is full — redirection must reject, not over-admit.
+        cluster = ClusterSpec.homogeneous(2, storage_gb=100.0, bandwidth_mbps=8.0)
+        videos = VideoCollection.homogeneous(1, bit_rate_mbps=4.0, duration_min=60.0)
+        layout = ReplicaLayout.from_assignment([[0]], 2)
+        sim = VoDClusterSimulator(cluster, videos, layout, backbone_mbps=100.0)
+        trace = RequestTrace(np.arange(5, dtype=float), np.zeros(5, dtype=int))
+        result = sim.run(trace, horizon_min=30.0)
+        assert result.num_redirected == 2  # s1 takes two, then it is full too
+        assert result.num_rejected == 1
+
+    def test_down_server_is_no_redirection_delegate(self):
+        from repro.cluster_sim import FailureSchedule
+
+        sim = self.setup_sim(backbone=100.0)
+        trace = RequestTrace(np.arange(6, dtype=float), np.zeros(6, dtype=int))
+        result = sim.run(
+            trace,
+            horizon_min=30.0,
+            failures=FailureSchedule.single(0.0, 1),
+        )
+        # Without the (down) delegate, the two overflow requests reject.
+        assert result.num_redirected == 0
+        assert result.num_rejected == 2
+
+
+class TestBackboneLinkUnit:
+    """Rejection paths of the BackboneLink capacity pool."""
+
+    def make(self, capacity=4.0):
+        from repro.cluster_sim.redirection import BackboneLink
+
+        return BackboneLink(capacity)
+
+    def test_acquire_over_capacity_raises(self):
+        link = self.make()
+        link.acquire(4.0)
+        assert not link.can_carry(4.0)
+        with pytest.raises(RuntimeError, match="over-committed"):
+            link.acquire(4.0)
+        assert link.redirected_streams == 1  # the failed acquire left no trace
+
+    def test_exactly_at_capacity_fits(self):
+        link = self.make()
+        assert link.can_carry(4.0)
+        link.acquire(4.0)
+        assert link.used_mbps == 4.0
+
+    def test_release_restores_capacity(self):
+        link = self.make()
+        link.acquire(4.0)
+        link.release(4.0)
+        assert link.used_mbps == 0.0
+        assert link.can_carry(4.0)
+
+    def test_release_clamps_rounding_noise(self):
+        link = self.make()
+        link.acquire(4.0)
+        link.release(4.0 + 1e-9)  # float noise must clamp, not go negative
+        assert link.used_mbps == 0.0
+
+    def test_release_below_zero_raises(self):
+        link = self.make()
+        with pytest.raises(RuntimeError, match="negative"):
+            link.release(1.0)
+
+    def test_zero_capacity_carries_nothing(self):
+        link = self.make(0.0)
+        assert not link.can_carry(0.1)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(-1.0)
+
 
 class TestConservationInvariants:
     def test_served_plus_rejected_equals_requests(self, rng):

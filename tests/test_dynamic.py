@@ -278,6 +278,136 @@ class TestController:
 
 
 # ----------------------------------------------------------------------
+# Controller epoch boundaries
+# ----------------------------------------------------------------------
+class TestControllerEpochBoundaries:
+    def make(self, move_budget=None, **tracker_kwargs):
+        tracker_kwargs.setdefault("alpha", 0.6)
+        tracker = EwmaPopularityTracker(20, **tracker_kwargs)
+        controller = DynamicReplicationController(
+            4, 10, tracker, move_budget=move_budget
+        )
+        return tracker, controller
+
+    def inverted_counts(self):
+        counts = np.zeros(20)
+        counts[-1] = 1000.0
+        counts[:-1] = 5.0
+        return counts
+
+    def test_budget_boundary_is_inclusive(self):
+        # A plan costing exactly the budget executes; one more copy skips.
+        probs = ZipfPopularity(20, 1.0).probabilities
+        counts = self.inverted_counts()
+        _, probe = self.make()
+        probe.bootstrap(probs)
+        needed = probe.step(counts).replicas_copied
+        assert needed > 0
+
+        _, exact = self.make(move_budget=needed)
+        exact.bootstrap(probs)
+        plan = exact.step(counts)
+        assert plan.executed and plan.replicas_copied == needed
+        assert exact.skipped_epochs == 0
+
+        _, tight = self.make(move_budget=needed - 1)
+        tight.bootstrap(probs)
+        plan = tight.step(counts)
+        assert not plan.executed
+        assert plan.replicas_copied == 0
+        assert plan.proposed_copies == needed
+        assert tight.skipped_epochs == 1
+
+    def test_zero_count_epoch_with_smoothing(self):
+        # An epoch with no requests at all is a legal boundary: smoothing
+        # turns it into a uniform observation.
+        tracker, controller = self.make()
+        controller.bootstrap(ZipfPopularity(20, 0.75).probabilities)
+        plan = controller.step(np.zeros(20))
+        assert plan.executed
+        assert controller.layout.replica_counts.min() >= 1
+        assert tracker.epochs_observed == 1
+
+    def test_zero_count_epoch_without_smoothing_rejected(self):
+        tracker, controller = self.make(smoothing=0.0)
+        controller.bootstrap(ZipfPopularity(20, 0.75).probabilities)
+        before = controller.layout
+        with pytest.raises(ValueError, match="zero"):
+            controller.step(np.zeros(20))
+        # The failed epoch must not have touched the deployed layout.
+        assert controller.layout is before
+        assert tracker.epochs_observed == 0
+
+    def test_epoch_zero_keeps_bootstrap_layout(self):
+        # run_epoch_study's first epoch is an evaluation-only boundary:
+        # no controller step, no copies, tracked == static by construction.
+        cluster = ClusterSpec.homogeneous(
+            2, storage_gb=27.0, bandwidth_mbps=400.0
+        )
+        videos = VideoCollection.homogeneous(20)
+        records = run_epoch_study(
+            cluster,
+            videos,
+            ZipfPopularity(20, 0.75).probabilities,
+            NoDrift(),
+            epochs=1,
+            arrival_rate_per_min=3.0,
+            seed=5,
+        )
+        assert all(r.replicas_copied == 0 for r in records)
+        by = {r.strategy: r for r in records}
+        assert by["tracked"].rejection_rate == by["static"].rejection_rate
+
+
+# ----------------------------------------------------------------------
+# Migration under concurrent failure
+# ----------------------------------------------------------------------
+class TestMigrationUnderFailure:
+    def test_migrated_layout_survives_concurrent_failures(self):
+        """A freshly migrated layout, run under two overlapping server
+        outages with failover, must keep every audited invariant."""
+        from repro.cluster_sim import (
+            FailureEvent,
+            FailureSchedule,
+            VoDClusterSimulator,
+        )
+        from repro.verify import standard_auditors
+        from repro.workload import WorkloadGenerator
+
+        popularity = ZipfPopularity(20, 1.0)
+        tracker = EwmaPopularityTracker(20, alpha=0.6)
+        controller = DynamicReplicationController(4, 10, tracker)
+        controller.bootstrap(popularity.probabilities)
+        counts = np.zeros(20)
+        counts[-1] = 800.0
+        counts[:-1] = 5.0
+        plan = controller.step(counts)
+        assert plan.executed
+
+        cluster = ClusterSpec.homogeneous(
+            4, storage_gb=1.0e6, bandwidth_mbps=500.0
+        )
+        videos = VideoCollection.homogeneous(20)
+        trace = WorkloadGenerator.poisson_zipf(popularity, 15.0).generate(
+            60.0, np.random.default_rng(9)
+        )
+        simulator = VoDClusterSimulator(cluster, videos, plan.new_layout)
+        # Two servers down at once mid-epoch; auditors raise on any
+        # bandwidth/conservation/accounting breakage.
+        result = simulator.run(
+            trace,
+            horizon_min=60.0,
+            failures=FailureSchedule(
+                [FailureEvent(20.0, 0, 15.0), FailureEvent(25.0, 1, 10.0)]
+            ),
+            failover_on_down=True,
+            auditors=standard_auditors(),
+        )
+        assert result.num_requests > 0
+        assert result.streams_dropped > 0
+
+
+# ----------------------------------------------------------------------
 # Epoch study (integration)
 # ----------------------------------------------------------------------
 class TestEpochStudy:

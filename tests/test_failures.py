@@ -35,6 +35,30 @@ class TestFailureSchedule:
         )
         assert len(schedule) == 2
 
+    def test_failure_at_exact_recovery_instant_rejected(self):
+        # At equal timestamps the simulator processes FAILURE before
+        # RECOVERY, so a failure at the exact recovery instant would
+        # crash a server that is still down.
+        with pytest.raises(ValueError, match="still down"):
+            FailureSchedule(
+                [FailureEvent(10.0, 0, 5.0), FailureEvent(15.0, 0, 5.0)]
+            )
+
+    def test_failure_at_time_zero_allowed(self):
+        schedule = FailureSchedule.single(0.0, 0, down_min=5.0)
+        assert next(iter(schedule)).time_min == 0.0
+
+    def test_random_leaves_strict_gap_after_recovery(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            schedule = FailureSchedule.random(
+                3, 300.0, rng, mtbf_min=20.0, mttr_min=15.0
+            )
+            last_recovery: dict[int, float] = {}
+            for event in schedule:
+                assert event.time_min > last_recovery.get(event.server, -1.0)
+                last_recovery[event.server] = event.recovery_min
+
     def test_random_generation(self, rng):
         schedule = FailureSchedule.random(
             8, 90.0, rng, mtbf_min=60.0, mttr_min=10.0
@@ -164,6 +188,42 @@ class TestSimulatorFailures:
         # Post-recovery arrival at t=70 is served; no negative-load crash.
         assert result.num_rejected == 0
         assert result.streams_dropped == 1
+
+    def test_failure_at_t0_rejects_until_recovery(self):
+        sim = self.two_server_setup([0])
+        trace = RequestTrace(np.array([1.0, 20.0]), np.zeros(2, dtype=int))
+        result = sim.run(
+            trace,
+            horizon_min=30.0,
+            failures=FailureSchedule([FailureEvent(0.0, 0, down_min=10.0)]),
+        )
+        assert result.num_rejected == 1   # t=1 arrival finds the server down
+        assert result.streams_dropped == 0  # nothing was active at the crash
+
+    def test_failure_at_t0_with_failover(self):
+        sim = self.two_server_setup([0, 1])
+        trace = RequestTrace(np.array([1.0, 20.0]), np.zeros(2, dtype=int))
+        result = sim.run(
+            trace,
+            horizon_min=70.0,
+            failures=FailureSchedule([FailureEvent(0.0, 0)]),
+            failover_on_down=True,
+        )
+        assert result.num_rejected == 0
+
+    def test_repair_while_draining(self):
+        # Recovery lands in the drain phase (after the last arrival),
+        # among stale departures of streams the crash already dropped.
+        sim = self.two_server_setup([0])
+        trace = RequestTrace(np.array([0.0, 5.0]), np.zeros(2, dtype=int))
+        result = sim.run(
+            trace,
+            horizon_min=90.0,
+            failures=FailureSchedule([FailureEvent(50.0, 0, down_min=10.0)]),
+        )
+        assert result.streams_dropped == 2
+        assert result.num_rejected == 0
+        assert result.server_peak_load_mbps[0] == pytest.approx(8.0)
 
     def test_failure_beyond_horizon_ignored(self):
         sim = self.two_server_setup([0])

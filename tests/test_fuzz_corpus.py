@@ -1,0 +1,178 @@
+"""Replay the JSON repro corpus + unit tests for the fuzzer machinery.
+
+Every ``tests/corpus/*.json`` — hand-written edge-case pins and shrunk
+repros serialized by ``python -m repro.verify.fuzz`` — is auto-collected
+and replayed, so a once-found divergence can never silently return.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.verify import (
+    FuzzCase,
+    load_case,
+    load_corpus,
+    save_case,
+    shrink_case,
+)
+from repro.verify.fuzz import fuzz, replay, run_case
+from repro.verify.scenarios import draw_case
+
+import numpy as np
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_seeded():
+    names = {case.name for _, case in CORPUS}
+    assert {
+        "pin_failure_at_t0",
+        "pin_repair_while_draining",
+        "pin_redirection_saturated",
+        "pin_truncation",
+        "pin_stream_limits_first_fit",
+        "pin_sa_small",
+    } <= names
+
+
+@pytest.mark.parametrize(
+    "path, case", CORPUS, ids=[path.stem for path, _ in CORPUS]
+)
+def test_corpus_case_replays_clean(path, case):
+    outcome = replay(path)
+    assert outcome.ok, (case.name, outcome.failures)
+
+
+class TestCorpusRoundtrip:
+    def test_save_load(self, tmp_path):
+        case = FuzzCase("des", "roundtrip", {"x": 1, "flag": True})
+        path = save_case(
+            case, tmp_path, reason="why", violations=["cat: detail"]
+        )
+        loaded = load_case(path)
+        assert loaded == case
+        assert load_corpus(tmp_path) == [(path, case)]
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert load_corpus(tmp_path / "nope") == []
+
+    def test_rejects_unknown_format(self, tmp_path):
+        case = FuzzCase("des", "fmt", {})
+        payload = case.to_json()
+        payload["format"] = 99
+        path = tmp_path / "fmt.json"
+        import json
+
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="format"):
+            load_case(path)
+
+
+class TestDrawDeterminism:
+    def test_same_seed_same_cases(self):
+        a = [
+            draw_case(c, i)
+            for i, c in enumerate(np.random.SeedSequence(3).spawn(10))
+        ]
+        b = [
+            draw_case(c, i)
+            for i, c in enumerate(np.random.SeedSequence(3).spawn(10))
+        ]
+        assert a == b
+
+    def test_case_kind_mix(self):
+        kinds = {
+            draw_case(c, i).kind
+            for i, c in enumerate(np.random.SeedSequence(4).spawn(30))
+        }
+        assert kinds == {"des", "sa"}
+
+
+class TestShrinker:
+    def fake_run(self, case):
+        # Synthetic bug: fails only while num_videos >= 12 AND failures
+        # is on; everything else is shrinkable noise.
+        if case.params["num_videos"] >= 12 and case.params["failures"]:
+            return ["des-equivalence: synthetic divergence"]
+        return []
+
+    def full_case(self):
+        return FuzzCase(
+            "des",
+            "shrinkme",
+            {
+                "num_videos": 48,
+                "num_servers": 8,
+                "capacity": 50,
+                "duration_min": 100.0,
+                "rate_per_min": 30.0,
+                "bandwidth_mbps": 800.0,
+                "video_duration_min": 40.0,
+                "failures": True,
+                "failure_at_t0": True,
+                "redirection": True,
+                "stream_limits": True,
+                "watch_time": True,
+                "failover_on_down": True,
+            },
+        )
+
+    def test_shrinks_to_local_minimum(self):
+        minimal, messages = shrink_case(self.full_case(), self.fake_run)
+        assert messages == ["des-equivalence: synthetic divergence"]
+        # The load-bearing parameters survive at their minimal values...
+        assert minimal.params["failures"] is True
+        assert minimal.params["num_videos"] == 12
+        # ... and the irrelevant features are stripped.
+        assert minimal.params["redirection"] is False
+        assert minimal.params["watch_time"] is False
+        assert minimal.params["num_servers"] == 2
+
+    def test_passing_case_rejected(self):
+        case = self.full_case()
+        with pytest.raises(ValueError, match="passing"):
+            shrink_case(case, lambda c: [])
+
+    def test_category_must_match(self):
+        # A reduction that morphs the failure into a different category
+        # is not accepted as a repro of the original bug.
+        def run(case):
+            if case.params["num_videos"] > 24:
+                return ["des-equivalence: original"]
+            return ["exception-ValueError: unrelated crash"]
+
+        minimal, messages = shrink_case(self.full_case(), run)
+        assert minimal.params["num_videos"] == 48 // 2 + 1 or (
+            minimal.params["num_videos"] > 24
+        )
+        assert messages == ["des-equivalence: original"]
+
+
+@pytest.mark.fuzz
+class TestFuzzCampaign:
+    def test_smoke_campaign_is_reproducible(self, tmp_path):
+        first = fuzz(12, 7, corpus_dir=tmp_path)
+        second = fuzz(12, 7, corpus_dir=tmp_path)
+        assert first.ok, [o.failures for o in first.failures]
+        assert second.ok
+        assert first.digest == second.digest
+        assert list(tmp_path.glob("*.json")) == []  # nothing failed
+
+    def test_unknown_kind_is_a_finding(self):
+        outcome = run_case(FuzzCase("bogus", "x", {}))
+        assert not outcome.ok
+        assert outcome.failures[0].startswith("exception-ValueError")
+
+
+@pytest.mark.slow
+@pytest.mark.fuzz
+class TestFuzzCampaignSlow:
+    """Wider campaign for the nightly / opt-in lane (``-m slow``)."""
+
+    def test_larger_campaign_clean(self, tmp_path):
+        report = fuzz(50, 11, corpus_dir=tmp_path)
+        assert report.cases == 50
+        assert report.ok, [o.failures for o in report.failures]
+        assert list(tmp_path.glob("*.json")) == []

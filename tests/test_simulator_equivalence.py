@@ -145,6 +145,36 @@ def test_optimized_matches_reference(index):
     assert result_opt.num_events == result_ref.num_events
 
 
+@pytest.mark.slow
+@pytest.mark.parametrize("index", range(_NUM_CONFIGS, _NUM_CONFIGS + 8))
+def test_long_horizon_matches_reference(index):
+    """Opt-in lane: the same oracle past every departure and repair.
+
+    The tier-1 configs cut the run off at the trace horizon; these let
+    the system drain completely (horizon beyond the last possible
+    departure), exercising the departure-heavy tail where the optimized
+    loop's event-queue bookkeeping diverges most easily.
+    """
+    config = _random_config(index)
+    cluster, videos, layout, kwargs, trace, run_kwargs = _build(config)
+    run_kwargs = dict(
+        run_kwargs,
+        horizon_min=config["duration_min"]
+        + float(videos.durations_min.max()) + 5.0,
+    )
+
+    optimized = VoDClusterSimulator(cluster, videos, layout, **kwargs)
+    reference = ReferenceClusterSimulator(cluster, videos, layout, **kwargs)
+    result_opt = optimized.run(trace, **run_kwargs)
+    result_ref = reference.run(trace, **run_kwargs)
+
+    assert result_opt.same_outcome(result_ref), (
+        f"config {config} diverged on the drained tail: opt rejected "
+        f"{result_opt.num_rejected} vs ref {result_ref.num_rejected}"
+    )
+    assert result_opt.num_events == result_ref.num_events
+
+
 def test_repeat_runs_are_deterministic():
     """The optimized simulator is a pure function of (layout, trace)."""
     config = _random_config(3)
@@ -153,3 +183,34 @@ def test_repeat_runs_are_deterministic():
     first = simulator.run(trace, **run_kwargs)
     second = simulator.run(trace, **run_kwargs)
     assert first.same_outcome(second)
+
+
+# ----------------------------------------------------------------------
+# Fuzz-corpus replay: every DES pin in tests/corpus/ is also an
+# equivalence oracle — the optimized loop must match the reference on
+# each serialized edge case (failure at t=0, repair while draining,
+# saturated backbone, truncation, stream caps, ...).
+# ----------------------------------------------------------------------
+from pathlib import Path
+
+from repro.verify import load_corpus
+from repro.verify.scenarios import build_des
+
+_DES_CORPUS = [
+    (path, case)
+    for path, case in load_corpus(Path(__file__).parent / "corpus")
+    if case.kind == "des"
+]
+
+
+@pytest.mark.parametrize(
+    "path, case", _DES_CORPUS, ids=[p.stem for p, _ in _DES_CORPUS]
+)
+def test_corpus_case_matches_reference(path, case):
+    optimized, reference, trace, run_kwargs = build_des(case.params)
+    result_opt = optimized.run(trace, **run_kwargs)
+    result_ref = reference.run(trace, **run_kwargs)
+    assert result_opt.same_outcome(result_ref), (
+        f"{case.name}: opt rejected {result_opt.num_rejected} "
+        f"vs ref {result_ref.num_rejected}"
+    )
