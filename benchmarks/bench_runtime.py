@@ -53,14 +53,14 @@ def test_runtime_engine(results_dir, tmp_path):
     with ParallelRunner(jobs=jobs, cache=cache) as parallel_runner:
         parallel, parallel_sec = _timed(parallel_runner, setup)
         parallel_report = parallel_runner.report.format()
-        assert parallel_runner.report.simulated == len(serial)
+        assert parallel_runner.report.num_simulated == len(serial)
 
     with ParallelRunner(jobs=jobs, cache=cache) as warm_runner:
         warm, warm_sec = _timed(warm_runner, setup)
         warm_report = warm_runner.report.format()
         # The cache contract: a warm re-run performs zero simulations.
-        assert warm_runner.report.simulated == 0
-        assert warm_runner.report.cache_hits == len(serial)
+        assert warm_runner.report.num_simulated == 0
+        assert warm_runner.report.num_cache_hits == len(serial)
 
     # Determinism contract: identical aggregates across all three paths.
     assert all(a.same_outcome(b) for a, b in zip(serial, parallel))

@@ -1,65 +1,66 @@
 #!/usr/bin/env python
-"""Quickstart: replicate, place and simulate a VoD cluster.
+"""Quickstart: the one-call pipeline facade, then a manual sweep.
 
-Builds the paper's cluster (8 servers x 1.8 Gb/s), replicates 200 videos
-with the Zipf-interval algorithm, places them smallest-load-first, then
-simulates a 90-minute peak at several arrival rates and prints the
-rejection rate and load-imbalance degree.
+Part 1 solves a design point with :func:`repro.solve` — replication,
+placement and a multi-run peak-period simulation behind one config — and
+prints the rejection/imbalance summary with per-phase wall times, plus a
+server-utilization digest recorded by an attached observer.
+
+Part 2 sweeps the arrival rate through the same facade to rebuild the
+paper-style rejection table.
 
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro import ClusterSpec, VideoCollection, ZipfPopularity
+from repro import PipelineConfig, solve
 from repro.analysis import format_table
-from repro.cluster_sim import VoDClusterSimulator
-from repro.placement import SmallestLoadFirstPlacer
-from repro.replication import ZipfIntervalReplicator
-from repro.workload import WorkloadGenerator
+from repro.experiments import PaperSetup
+from repro.observe import Observer, ObserverConfig
 
 
 def main() -> None:
-    # --- the system -----------------------------------------------------
-    num_servers = 8
-    cluster = ClusterSpec.homogeneous(
-        num_servers, storage_gb=81.0, bandwidth_mbps=1800.0
+    # --- part 1: one observed design point -------------------------------
+    # The paper's cluster (8 servers x 1.8 Gb/s, 200 videos), Zipf-interval
+    # replication at degree 1.2, smallest-load-first placement, 10 runs of a
+    # 90-minute peak at 30 requests/min.
+    setup = PaperSetup().quick(num_runs=10)
+    observer = Observer(ObserverConfig(sample_interval_min=5.0))
+    result = solve(
+        PipelineConfig(
+            theta=0.75,
+            replication_degree=1.2,
+            arrival_rate_per_min=30.0,
+            setup=setup,
+        ),
+        observer=observer,
     )
-    videos = VideoCollection.homogeneous(200, bit_rate_mbps=4.0, duration_min=90.0)
-    popularity = ZipfPopularity(200, theta=0.75)
-
-    # --- design-time decisions: replication + placement ------------------
-    capacity = cluster.storage_capacity_replicas(videos[0].storage_gb)  # 30
-    budget = num_servers * capacity  # 240 replicas = replication degree 1.2
-    replication = ZipfIntervalReplicator().replicate(
-        popularity.probabilities, num_servers, budget
+    print(result.format())
+    utilization = observer.registry.histogram(
+        "sim.server_utilization",
+        (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0),
     )
     print(
-        f"replication: {replication.total_replicas} replicas "
-        f"(degree {replication.replication_degree:.2f}), "
-        f"max weight {replication.max_weight():.4f}, "
-        f"tuned u = {replication.info['u']:.3f}"
+        f"server utilization over {utilization.count:,} samples: "
+        f"mean {utilization.mean:.1%}, p90 <= {utilization.quantile(0.9):.0%}"
     )
-    layout = SmallestLoadFirstPlacer().place(replication, capacity)
-    layout.validate(cluster, videos)  # Eq. 4-7 all hold
-    print(f"placement:   {layout} — per-server replicas "
-          f"{layout.server_replica_counts().tolist()}")
 
-    # --- run-time: simulate the peak period ------------------------------
-    simulator = VoDClusterSimulator(cluster, videos, layout)
+    # --- part 2: the arrival-rate sweep ----------------------------------
     rows = []
     for rate in [20.0, 30.0, 35.0, 40.0, 45.0]:
-        generator = WorkloadGenerator.poisson_zipf(popularity, rate)
-        results = [
-            simulator.run(trace, horizon_min=90.0)
-            for trace in generator.generate_runs(90.0, num_runs=10, seed=7)
-        ]
+        point = solve(
+            PipelineConfig(
+                theta=0.75,
+                replication_degree=1.2,
+                arrival_rate_per_min=rate,
+                setup=setup,
+            )
+        )
         rows.append(
             [
                 f"{rate:g}",
-                float(np.mean([r.rejection_rate for r in results])),
-                float(np.mean([r.load_imbalance_percent() for r in results])),
-                int(np.mean([r.num_requests for r in results])),
+                point.rejection.mean,
+                point.imbalance_percent.mean,
+                int(sum(r.num_requests for r in point.results) / len(point.results)),
             ]
         )
     print()

@@ -15,8 +15,14 @@ The package is organized by subsystem (see DESIGN.md):
 * :mod:`repro.analysis` — statistics and table formatting.
 * :mod:`repro.experiments` — the paper's evaluation (Figures 4-6) plus
   extensions and ablations.
+* :mod:`repro.observe` — metrics registry, event tracing and profiling
+  hooks (the unified observability layer).
+* :mod:`repro.pipeline` — the one-call replicate->place->simulate facade.
 
-The most common entry points are re-exported here.
+The most common entry points are re-exported here.  The pipeline facade
+(:func:`solve`, :class:`PipelineConfig`, :class:`PipelineResult`) and the
+observability types (:class:`Observer`, :class:`ObserverConfig`) are
+re-exported lazily (PEP 562) so ``import repro`` stays light.
 """
 
 from .model import (
@@ -65,8 +71,38 @@ from .replication import (
 
 __version__ = "1.0.0"
 
+#: Lazily re-exported names (PEP 562): attribute -> providing module.
+_LAZY_EXPORTS = {
+    "PipelineConfig": "repro.pipeline",
+    "PipelineResult": "repro.pipeline",
+    "solve": "repro.pipeline",
+    "Observer": "repro.observe",
+    "ObserverConfig": "repro.observe",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
+
+
 __all__ = [
     "__version__",
+    # facade (lazy)
+    "PipelineConfig",
+    "PipelineResult",
+    "solve",
+    # observability (lazy)
+    "Observer",
+    "ObserverConfig",
     # model
     "ClusterSpec",
     "ImbalanceMetric",

@@ -1,0 +1,184 @@
+"""The consolidated command-line entry point: ``python -m repro``.
+
+Subcommands::
+
+    python -m repro experiments fig4 --quick      # the figure harness
+    python -m repro fuzz --trials 100             # differential fuzzing
+    python -m repro pipeline --theta 0.75 --rate 30 --observe
+    python -m repro observe-report trace.jsonl --chart
+
+``experiments`` and ``fuzz`` delegate verbatim to the historical module
+CLIs (``python -m repro.experiments`` / ``python -m repro.verify.fuzz``),
+which keep working unchanged.  ``pipeline`` runs the
+:func:`repro.pipeline.solve` facade for one design point, optionally
+instrumented; ``observe-report`` renders a trace JSONL written with
+``--trace-out`` (or :meth:`repro.observe.Observer.export_jsonl`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _pipeline_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "pipeline",
+        help="run the replicate->place->simulate facade for one design point",
+    )
+    parser.add_argument("--theta", type=float, default=0.75, help="Zipf skew")
+    parser.add_argument(
+        "--degree", type=float, default=1.2, help="replication degree"
+    )
+    parser.add_argument(
+        "--rate", type=float, default=30.0, help="arrival rate (requests/min)"
+    )
+    parser.add_argument(
+        "--runs", type=int, default=None, help="simulation runs (default: setup's)"
+    )
+    parser.add_argument(
+        "--replicator",
+        default="zipf",
+        choices=("zipf", "classification", "adams", "proportional"),
+    )
+    parser.add_argument(
+        "--placer", default="slf", choices=("slf", "round_robin", "greedy")
+    )
+    parser.add_argument(
+        "--dispatcher",
+        default="static_rr",
+        choices=("static_rr", "least_loaded", "first_fit"),
+    )
+    parser.add_argument(
+        "--backbone-mbps", type=float, default=0.0, help="redirection backbone"
+    )
+    parser.add_argument(
+        "--refine", action="store_true", help="hill-climb the placement"
+    )
+    parser.add_argument(
+        "--anneal", action="store_true", help="SA over scalable bit rates"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced run count (3)"
+    )
+    parser.add_argument(
+        "--observe",
+        action="store_true",
+        help="instrument the run (metrics + traces); implied by --trace-out",
+    )
+    parser.add_argument(
+        "--sample-interval",
+        type=float,
+        default=1.0,
+        help="simulated minutes between utilization samples",
+    )
+    parser.add_argument(
+        "--trace-events",
+        action="store_true",
+        help="record sampled arrival/departure events in the trace",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the observation as JSONL (implies --observe)",
+    )
+
+
+def _cmd_pipeline(args) -> int:
+    from .experiments.config import PaperSetup
+    from .pipeline import PipelineConfig, solve
+
+    setup = PaperSetup()
+    if args.quick:
+        setup = setup.quick()
+    config = PipelineConfig(
+        theta=args.theta,
+        replication_degree=args.degree,
+        arrival_rate_per_min=args.rate,
+        num_runs=args.runs,
+        replicator=args.replicator,
+        placer=args.placer,
+        refine=args.refine,
+        anneal=args.anneal,
+        dispatcher=args.dispatcher,
+        backbone_mbps=args.backbone_mbps,
+        setup=setup,
+    )
+    observer = None
+    if args.observe or args.trace_out:
+        from .observe import Observer, ObserverConfig
+
+        observer = Observer(
+            ObserverConfig(
+                sample_interval_min=args.sample_interval,
+                trace_events=args.trace_events,
+            )
+        )
+    result = solve(config, observer=observer)
+    print(result.format())
+    if observer is not None and args.trace_out:
+        lines = observer.export_jsonl(args.trace_out)
+        print(f"trace: {lines} lines -> {args.trace_out}")
+    return 0
+
+
+def _cmd_observe_report(args) -> int:
+    from .observe import load_trace, render_trace_report
+
+    events = load_trace(args.trace)
+    print(render_trace_report(events, charts=args.chart))
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of optimal video replication/placement "
+        "(ICPP 2002): experiments, fuzzing, the pipeline facade and "
+        "observability reports.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # Delegating wrappers: everything after the subcommand name is handed
+    # to the historical module CLI unchanged.
+    subparsers.add_parser(
+        "experiments",
+        help="figure harness (python -m repro.experiments ...)",
+        add_help=False,
+    )
+    subparsers.add_parser(
+        "fuzz",
+        help="differential fuzzing (python -m repro.verify.fuzz ...)",
+        add_help=False,
+    )
+    _pipeline_parser(subparsers)
+    report_parser = subparsers.add_parser(
+        "observe-report", help="render a trace JSONL written by --trace-out"
+    )
+    report_parser.add_argument("trace", help="path to the JSONL trace")
+    report_parser.add_argument(
+        "--chart", action="store_true", help="append an ASCII load chart"
+    )
+
+    if argv and argv[0] == "experiments":
+        from .experiments.__main__ import main as experiments_main
+
+        return experiments_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        from .verify.fuzz import main as fuzz_main
+
+        return fuzz_main(argv[1:])
+
+    args = parser.parse_args(argv)
+    if args.command == "pipeline":
+        return _cmd_pipeline(args)
+    if args.command == "observe-report":
+        return _cmd_observe_report(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

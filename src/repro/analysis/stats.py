@@ -62,17 +62,33 @@ def t_critical_975(df: int) -> float:
 
 @dataclass(frozen=True)
 class Summary:
-    """Mean / spread summary of a sample of scalar measurements."""
+    """Mean / spread summary of a sample of scalar measurements.
+
+    Field names follow the canonical result schema (DESIGN.md): counts are
+    ``num_*``.  The pre-schema name ``n`` remains as a deprecated alias.
+    """
 
     mean: float
     std: float
     ci95: float
-    n: int
+    num_samples: int
     min: float
     max: float
 
+    @property
+    def n(self) -> int:
+        """Deprecated alias of :attr:`num_samples`."""
+        import warnings
+
+        warnings.warn(
+            "Summary.n is deprecated; use Summary.num_samples",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.num_samples
+
     def __str__(self) -> str:
-        return f"{self.mean:.4f} ± {self.ci95:.4f} (n={self.n})"
+        return f"{self.mean:.4f} ± {self.ci95:.4f} (n={self.num_samples})"
 
 
 def summarize(values: Sequence[float] | np.ndarray) -> Summary:
@@ -91,7 +107,7 @@ def summarize(values: Sequence[float] | np.ndarray) -> Summary:
         mean=float(arr.mean()),
         std=std,
         ci95=ci95,
-        n=int(n),
+        num_samples=int(n),
         min=float(arr.min()),
         max=float(arr.max()),
     )

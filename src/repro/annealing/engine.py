@@ -195,6 +195,7 @@ class SimulatedAnnealer:
         *,
         record_history: bool = True,
         use_incremental: bool = True,
+        observer=None,
     ) -> AnnealingResult:
         """Anneal *problem* and return the best state found.
 
@@ -202,15 +203,22 @@ class SimulatedAnnealer:
         :class:`IncrementalContext`) and ``use_incremental`` is True, moves
         are evaluated in O(touched entries); pass ``use_incremental=False``
         to force the full-recompute loop (the cross-check reference).
+
+        ``observer`` (an optional, duck-typed
+        :class:`repro.observe.Observer`) records one event per temperature
+        level — temperature, current/best cost, per-level acceptance ratio
+        — plus a run-summary event.  The annealing trajectory is
+        observer-independent: hooks fire at level boundaries only and
+        consume no randomness.
         """
         start_wall = time.perf_counter()
         make_incremental = getattr(problem, "make_incremental", None)
         if use_incremental and make_incremental is not None:
-            result = self._run_incremental(problem, rng, record_history)
+            result = self._run_incremental(problem, rng, record_history, observer)
         else:
-            result = self._run_full(problem, rng, record_history)
+            result = self._run_full(problem, rng, record_history, observer)
         wall = time.perf_counter() - start_wall
-        return AnnealingResult(
+        result = AnnealingResult(
             best_state=result.best_state,
             best_cost=result.best_cost,
             final_cost=result.final_cost,
@@ -220,6 +228,9 @@ class SimulatedAnnealer:
             cost_history=result.cost_history,
             wall_time_sec=wall,
         )
+        if observer is not None:
+            observer.sa_run_finished(result)
+        return result
 
     # ------------------------------------------------------------------
     def _run_full(
@@ -227,6 +238,7 @@ class SimulatedAnnealer:
         problem: AnnealingProblem,
         rng: np.random.Generator,
         record_history: bool,
+        observer=None,
     ) -> AnnealingResult:
         """The original copy-and-rescan Metropolis loop."""
         state = problem.initial_state(rng)
@@ -243,6 +255,7 @@ class SimulatedAnnealer:
         for level in range(self._max_levels):
             temperature = schedule.temperature(level)
             improved_this_level = False
+            steps_before, accepted_before = steps, accepted
             for _ in range(self._steps_per_level):
                 neighbor = problem.propose(state, rng)
                 steps += 1
@@ -261,6 +274,15 @@ class SimulatedAnnealer:
                         improved_this_level = True
             if record_history:
                 history.append(cost)
+            if observer is not None:
+                observer.sa_level(
+                    level=level,
+                    temperature=temperature,
+                    cost=cost,
+                    best_cost=best_cost,
+                    steps=steps - steps_before,
+                    accepted=accepted - accepted_before,
+                )
             stall = 0 if improved_this_level else stall + 1
             if self._patience and stall >= self._patience:
                 break
@@ -283,6 +305,7 @@ class SimulatedAnnealer:
         problem: AnnealingProblem,
         rng: np.random.Generator,
         record_history: bool,
+        observer=None,
     ) -> AnnealingResult:
         """Delta-cost Metropolis loop over an :class:`IncrementalContext`."""
         state = problem.initial_state(rng)
@@ -303,6 +326,7 @@ class SimulatedAnnealer:
         for level in range(self._max_levels):
             temperature = schedule.temperature(level)
             improved_this_level = False
+            steps_before, accepted_before = steps, accepted
             for _ in range(self._steps_per_level):
                 delta = context.propose(rng)
                 steps += 1
@@ -328,6 +352,15 @@ class SimulatedAnnealer:
             cost = context.cost()
             if record_history:
                 history.append(cost)
+            if observer is not None:
+                observer.sa_level(
+                    level=level,
+                    temperature=temperature,
+                    cost=cost,
+                    best_cost=best_cost,
+                    steps=steps - steps_before,
+                    accepted=accepted - accepted_before,
+                )
             stall = 0 if improved_this_level else stall + 1
             if self._patience and stall >= self._patience:
                 break

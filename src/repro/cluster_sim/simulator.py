@@ -154,6 +154,7 @@ class VoDClusterSimulator:
         failures: FailureSchedule | None = None,
         failover_on_down: bool = False,
         auditors=None,
+        observer=None,
     ) -> SimulationResult:
         """Simulate one trace and return the collected metrics.
 
@@ -180,6 +181,17 @@ class VoDClusterSimulator:
             any violation raises
             :class:`repro.verify.InvariantViolation`.  ``None``/empty
             keeps this plain hot loop — auditing off costs nothing.
+        observer:
+            Optional :class:`repro.observe.Observer` (duck-typed).  When
+            set, per-server load/stream timelines are sampled every
+            ``observer.sample_interval_min`` simulated minutes (the event
+            heap is drained to each sample instant first, so snapshots are
+            exact) and, with event tracing enabled, every N-th
+            arrival/departure is recorded.  The returned result is
+            bit-identical to an unobserved run; with ``observer=None`` the
+            hot loop's only additions are two constant-false comparisons
+            per arrival (see the ``observe`` block of
+            ``BENCH_hotpaths.json``).  Ignored on the audited path.
         """
         if auditors:
             # Lazy import: cluster_sim must stay importable without the
@@ -283,6 +295,84 @@ class VoDClusterSimulator:
         candidates_of = dispatcher.candidates
         eps = _EPS_MBPS
 
+        # Observation locals.  With observer=None (the default) both hot
+        # guards degenerate to constant-false comparisons: ``t >=
+        # next_sample`` with next_sample=inf and ``if trace_every`` with
+        # trace_every=0 — the disabled-path budget gated by the
+        # ``observe`` block of BENCH_hotpaths.json.
+        next_sample = _INF
+        trace_every = 0
+        if observer is not None:
+            interval = float(observer.sample_interval_min)
+            if interval > 0.0:
+                next_sample = interval
+            trace_every = int(observer.trace_event_every)
+            samples: list = []
+            traced: list = []
+            trace_arr_down = trace_dep_down = trace_every
+
+            def _drain_events(limit: float) -> None:
+                """Apply heap events at or before *limit* (sampling path).
+
+                Semantics match the inlined drain of the arrival loop, so a
+                sample snapshot is exact at its instant and the global
+                event order is unchanged: events <= limit <= t are applied
+                either way before the next arrival is admitted.  The
+                departure branch mirrors the hot loop's inlined release —
+                with periodic sampling most departures flow through here,
+                so a method-call release would dominate the metrics-on
+                overhead budget.
+                """
+                nonlocal seq, events_processed, trace_dep_down
+                while heap and heap[0][0] <= limit:
+                    event = heappop(heap)
+                    events_processed += 1
+                    if event[1] == _DEPARTURE:
+                        dep_server, dep_rate, dep_redirected, dep_epoch = event[3]
+                        server = servers[dep_server]
+                        if server.epoch != dep_epoch:
+                            continue
+                        etime = event[0]
+                        last = server._last_time_min
+                        if etime > last:
+                            server._load_integral += server.used_mbps * (
+                                etime - last
+                            )
+                            server._last_time_min = etime
+                        used = server.used_mbps - dep_rate
+                        if used < 0.0:
+                            if used < -eps:
+                                raise RuntimeError(
+                                    f"server {dep_server} bandwidth "
+                                    "accounting went negative"
+                                )
+                            used = 0.0
+                        server.used_mbps = used
+                        server.active_streams -= 1
+                        if dep_redirected:
+                            backbone.release(dep_rate)
+                            backbone_by_server[dep_server] -= dep_rate
+                        if trace_every:
+                            trace_dep_down -= 1
+                            if not trace_dep_down:
+                                trace_dep_down = trace_every
+                                traced.append(("departure", etime, dep_server))
+                    else:
+                        seq = handle_rare(event, seq)
+
+            def _record_sample(at: float, arrivals_done: int) -> None:
+                samples.append(
+                    (
+                        at,
+                        [s.used_mbps for s in servers],
+                        [s.active_streams for s in servers],
+                        arrivals_done,
+                        sum(per_video_rejected),
+                        backbone.redirected_streams if backbone is not None else 0,
+                        backbone.used_mbps if backbone is not None else 0.0,
+                    )
+                )
+
         num_truncated = 0
         for index in range(num_arrivals):
             t = times_list[index]
@@ -292,6 +382,13 @@ class VoDClusterSimulator:
                 # ``horizon_min`` is still simulated.
                 num_truncated = num_arrivals - index
                 break
+            if t >= next_sample:
+                # Observation sampling (never taken when disabled): drain
+                # events up to each boundary, snapshot, advance.
+                while next_sample <= t:
+                    _drain_events(next_sample)
+                    _record_sample(next_sample, index)
+                    next_sample += interval
             video = videos_list[index]
 
             # Apply departures/failures/recoveries at or before t.  The
@@ -323,6 +420,11 @@ class VoDClusterSimulator:
                     if redirected:
                         backbone.release(rate)
                         backbone_by_server[server_id] -= rate
+                    if trace_every:
+                        trace_dep_down -= 1
+                        if not trace_dep_down:
+                            trace_dep_down = trace_every
+                            traced.append(("departure", etime, server_id))
                 else:
                     seq = handle_rare(event, seq)
 
@@ -331,6 +433,11 @@ class VoDClusterSimulator:
             if best_rates[video] <= 0.0:
                 # Video has no replica anywhere: nothing can serve it.
                 per_video_rejected[video] += 1
+                if trace_every:
+                    trace_arr_down -= 1
+                    if not trace_arr_down:
+                        trace_arr_down = trace_every
+                        traced.append(("arrival", t, video, False))
                 continue
             end_time = t + hold_list[index]
 
@@ -429,6 +536,20 @@ class VoDClusterSimulator:
 
             if not admitted:
                 per_video_rejected[video] += 1
+            if trace_every:
+                trace_arr_down -= 1
+                if not trace_arr_down:
+                    trace_arr_down = trace_every
+                    traced.append(("arrival", t, video, admitted))
+
+        # Close out the observation timeline up to the horizon (sampling
+        # drains preserve event order; the loop below sees the remainder).
+        if next_sample <= horizon_min:
+            arrivals_done = num_arrivals - num_truncated
+            while next_sample <= horizon_min:
+                _drain_events(next_sample)
+                _record_sample(next_sample, arrivals_done)
+                next_sample += interval
 
         # Apply remaining events inside the horizon, close the integrals.
         while heap and heap[0][0] <= horizon_min:
@@ -443,12 +564,17 @@ class VoDClusterSimulator:
                 if redirected:
                     backbone.release(rate)
                     backbone_by_server[server_id] -= rate
+                if trace_every:
+                    trace_dep_down -= 1
+                    if not trace_dep_down:
+                        trace_dep_down = trace_every
+                        traced.append(("departure", event[0], server_id))
             else:
                 seq = handle_rare(event, seq)
         for server in servers:
             server.advance(horizon_min)
 
-        return SimulationResult(
+        result = SimulationResult(
             num_requests=sum(per_video_requests),
             num_rejected=sum(per_video_rejected),
             per_video_requests=np.asarray(per_video_requests, dtype=np.int64),
@@ -466,6 +592,14 @@ class VoDClusterSimulator:
             num_events=events_processed,
             wall_time_sec=time.perf_counter() - start_wall,
         )
+        if observer is not None:
+            observer.record_simulation(
+                samples=samples,
+                traced_events=traced,
+                result=result,
+                server_bandwidth_mbps=self._cluster.bandwidth_mbps.tolist(),
+            )
+        return result
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -42,6 +42,10 @@ class DynamicReplicationController:
         layout (a simple, conservative policy).
     bit_rate_mbps:
         Rate stamped on replicas.
+    observer:
+        Optional, duck-typed :class:`repro.observe.Observer`; when set,
+        every :meth:`step` records a migration event (epoch, copies,
+        executed/skipped) without affecting the layout trajectory.
     """
 
     def __init__(
@@ -53,6 +57,7 @@ class DynamicReplicationController:
         replicator: Replicator | None = None,
         move_budget: int | None = None,
         bit_rate_mbps: float = 4.0,
+        observer=None,
     ) -> None:
         check_int_in_range("num_servers", num_servers, 1)
         check_int_in_range("capacity_replicas", capacity_replicas, 1)
@@ -65,9 +70,11 @@ class DynamicReplicationController:
         self._replicator = replicator if replicator is not None else ZipfIntervalReplicator()
         self._move_budget = move_budget
         self._bit_rate = float(bit_rate_mbps)
+        self._observer = observer
         self._layout: ReplicaLayout | None = None
         self._total_copied = 0
         self._skipped_epochs = 0
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     @property
@@ -115,12 +122,13 @@ class DynamicReplicationController:
         plan = plan_migration(
             self._layout, target, self._capacity, bit_rate_mbps=self._bit_rate
         )
+        self._epoch += 1
         if (
             self._move_budget is not None
             and plan.replicas_copied > self._move_budget
         ):
             self._skipped_epochs += 1
-            return MigrationPlan(
+            plan = MigrationPlan(
                 new_layout=self._layout,
                 added=(),
                 removed=(),
@@ -128,6 +136,9 @@ class DynamicReplicationController:
                 executed=False,
                 proposed_copies=plan.replicas_copied,
             )
-        self._layout = plan.new_layout
-        self._total_copied += plan.replicas_copied
+        else:
+            self._layout = plan.new_layout
+            self._total_copied += plan.replicas_copied
+        if self._observer is not None:
+            self._observer.migration_event(epoch=self._epoch, plan=plan)
         return plan

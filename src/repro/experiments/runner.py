@@ -32,9 +32,27 @@ __all__ = [
     "PAPER_COMBOS",
     "build_layout",
     "simulate_combo",
+    "workload_seed",
     "rejection_summary",
     "imbalance_percent_summary",
 ]
+
+
+def workload_seed(
+    setup_seed: int, arrival_rate_per_min: float, theta: float, seed_salt: int = 0
+) -> int:
+    """The canonical workload seed for one design point.
+
+    Derived from the setup seed, the arrival rate, theta and a salt only —
+    *never* from the algorithm combo — so competing algorithms face
+    identical request traces (paired comparison, lower variance).  Both
+    :func:`simulate_combo` and :func:`repro.pipeline.solve` derive their
+    traces through this function, which is what makes the facade reproduce
+    experiment numbers bit-identically.
+    """
+    return hash(
+        (setup_seed, round(float(arrival_rate_per_min) * 1000), round(theta * 1000), seed_salt)
+    ) & 0x7FFFFFFF
 
 
 @dataclass(frozen=True)
@@ -111,9 +129,7 @@ def simulate_combo(
         num_runs = setup.num_runs
     if layout is None:
         layout = build_layout(setup, combo, theta, degree)
-    seed = hash(
-        (setup.seed, round(float(arrival_rate_per_min) * 1000), round(theta * 1000), seed_salt)
-    ) & 0x7FFFFFFF
+    seed = workload_seed(setup.seed, arrival_rate_per_min, theta, seed_salt)
     trials = make_trials(
         setup,
         layout,

@@ -1,0 +1,41 @@
+"""Phase profiling: fold wall time per named phase into any report.
+
+:func:`timed` is the single profiling hook the rest of the codebase uses::
+
+    with timed(report, "replication"):
+        replication = replicator.replicate(...)
+
+The sink is duck-typed: anything exposing ``record_phase(name, seconds)``
+(:class:`repro.runtime.RunReport`, :class:`repro.observe.Observer`) or a
+plain mutable mapping accumulating ``{phase: seconds}``.  Nesting and
+repetition accumulate — timing the same phase twice sums the wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["timed"]
+
+
+@contextmanager
+def timed(sink, phase: str):
+    """Time the with-block and fold the wall seconds into *sink*.
+
+    ``sink=None`` disables timing entirely (the block still runs), so call
+    sites can write ``with timed(observer, ...)`` without a branch.
+    """
+    if sink is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        record = getattr(sink, "record_phase", None)
+        if record is not None:
+            record(phase, elapsed)
+        else:
+            sink[phase] = sink.get(phase, 0.0) + elapsed

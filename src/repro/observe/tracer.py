@@ -1,0 +1,90 @@
+"""Structured event tracing: cheap in-memory events, JSONL in/out.
+
+A :class:`Tracer` records dict-shaped events (``{"kind": ..., "t": ...,
+...fields}``) in arrival order.  Producers append; nothing is formatted or
+flushed until :meth:`write_jsonl` — recording a sampled simulator event is
+one dict build plus one list append.  A hard event cap keeps a runaway
+producer from exhausting memory: events beyond the cap are counted in
+``num_dropped`` instead of silently vanishing.
+
+Spans (:meth:`span`) time a phase and emit one ``kind="span"`` event with
+the measured ``wall_sec`` on exit.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = ["Tracer", "read_jsonl"]
+
+
+class Tracer:
+    """Append-only structured event recorder with a JSONL serialization."""
+
+    def __init__(self, *, max_events: int = 1_000_000) -> None:
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.max_events = int(max_events)
+        self.events: list[dict] = []
+        self.num_dropped = 0
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, *, t: float | None = None, **fields) -> None:
+        """Record one event; ``t`` is the event's domain time (sim minutes)."""
+        if len(self.events) >= self.max_events:
+            self.num_dropped += 1
+            return
+        event = {"kind": kind}
+        if t is not None:
+            event["t"] = t
+        if fields:
+            event.update(fields)
+        self.events.append(event)
+
+    @contextmanager
+    def span(self, name: str, **fields):
+        """Time a with-block; emits ``kind="span"`` with ``wall_sec``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.emit(
+                "span",
+                name=name,
+                wall_sec=time.perf_counter() - start,
+                **fields,
+            )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_kind(self, kind: str) -> list[dict]:
+        return [e for e in self.events if e["kind"] == kind]
+
+    def write_jsonl(self, path: "str | Path") -> int:
+        """Write one JSON object per line; returns the event count written."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event, separators=(",", ":")))
+                handle.write("\n")
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tracer(events={len(self.events)}, dropped={self.num_dropped})"
+
+
+def read_jsonl(path: "str | Path") -> list[dict]:
+    """Read a JSONL event file back into a list of dicts (round-trip of
+    :meth:`Tracer.write_jsonl`; blank lines are ignored)."""
+    events = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -1,0 +1,348 @@
+"""The one-call facade: replicate -> place -> (refine) -> simulate.
+
+:func:`solve` chains the full experiment pipeline of the paper behind a
+single :class:`PipelineConfig`, so a design point that used to take five
+imports and manual seed plumbing is one call::
+
+    from repro import PipelineConfig, solve
+
+    result = solve(PipelineConfig(theta=0.75, replication_degree=1.2,
+                                  arrival_rate_per_min=30.0))
+    print(result.format())
+
+Reproducibility contract: the facade derives its workload seed through
+:func:`repro.experiments.workload_seed` — the same derivation
+``simulate_combo`` uses — so ``solve()`` reproduces the experiment CLI's
+Figure-4/5/6 numbers bit-identically for the same setup and design point.
+
+Two refinement stages are optional:
+
+* ``refine=True`` hill-climbs the placement's Eq. (2) imbalance
+  (:func:`repro.placement.refine_placement`);
+* ``anneal=True`` switches to the scalable-bit-rate setting (Sec. 5.4) and
+  replaces replication+placement entirely with simulated-annealing chains
+  over :class:`repro.annealing.ScalableBitRateProblem`.
+
+Pass ``observer=`` (a :class:`repro.observe.Observer`) to record per-phase
+wall time, per-server utilization timelines, SA level traces and sampled
+simulator events; observed runs are bit-identical to unobserved ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .analysis.stats import Summary, summarize
+from .experiments.config import PaperSetup
+from .experiments.runner import workload_seed
+from .observe.profile import timed
+from .placement import (
+    GreedyLeastLoadedPlacer,
+    RoundRobinPlacer,
+    SmallestLoadFirstPlacer,
+    refine_placement,
+)
+from .runtime import ParallelRunner, make_trials, use_runner
+from .replication import (
+    AdamsReplicator,
+    ClassificationReplicator,
+    ProportionalReplicator,
+    ZipfIntervalReplicator,
+)
+
+__all__ = ["PipelineConfig", "PipelineResult", "solve"]
+
+#: Replication algorithms selectable by name in :class:`PipelineConfig`.
+REPLICATORS = {
+    "zipf": ZipfIntervalReplicator,
+    "classification": ClassificationReplicator,
+    "adams": AdamsReplicator,
+    "proportional": ProportionalReplicator,
+}
+
+#: Placement algorithms selectable by name in :class:`PipelineConfig`.
+PLACERS = {
+    "slf": SmallestLoadFirstPlacer,
+    "round_robin": RoundRobinPlacer,
+    "greedy": GreedyLeastLoadedPlacer,
+}
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Everything :func:`solve` needs for one design point.
+
+    Attributes
+    ----------
+    theta:
+        Zipf skew of the popularity distribution.
+    replication_degree:
+        Cluster-wide replicas per video (1.0 = no replication).
+    arrival_rate_per_min:
+        Poisson request rate of the simulated peak period.
+    num_runs:
+        Independent simulation runs to average; ``None`` takes the setup's
+        default (20 for the paper setup).
+    replicator / placer:
+        Algorithm names (see :data:`REPLICATORS` / :data:`PLACERS`).
+    refine:
+        Hill-climb the placement (Eq. 2 imbalance) before simulating.
+    refine_max_steps:
+        Step cap for the refinement pass.
+    anneal:
+        Use SA over the scalable-bit-rate problem *instead of* the
+        replicator/placer pair (requires >= 2 allowed bit rates).
+    anneal_chains / anneal_steps_per_level / anneal_max_levels / anneal_seed:
+        SA chain count, per-level step budget, level cap, and chain seed.
+    dispatcher:
+        Run-time dispatcher (``static_rr``, ``least_loaded``, ``first_fit``).
+    backbone_mbps:
+        Backbone capacity for cross-server redirection (0 disables).
+    setup:
+        The :class:`PaperSetup` to derive cluster/videos/seeds from.
+    seed_salt:
+        Extra salt folded into the workload seed.
+    """
+
+    theta: float = 0.75
+    replication_degree: float = 1.2
+    arrival_rate_per_min: float = 30.0
+    num_runs: int | None = None
+    replicator: str = "zipf"
+    placer: str = "slf"
+    refine: bool = False
+    refine_max_steps: int = 10_000
+    anneal: bool = False
+    anneal_chains: int = 2
+    anneal_steps_per_level: int = 200
+    anneal_max_levels: int = 60
+    anneal_seed: int = 0
+    dispatcher: str = "static_rr"
+    backbone_mbps: float = 0.0
+    setup: PaperSetup = field(default_factory=PaperSetup)
+    seed_salt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.replicator not in REPLICATORS:
+            raise ValueError(
+                f"unknown replicator {self.replicator!r}; "
+                f"choose from {sorted(REPLICATORS)}"
+            )
+        if self.placer not in PLACERS:
+            raise ValueError(
+                f"unknown placer {self.placer!r}; choose from {sorted(PLACERS)}"
+            )
+        if self.num_runs is not None and self.num_runs < 1:
+            raise ValueError(f"num_runs must be >= 1, got {self.num_runs}")
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Everything one :func:`solve` call produced.
+
+    ``replication``/``refinement``/``sa_result`` are ``None`` for the
+    stages the configuration skipped.
+    """
+
+    config: PipelineConfig
+    layout: object = field(repr=False)
+    replication: object = field(repr=False, default=None)
+    refinement: object = field(repr=False, default=None)
+    sa_result: object = field(repr=False, default=None)
+    results: list = field(repr=False, default_factory=list)
+    rejection: Summary | None = None
+    imbalance_percent: Summary | None = None
+    report: object = field(repr=False, default=None)
+
+    def format(self) -> str:
+        """Human-readable pipeline summary (the CLI's output)."""
+        config = self.config
+        lines = [
+            (
+                f"pipeline: theta={config.theta:g} "
+                f"degree={config.replication_degree:g} "
+                f"rate={config.arrival_rate_per_min:g}/min "
+                f"({'sa' if config.anneal else config.replicator + '+' + config.placer}"
+                f"{'+refine' if config.refine else ''}, "
+                f"dispatcher={config.dispatcher})"
+            )
+        ]
+        if self.replication is not None:
+            lines.append(
+                f"  replication  {self.replication.total_replicas} replicas, "
+                f"max weight {self.replication.max_weight():.4f}"
+            )
+        if self.refinement is not None:
+            lines.append(
+                f"  refinement   imbalance {self.refinement.initial_imbalance:.4f}"
+                f" -> {self.refinement.final_imbalance:.4f} "
+                f"({self.refinement.moves} moves, {self.refinement.swaps} swaps)"
+            )
+        if self.sa_result is not None:
+            lines.append(
+                f"  annealing    best cost {self.sa_result.best_cost:.6f} "
+                f"({self.sa_result.levels} levels, {self.sa_result.steps:,} steps)"
+            )
+        if self.rejection is not None:
+            lines.append(f"  rejection    {self.rejection}")
+        if self.imbalance_percent is not None:
+            lines.append(f"  L (%)        {self.imbalance_percent}")
+        if self.report is not None:
+            lines.extend("  " + line for line in self.report.format().splitlines())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def _design_layout(config: PipelineConfig, sink, observer):
+    """Replication + placement (+ optional refinements) for the config."""
+    setup = config.setup
+    if config.anneal:
+        # Scalable-rate setting: SA chains over the Eq. (1) objective
+        # replace the replicate+place pair (Sec. 5.4).
+        from .annealing import ScalableBitRateProblem, SimulatedAnnealer, run_chains
+
+        problem = ScalableBitRateProblem(
+            setup.problem(
+                config.theta,
+                config.replication_degree,
+                arrival_rate_per_min=config.arrival_rate_per_min,
+                scalable=True,
+            )
+        )
+        annealer = SimulatedAnnealer(
+            steps_per_level=config.anneal_steps_per_level,
+            max_levels=config.anneal_max_levels,
+        )
+        with timed(sink, "anneal"):
+            chains = run_chains(
+                problem,
+                annealer,
+                num_chains=config.anneal_chains,
+                seed=config.anneal_seed,
+            )
+            best = chains.best
+            if observer is not None:
+                observer.sa_run_finished(best)
+        return problem.to_layout(best.best_state), None, None, best
+
+    popularity = setup.popularity(config.theta)
+    budget = setup.replica_budget(config.replication_degree)
+    capacity = setup.capacity_replicas(config.replication_degree)
+    with timed(sink, "replicate"):
+        replication = REPLICATORS[config.replicator]().replicate(
+            popularity.probabilities, setup.num_servers, budget
+        )
+    with timed(sink, "place"):
+        layout = PLACERS[config.placer]().place(
+            replication, capacity, bit_rate_mbps=setup.bit_rate_mbps
+        )
+    refinement = None
+    if config.refine:
+        with timed(sink, "refine"):
+            refinement = refine_placement(
+                layout,
+                popularity.probabilities,
+                capacity,
+                max_steps=config.refine_max_steps,
+            )
+            layout = refinement.layout
+    return layout, replication, refinement, None
+
+
+def solve(
+    config: PipelineConfig,
+    *,
+    observer=None,
+    runner: ParallelRunner | None = None,
+) -> PipelineResult:
+    """Run the full pipeline for one design point.
+
+    Parameters
+    ----------
+    config:
+        The design point and algorithm selection.
+    observer:
+        Optional :class:`repro.observe.Observer`.  When set, simulations
+        run serially in-process (an observer cannot cross the worker-pool
+        boundary) with full instrumentation; results are bit-identical to
+        the unobserved pooled path.
+    runner:
+        Optional :class:`repro.runtime.ParallelRunner` to simulate
+        through; a fresh serial runner is used otherwise.  Ignored for the
+        simulation stage when ``observer`` is set (see above), but still
+        accumulates the run report.
+    """
+    if runner is None:
+        runner = ParallelRunner(jobs=1, observer=observer)
+    report = runner.report
+    sink = observer if observer is not None else report
+
+    with use_runner(runner):
+        layout, replication, refinement, sa_result = _design_layout(
+            config, sink, observer
+        )
+
+        setup = config.setup
+        num_runs = config.num_runs if config.num_runs is not None else setup.num_runs
+        seed = workload_seed(
+            setup.seed, config.arrival_rate_per_min, config.theta, config.seed_salt
+        )
+        trials = make_trials(
+            setup,
+            layout,
+            theta=config.theta,
+            degree=config.replication_degree,
+            arrival_rate_per_min=config.arrival_rate_per_min,
+            seed=seed,
+            num_runs=num_runs,
+            dispatcher=config.dispatcher,
+            backbone_mbps=config.backbone_mbps,
+            horizon_min=setup.peak_minutes,
+        )
+        if observer is not None:
+            # Serial in-process simulation so the observer sees every run;
+            # same trace regeneration and simulator as the pooled path.
+            from .cluster_sim import VoDClusterSimulator, make_dispatcher_factory
+            from .runtime.trial import trial_trace
+
+            simulator = VoDClusterSimulator(
+                setup.cluster(config.replication_degree),
+                setup.videos(),
+                layout,
+                dispatcher_factory=make_dispatcher_factory(config.dispatcher),
+                backbone_mbps=config.backbone_mbps,
+            )
+            import time
+
+            start = time.perf_counter()
+            with timed(sink, "simulate"):
+                results = [
+                    simulator.run(
+                        trial_trace(spec),
+                        horizon_min=spec.resolved_horizon_min(),
+                        observer=observer,
+                    )
+                    for spec in trials
+                ]
+            for result in results:
+                report.record_simulated(result)
+            report.record_batch(time.perf_counter() - start)
+        else:
+            results = runner.run_trials(trials)
+
+    if observer is not None:
+        observer.fold_into_report(report)
+
+    return PipelineResult(
+        config=config,
+        layout=layout,
+        replication=replication,
+        refinement=refinement,
+        sa_result=sa_result,
+        results=results,
+        rejection=summarize([r.rejection_rate for r in results]),
+        imbalance_percent=summarize([r.load_imbalance_percent() for r in results]),
+        report=report,
+    )

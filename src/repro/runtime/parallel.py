@@ -27,6 +27,7 @@ from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 
 from ..cluster_sim.metrics import SimulationResult
+from ..observe.profile import timed
 from ..workload.requests import RequestTrace
 from .cache import ResultCache
 from .report import RunReport
@@ -60,6 +61,11 @@ class ParallelRunner:
     report:
         Optional :class:`RunReport` to accumulate into; a fresh one is
         created otherwise and exposed as :attr:`report`.
+    observer:
+        Optional :class:`repro.observe.Observer`; when set, every batch is
+        also recorded in its registry/tracer (counters, batch events).
+        Phase wall times (cache probe vs simulate) are always folded into
+        the report's ``phase_seconds``, observer or not.
     """
 
     def __init__(
@@ -68,6 +74,7 @@ class ParallelRunner:
         *,
         cache: ResultCache | None = None,
         report: RunReport | None = None,
+        observer=None,
     ) -> None:
         resolved = jobs if jobs is not None else (os.cpu_count() or 1)
         if resolved < 1:
@@ -76,6 +83,7 @@ class ParallelRunner:
         self.cache = cache
         self.report = report if report is not None else RunReport(jobs=self.jobs)
         self.report.jobs = self.jobs
+        self.observer = observer
         self._executor: ProcessPoolExecutor | None = None
 
     # ------------------------------------------------------------------
@@ -116,27 +124,36 @@ class ParallelRunner:
         misses: list[int] = []
         keys: dict[int, str] = {}
         if self.cache is not None:
-            for index, spec in enumerate(specs):
-                key = trial_cache_key(spec)
-                keys[index] = key
-                cached = self.cache.get(key)
-                if cached is not None:
-                    results[index] = cached
-                    self.report.record_hit(cached)
-                else:
-                    misses.append(index)
+            with timed(self.report, "cache_probe"):
+                for index, spec in enumerate(specs):
+                    key = trial_cache_key(spec)
+                    keys[index] = key
+                    cached = self.cache.get(key)
+                    if cached is not None:
+                        results[index] = cached
+                        self.report.record_hit(cached)
+                    else:
+                        misses.append(index)
         else:
             misses = list(range(len(specs)))
 
         if misses:
-            fresh = self._execute(run_trial, [specs[i] for i in misses])
+            with timed(self.report, "simulate"):
+                fresh = self._execute(run_trial, [specs[i] for i in misses])
             for index, result in zip(misses, fresh):
                 results[index] = result
                 self.report.record_simulated(result)
                 if self.cache is not None:
                     self.cache.put(keys[index], result)
 
-        self.report.record_batch(time.perf_counter() - start)
+        wall_sec = time.perf_counter() - start
+        self.report.record_batch(wall_sec)
+        if self.observer is not None:
+            self.observer.runner_batch(
+                num_trials=len(specs),
+                num_cache_hits=len(specs) - len(misses),
+                wall_sec=wall_sec,
+            )
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -157,14 +174,20 @@ class ParallelRunner:
         """
         tasks = [(simulator, trace, run_kwargs) for trace in traces]
         start = time.perf_counter()
-        results = self._execute(_run_simulation, tasks)
+        with timed(self.report, "simulate"):
+            results = self._execute(_run_simulation, tasks)
         for result in results:
             if isinstance(result, SimulationResult):
                 self.report.record_simulated(result)
             else:
-                self.report.trials += 1
-                self.report.simulated += 1
-        self.report.record_batch(time.perf_counter() - start)
+                self.report.num_trials += 1
+                self.report.num_simulated += 1
+        wall_sec = time.perf_counter() - start
+        self.report.record_batch(wall_sec)
+        if self.observer is not None:
+            self.observer.runner_batch(
+                num_trials=len(tasks), num_cache_hits=0, wall_sec=wall_sec
+            )
         return results
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

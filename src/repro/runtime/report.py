@@ -7,10 +7,18 @@ CLI prints after each experiment::
     run report: 384 trials (372 simulated, 12 cache hits, 3.1% hit rate)
       jobs=4  wall 9.84s  sim-time 31.20s (3.17x concurrency)
       events 1,203,511 simulated  122.3k events/s wall, 38.6k events/s per worker
+
+Field names follow the canonical result schema (DESIGN.md "Canonical
+result-field schema"): counts are ``num_*``, durations ``*_sec``, rates
+``*_rate``.  The pre-schema names (``trials``, ``simulated``,
+``cache_hits``, ``events``, ``sa_runs``, ``sa_steps``, ``audited_runs``,
+``audited_events``, ``audit_violations``) remain as deprecated read/write
+aliases that emit :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from ..cluster_sim.metrics import SimulationResult
@@ -26,72 +34,118 @@ def _si(value: float) -> str:
     return f"{value:.1f}"
 
 
+def _deprecated_alias(old: str, new: str):
+    """A read/write property forwarding *old* to *new* with a warning."""
+
+    def _warn() -> None:
+        warnings.warn(
+            f"RunReport.{old} is deprecated; use RunReport.{new}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def getter(self):
+        _warn()
+        return getattr(self, new)
+
+    def setter(self, value):
+        _warn()
+        setattr(self, new, value)
+
+    return property(getter, setter, doc=f"Deprecated alias of ``{new}``.")
+
+
 @dataclass
 class RunReport:
     """Mutable counters describing one experiment run through the engine.
 
     Attributes
     ----------
-    trials:
+    num_trials:
         Trials requested (cache hits + simulations).
-    simulated:
+    num_simulated:
         Trials actually simulated this run.
-    cache_hits:
+    num_cache_hits:
         Trials answered from the on-disk result cache.
-    events:
+    num_events:
         Simulator events processed by the simulated trials.
     sim_time_sec:
         Sum of per-trial simulator wall times (CPU-side work); with ``jobs``
         workers this exceeds ``wall_time_sec`` by up to a factor of ``jobs``.
     wall_time_sec:
         End-to-end engine time, including cache probes and pool overhead.
-    sa_runs / sa_steps / sa_time_sec:
+    num_sa_runs / num_sa_steps / sa_time_sec:
         Simulated-annealing chains recorded via :meth:`record_annealing`:
         run count, total Metropolis steps, and summed annealer wall time.
-    audited_runs / audited_events / audit_violations:
+    num_audited_runs / num_audited_events / num_audit_violations:
         In-situ invariant audits recorded via :meth:`record_audit`: audited
         simulator runs, events those runs checked, and total violations.
+    phase_seconds:
+        Wall time folded in per named phase via :meth:`record_phase`
+        (the :func:`repro.observe.timed` profiling hook).
     """
 
     jobs: int = 1
-    trials: int = 0
-    simulated: int = 0
-    cache_hits: int = 0
-    events: int = 0
+    num_trials: int = 0
+    num_simulated: int = 0
+    num_cache_hits: int = 0
+    num_events: int = 0
     sim_time_sec: float = 0.0
     wall_time_sec: float = 0.0
-    sa_runs: int = 0
-    sa_steps: int = 0
+    num_sa_runs: int = 0
+    num_sa_steps: int = 0
     sa_time_sec: float = 0.0
-    audited_runs: int = 0
-    audited_events: int = 0
-    audit_violations: int = 0
+    num_audited_runs: int = 0
+    num_audited_events: int = 0
+    num_audit_violations: int = 0
+    phase_seconds: dict = field(default_factory=dict, repr=False)
     batches: int = field(default=0, repr=False)
+
+    # Deprecated pre-schema aliases (read/write, warning on both).
+    trials = _deprecated_alias("trials", "num_trials")
+    simulated = _deprecated_alias("simulated", "num_simulated")
+    cache_hits = _deprecated_alias("cache_hits", "num_cache_hits")
+    events = _deprecated_alias("events", "num_events")
+    sa_runs = _deprecated_alias("sa_runs", "num_sa_runs")
+    sa_steps = _deprecated_alias("sa_steps", "num_sa_steps")
+    audited_runs = _deprecated_alias("audited_runs", "num_audited_runs")
+    audited_events = _deprecated_alias("audited_events", "num_audited_events")
+    audit_violations = _deprecated_alias(
+        "audit_violations", "num_audit_violations"
+    )
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
         """Zero every counter (``jobs`` is preserved)."""
-        self.trials = self.simulated = self.cache_hits = 0
-        self.events = self.batches = 0
+        self.num_trials = self.num_simulated = self.num_cache_hits = 0
+        self.num_events = self.batches = 0
         self.sim_time_sec = self.wall_time_sec = 0.0
-        self.sa_runs = self.sa_steps = 0
+        self.num_sa_runs = self.num_sa_steps = 0
         self.sa_time_sec = 0.0
-        self.audited_runs = self.audited_events = self.audit_violations = 0
+        self.num_audited_runs = self.num_audited_events = 0
+        self.num_audit_violations = 0
+        self.phase_seconds = {}
 
     def record_hit(self, result: SimulationResult) -> None:
-        self.trials += 1
-        self.cache_hits += 1
+        self.num_trials += 1
+        self.num_cache_hits += 1
         del result  # cached events were paid for in an earlier run
 
     def record_simulated(self, result: SimulationResult) -> None:
-        self.trials += 1
-        self.simulated += 1
-        self.events += result.num_events
+        self.num_trials += 1
+        self.num_simulated += 1
+        self.num_events += result.num_events
         self.sim_time_sec += result.wall_time_sec
 
     def record_batch(self, wall_sec: float) -> None:
         self.batches += 1
         self.wall_time_sec += wall_sec
+
+    def record_phase(self, phase: str, seconds: float) -> None:
+        """Fold wall time into a named phase (the ``timed()`` sink)."""
+        self.phase_seconds[phase] = (
+            self.phase_seconds.get(phase, 0.0) + float(seconds)
+        )
 
     def record_annealing(self, result) -> None:
         """Fold one annealing run (anything with ``steps``/``wall_time_sec``).
@@ -100,8 +154,8 @@ class RunReport:
         the runtime layer; :func:`repro.annealing.run_chains` calls this on
         the active runner's report for every chain.
         """
-        self.sa_runs += 1
-        self.sa_steps += int(result.steps)
+        self.num_sa_runs += 1
+        self.num_sa_steps += int(result.steps)
         self.sa_time_sec += float(result.wall_time_sec)
 
     def record_audit(self, report) -> None:
@@ -110,25 +164,25 @@ class RunReport:
         Duck-typed for the same reason as :meth:`record_annealing`: the
         runtime layer never imports :mod:`repro.verify`.
         """
-        self.audited_runs += 1
-        self.audited_events += int(report.events_audited)
-        self.audit_violations += int(report.num_violations)
+        self.num_audited_runs += 1
+        self.num_audited_events += int(report.events_audited)
+        self.num_audit_violations += int(report.num_violations)
 
     # ------------------------------------------------------------------
     @property
     def cache_hit_rate(self) -> float:
         """Fraction of trials answered from cache (0 when no trials ran)."""
-        return self.cache_hits / self.trials if self.trials else 0.0
+        return self.num_cache_hits / self.num_trials if self.num_trials else 0.0
 
     @property
     def events_per_sec(self) -> float:
         """Simulated events per second of engine wall time."""
-        return self.events / self.wall_time_sec if self.wall_time_sec else 0.0
+        return self.num_events / self.wall_time_sec if self.wall_time_sec else 0.0
 
     @property
     def sa_steps_per_sec(self) -> float:
         """Metropolis steps per second of summed annealer wall time."""
-        return self.sa_steps / self.sa_time_sec if self.sa_time_sec else 0.0
+        return self.num_sa_steps / self.sa_time_sec if self.sa_time_sec else 0.0
 
     @property
     def concurrency(self) -> float:
@@ -142,8 +196,9 @@ class RunReport:
         """Render the structured run report (see module docstring)."""
         lines = [
             (
-                f"run report: {self.trials} trials ({self.simulated} simulated, "
-                f"{self.cache_hits} cache hits, "
+                f"run report: {self.num_trials} trials "
+                f"({self.num_simulated} simulated, "
+                f"{self.num_cache_hits} cache hits, "
                 f"{self.cache_hit_rate:.1%} hit rate)"
             ),
             (
@@ -153,29 +208,35 @@ class RunReport:
             ),
         ]
         per_worker = (
-            self.events / self.sim_time_sec if self.sim_time_sec else 0.0
+            self.num_events / self.sim_time_sec if self.sim_time_sec else 0.0
         )
         lines.append(
-            f"  events {self.events:,} simulated  "
+            f"  events {self.num_events:,} simulated  "
             f"{_si(self.events_per_sec)} events/s wall, "
             f"{_si(per_worker)} events/s per worker"
         )
-        if self.sa_runs:
+        if self.num_sa_runs:
             lines.append(
-                f"  annealing {self.sa_runs} chains  "
-                f"{self.sa_steps:,} steps  "
+                f"  annealing {self.num_sa_runs} chains  "
+                f"{self.num_sa_steps:,} steps  "
                 f"{_si(self.sa_steps_per_sec)} steps/s"
             )
-        if self.audited_runs:
+        if self.num_audited_runs:
             status = (
                 "clean"
-                if not self.audit_violations
-                else f"{self.audit_violations} violations"
+                if not self.num_audit_violations
+                else f"{self.num_audit_violations} violations"
             )
             lines.append(
-                f"  audit {self.audited_runs} runs  "
-                f"{self.audited_events:,} events checked  {status}"
+                f"  audit {self.num_audited_runs} runs  "
+                f"{self.num_audited_events:,} events checked  {status}"
             )
+        if self.phase_seconds:
+            rendered = "  ".join(
+                f"{phase} {seconds:.2f}s"
+                for phase, seconds in self.phase_seconds.items()
+            )
+            lines.append(f"  phases  {rendered}")
         return "\n".join(lines)
 
     def __str__(self) -> str:

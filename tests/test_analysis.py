@@ -37,7 +37,7 @@ class TestSummarize:
     def test_basic(self):
         summary = summarize([1.0, 2.0, 3.0])
         assert summary.mean == pytest.approx(2.0)
-        assert summary.n == 3
+        assert summary.num_samples == 3
         assert summary.min == 1.0 and summary.max == 3.0
         assert summary.std == pytest.approx(1.0)
 
@@ -83,7 +83,7 @@ class TestSummarize:
             summary = summarize(np.array([3.25]))
         assert summary.mean == 3.25
         assert summary.min == 3.25 and summary.max == 3.25
-        assert summary.n == 1
+        assert summary.num_samples == 1
         assert np.isfinite(summary.std) and summary.std == 0.0
         assert np.isfinite(summary.ci95) and summary.ci95 == 0.0
         assert "3.2500 ± 0.0000" in str(summary)

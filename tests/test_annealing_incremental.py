@@ -183,6 +183,6 @@ class TestRunChainsReporting:
         with ParallelRunner(jobs=1) as runner, use_runner(runner):
             chains = run_chains(sa, annealer, num_chains=2, seed=5)
             report = runner.report
-        assert report.sa_runs == 2
-        assert report.sa_steps == sum(r.steps for r in chains.results)
+        assert report.num_sa_runs == 2
+        assert report.num_sa_steps == sum(r.steps for r in chains.results)
         assert report.sa_steps_per_sec > 0

@@ -136,14 +136,14 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         with ParallelRunner(jobs=1, cache=cache) as cold, use_runner(cold):
             first = _fig5_style_sweep(small_setup)
-            assert cold.report.simulated == 12
-            assert cold.report.cache_hits == 0
+            assert cold.report.num_simulated == 12
+            assert cold.report.num_cache_hits == 0
         assert len(cache) == 12
 
         with ParallelRunner(jobs=1, cache=cache) as warm, use_runner(warm):
             second = _fig5_style_sweep(small_setup)
-            assert warm.report.simulated == 0
-            assert warm.report.cache_hits == 12
+            assert warm.report.num_simulated == 0
+            assert warm.report.num_cache_hits == 12
             assert warm.report.cache_hit_rate == 1.0
         assert all(a.same_outcome(b) for a, b in zip(first, second))
 
@@ -204,17 +204,17 @@ class TestRunReport:
         with ParallelRunner(jobs=1, report=report) as runner, use_runner(runner):
             simulate_combo(small_setup, PAPER_COMBOS[0], 0.75, 1.2, 10.0)
         assert report.jobs == 1  # runner owns the worker count
-        assert report.trials == 3 and report.simulated == 3
-        assert report.events > 0
+        assert report.num_trials == 3 and report.num_simulated == 3
+        assert report.num_events > 0
         assert report.sim_time_sec > 0.0 and report.wall_time_sec > 0.0
         text = report.format()
         assert "3 trials" in text and "events/s" in text and "hit rate" in text
 
     def test_reset(self):
         report = RunReport(jobs=2)
-        report.trials = report.simulated = 5
+        report.num_trials = report.num_simulated = 5
         report.reset()
-        assert report.trials == 0 and report.jobs == 2
+        assert report.num_trials == 0 and report.jobs == 2
 
     def test_events_per_sec_zero_without_wall(self):
         assert RunReport().events_per_sec == 0.0
@@ -227,11 +227,11 @@ class TestRunReport:
         report = RunReport()
         report.record_annealing(FakeResult())
         report.record_annealing(FakeResult())
-        assert report.sa_runs == 2 and report.sa_steps == 2400
+        assert report.num_sa_runs == 2 and report.num_sa_steps == 2400
         assert report.sa_steps_per_sec == pytest.approx(2400.0)
         assert "steps/s" in report.format()
         report.reset()
-        assert report.sa_runs == 0 and report.sa_steps_per_sec == 0.0
+        assert report.num_sa_runs == 0 and report.sa_steps_per_sec == 0.0
         assert "annealing" not in report.format()
 
     def test_record_audit_counters(self):
@@ -242,8 +242,8 @@ class TestRunReport:
         report = RunReport()
         report.record_audit(FakeAudit())
         report.record_audit(FakeAudit())
-        assert report.audited_runs == 2 and report.audited_events == 14000
-        assert report.audit_violations == 0
+        assert report.num_audited_runs == 2 and report.num_audited_events == 14000
+        assert report.num_audit_violations == 0
         assert "audit 2 runs" in report.format()
         assert "clean" in report.format()
 
@@ -256,7 +256,7 @@ class TestRunReport:
         report.record_audit(DirtyAudit())
         assert "3 violations" in report.format()
         report.reset()
-        assert report.audited_runs == 0
+        assert report.num_audited_runs == 0
         assert "audit" not in report.format()
 
     def test_record_audit_accepts_real_report(self, small_setup):
@@ -278,8 +278,8 @@ class TestRunReport:
         report = RunReport()
         report.record_audit(audit_report)
         assert audit_report.events_audited > 0
-        assert report.audited_events == audit_report.events_audited
-        assert report.audit_violations == 0
+        assert report.num_audited_events == audit_report.events_audited
+        assert report.num_audit_violations == 0
 
 
 class TestActiveRunner:
