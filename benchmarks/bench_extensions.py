@@ -20,12 +20,24 @@ from repro.experiments.striping_comparison import (
 @pytest.mark.benchmark(group="figures")
 def test_availability(benchmark, bench_setup, results_dir):
     rows = benchmark.pedantic(
-        run_availability, args=(bench_setup,), rounds=1, iterations=1
+        run_availability,
+        args=(bench_setup,),
+        kwargs={"down_min": 30.0},
+        rounds=1,
+        iterations=1,
     )
     # Replication + failover must beat no-replication; striping's blast
     # radius must dwarf any replicated configuration.
-    base = next(r for r in rows if r["system"] == "replicated deg=1" and not r["failover"])
-    best = next(r for r in rows if r["system"] == "replicated deg=1.6" and r["failover"])
+    base = next(
+        r
+        for r in rows
+        if r["system"] == "replicated deg=1" and r["mode"] == "reject"
+    )
+    best = next(
+        r
+        for r in rows
+        if r["system"] == "replicated deg=1.6" and r["mode"] == "failover"
+    )
     striped = next(r for r in rows if r["system"].startswith("striped"))
     assert best["rejection"] < base["rejection"]
     assert striped["streams_dropped"] > base["streams_dropped"]

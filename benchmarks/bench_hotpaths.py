@@ -8,7 +8,8 @@ machine-readable before/after trajectory:
   lambda=40/min) through the optimized :class:`VoDClusterSimulator` and the
   retained :class:`ReferenceClusterSimulator`, reporting events/sec for
   both and cross-checking bit-identical ``SimulationResult``s on plain,
-  redirected, and failure-injected configurations.
+  redirected, failure-injected, and full-chaos (failover + re-replication)
+  configurations.
 * **Annealing** — `ScalableBitRateProblem` at paper scale (M=250, N=8)
   through the full-recompute and incremental engine paths, reporting
   Metropolis steps/sec for both and cross-checking incremental deltas
@@ -43,7 +44,12 @@ import numpy as np
 from repro import ClusterSpec, VideoCollection, ZipfPopularity
 from repro.annealing import ScalableBitRateProblem, SimulatedAnnealer
 from repro.cluster_sim import ReferenceClusterSimulator, VoDClusterSimulator
-from repro.cluster_sim.failures import FailureEvent, FailureSchedule
+from repro.cluster_sim.failures import (
+    FailoverPolicy,
+    FailureEvent,
+    FailureSchedule,
+    RereplicationPolicy,
+)
 from repro.model.problem import ReplicationProblem
 from repro.placement import smallest_load_first_placement
 from repro.replication import zipf_interval_replication
@@ -113,6 +119,13 @@ def bench_simulator(smoke: bool, repeats: int) -> dict:
         "redirected": dict(horizon_min=duration, _backbone=500.0),
         "failures": dict(
             horizon_min=duration, failures=failures, failover_on_down=True
+        ),
+        "chaos": dict(
+            horizon_min=duration,
+            failures=failures,
+            failover_on_down=True,
+            failover=FailoverPolicy(backoff_base_min=duration / 100.0),
+            rereplication=RereplicationPolicy(),
         ),
     }
     identical = True
@@ -374,6 +387,91 @@ def bench_observe(smoke: bool) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Chaos-overhead benchmark (repro.cluster_sim.failures)
+# ----------------------------------------------------------------------
+def bench_chaos(smoke: bool) -> dict:
+    """Failure-free cost of the chaos & recovery machinery.
+
+    Runs the full-lifecycle fig5 workload twice per iteration: plain, and
+    with the entire chaos stack attached but inert (an empty
+    :class:`FailureSchedule` plus failover and re-replication policies).
+    The attached run must stay **bit-identical** to the plain run — the
+    failure-free path is required to be the same hot path, gated on every
+    run including smoke — and within a <=2% wall-time budget, gated on
+    non-smoke runs only (same measurement discipline as
+    :func:`bench_audit`: gc paused, interleaved best-of-N, minimum
+    overhead pass kept).
+    """
+    import gc
+
+    popularity, cluster, videos, layout = _fig5_system()
+    duration = 20.0 if smoke else 90.0
+    generator = WorkloadGenerator.poisson_zipf(popularity, 40.0)
+    trace = generator.generate(duration, np.random.default_rng(2))
+    simulator = VoDClusterSimulator(cluster, videos, layout)
+    video_minutes = float(videos.durations_min.max())
+    horizon = duration + video_minutes + 5.0
+    reps = 30 if smoke else 100
+    passes = 2 if smoke else 3
+    chaos_kwargs = dict(
+        failures=FailureSchedule.none(),
+        failover_on_down=True,
+        failover=FailoverPolicy(),
+        rereplication=RereplicationPolicy(),
+    )
+
+    def measure_pass() -> dict:
+        best_plain = best_chaos = float("inf")
+        plain = attached = None
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(reps):
+                start = time.perf_counter()
+                plain = simulator.run(trace, horizon_min=horizon)
+                best_plain = min(best_plain, time.perf_counter() - start)
+                start = time.perf_counter()
+                attached = simulator.run(
+                    trace, horizon_min=horizon, **chaos_kwargs
+                )
+                best_chaos = min(best_chaos, time.perf_counter() - start)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        overhead = (best_chaos - best_plain) / best_plain * 100.0
+        return {
+            "num_events": plain.num_events,
+            "plain_events_per_sec": round(plain.num_events / best_plain, 1),
+            "chaos_events_per_sec": round(
+                attached.num_events / best_chaos, 1
+            ),
+            "plain_wall_sec": round(best_plain, 6),
+            "chaos_wall_sec": round(best_chaos, 6),
+            "overhead_pct": round(overhead, 2),
+            "identical": plain.same_outcome(attached)
+            and attached.num_failures == 0
+            and attached.num_retries == 0,
+        }
+
+    results = [measure_pass() for _ in range(passes)]
+    best = dict(min(results, key=lambda r: r["overhead_pct"]))
+    best["identical"] = all(r["identical"] for r in results)
+    best["overhead_pct_passes"] = [r["overhead_pct"] for r in results]
+
+    budget_met = best["overhead_pct"] <= 2.0
+    ok = best["identical"] and (budget_met or smoke)
+    return {
+        "horizon_min": horizon,
+        "repeats": reps,
+        "passes": passes,
+        "budget_overhead_pct": 2.0,
+        "budget_met": budget_met,
+        "failure_free": best,
+        "ok": ok,
+    }
+
+
+# ----------------------------------------------------------------------
 # Annealing benchmark
 # ----------------------------------------------------------------------
 def _paper_scale_problem() -> ScalableBitRateProblem:
@@ -474,15 +572,17 @@ def main(argv: list[str] | None = None) -> int:
     simulator = bench_simulator(args.smoke, max(args.repeats, 1))
     audit = bench_audit(args.smoke)
     observe = bench_observe(args.smoke)
+    chaos = bench_chaos(args.smoke)
     annealing = bench_annealing(args.smoke, max(args.repeats, 1))
     payload = {
-        "schema": 3,
+        "schema": 4,
         "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "smoke": args.smoke,
         "machine": _machine_info(),
         "simulator": simulator,
         "audit": audit,
         "observe": observe,
+        "chaos": chaos,
         "annealing": annealing,
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
@@ -506,6 +606,12 @@ def main(argv: list[str] | None = None) -> int:
         f"(budget <={observe['metrics_budget_pct']}%), ok={observe['ok']}"
     )
     print(
+        f"chaos: +{chaos['failure_free']['overhead_pct']}% failure-free "
+        f"overhead (budget <={chaos['budget_overhead_pct']}%), "
+        f"bit_identical={chaos['failure_free']['identical']}, "
+        f"ok={chaos['ok']}"
+    )
+    print(
         f"annealing: {annealing['incremental_steps_per_sec']:,.0f} steps/s "
         f"({annealing['speedup_vs_seed']}x vs seed, "
         f"{annealing['speedup_vs_full']}x vs full), "
@@ -517,6 +623,7 @@ def main(argv: list[str] | None = None) -> int:
         simulator["bit_identical"]
         and audit["ok"]
         and observe["ok"]
+        and chaos["ok"]
         and annealing["delta_crosscheck_ok"]
     )
     return 0 if ok else 1

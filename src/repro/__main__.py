@@ -53,6 +53,36 @@ def _pipeline_parser(subparsers) -> None:
         "--backbone-mbps", type=float, default=0.0, help="redirection backbone"
     )
     parser.add_argument(
+        "--failures",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "chaos recipe 'kind:key=value,...' — kinds: single "
+            "(t,server,down), random (mtbf,mttr), correlated "
+            "(groups,mtbf,mttr), mtbf (mtbf,mttr); e.g. "
+            "'single:t=30,server=0,down=15'"
+        ),
+    )
+    parser.add_argument(
+        "--failover",
+        action="store_true",
+        help="failover dispatch with retry/backoff for failure-hit requests",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=3, help="failover retry budget"
+    )
+    parser.add_argument(
+        "--rereplicate",
+        action="store_true",
+        help="restore lost replicas on repair over the migration network",
+    )
+    parser.add_argument(
+        "--migration-mbps",
+        type=float,
+        default=1000.0,
+        help="re-replication bandwidth cap",
+    )
+    parser.add_argument(
         "--refine", action="store_true", help="hill-climb the placement"
     )
     parser.add_argument(
@@ -86,6 +116,7 @@ def _pipeline_parser(subparsers) -> None:
 
 
 def _cmd_pipeline(args) -> int:
+    from .cluster_sim import FailoverPolicy, RereplicationPolicy
     from .experiments.config import PaperSetup
     from .pipeline import PipelineConfig, solve
 
@@ -103,6 +134,18 @@ def _cmd_pipeline(args) -> int:
         anneal=args.anneal,
         dispatcher=args.dispatcher,
         backbone_mbps=args.backbone_mbps,
+        failures=args.failures,
+        failover=(
+            FailoverPolicy(max_retries=args.max_retries)
+            if args.failover
+            else None
+        ),
+        rereplication=(
+            RereplicationPolicy(migration_mbps=args.migration_mbps)
+            if args.rereplicate
+            else None
+        ),
+        failover_on_down=args.failover,
         setup=setup,
     )
     observer = None

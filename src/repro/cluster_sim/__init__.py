@@ -10,8 +10,8 @@ Extensions layered on the same event machinery:
 
 * request redirection over an internal backbone (the companion strategy
   [19], :mod:`.redirection`);
-* server-failure injection with optional failover dispatch
-  (:mod:`.failures`);
+* chaos & recovery: correlated/MTBF failure injection, failover dispatch
+  with retry/backoff, and repair-driven re-replication (:mod:`.failures`);
 * the wide-striping shared-storage architecture the paper argues against
   (:mod:`.striping`);
 * multicast batching delivery (:mod:`.batching`);
@@ -27,7 +27,14 @@ from .dispatch import (
     make_dispatcher_factory,
 )
 from .events import EventKind, EventQueue
-from .failures import FailureEvent, FailureSchedule
+from .dispatch import failover_order
+from .failures import (
+    FailoverPolicy,
+    FailureEvent,
+    FailureSchedule,
+    FailureSpec,
+    RereplicationPolicy,
+)
 from .metrics import SimulationResult
 from .queueing import QueueingClusterSimulator, QueueingResult
 from .redirection import BackboneLink
@@ -46,8 +53,12 @@ __all__ = [
     "make_dispatcher_factory",
     "EventKind",
     "EventQueue",
+    "failover_order",
+    "FailoverPolicy",
     "FailureEvent",
     "FailureSchedule",
+    "FailureSpec",
+    "RereplicationPolicy",
     "SimulationResult",
     "BackboneLink",
     "QueueingClusterSimulator",

@@ -27,7 +27,22 @@ __all__ = [
     "LeastLoadedDispatcher",
     "FirstFitDispatcher",
     "make_dispatcher_factory",
+    "failover_order",
 ]
+
+
+def failover_order(
+    holders: Sequence[int], servers: Sequence[StreamingServer]
+) -> list[int]:
+    """Retry order for failover dispatch: least utilized holder first.
+
+    A stable sort, so equal-utilization holders keep ascending-id order —
+    the same tie rule as :class:`LeastLoadedDispatcher`.  All three
+    simulator loops (optimized, reference, audited) route failover
+    retries through this single helper, which is what keeps their retry
+    candidate ordering bit-identical by construction.
+    """
+    return sorted(holders, key=lambda s: servers[s].utilization)
 
 
 def _replica_servers(layout: ReplicaLayout) -> list[tuple[int, ...]]:

@@ -29,14 +29,18 @@ class EventKind(enum.IntEnum):
     """Event kinds; the integer value is the same-time tiebreak priority.
 
     At one instant: departures release bandwidth first (so a slot freed at
-    ``t`` can serve an arrival at ``t``), then failures take servers down
-    (a stream ending exactly at the crash ends gracefully), recoveries
-    bring servers back, and arrivals are admitted last.
+    ``t`` can serve an arrival at ``t``), then recoveries bring servers
+    back, then failures take servers down (a stream ending exactly at the
+    crash ends gracefully, and a repair completing exactly at a new crash
+    of the same server yields an instantaneous up-flicker rather than a
+    contradiction), and arrivals are admitted last.
     """
 
     DEPARTURE = 0
-    FAILURE = 1
-    RECOVERY = 2
+    #: RECOVERY sorts before FAILURE so a crash scheduled at the exact
+    #: repair instant of the same server hits an *up* (and empty) server.
+    RECOVERY = 1
+    FAILURE = 2
     ARRIVAL = 3
     #: Batched-multicast start; after ARRIVAL so a request arriving at the
     #: same instant still joins the batch.
@@ -44,6 +48,11 @@ class EventKind(enum.IntEnum):
     #: Wait-queue patience expiry; after DEPARTURE so a slot freed at the
     #: deadline still saves the request.
     DEFECTION = 5
+    #: Failover retry of a rejected request (chaos extension); after every
+    #: state-changing kind so the retry sees the instant's settled state.
+    RETRY = 6
+    #: Re-replication copy completion (repair-driven replica restore).
+    REPLICATE = 7
 
 
 class Event(NamedTuple):

@@ -59,13 +59,53 @@ class SimulationResult:
     streams_dropped: int = 0
     num_truncated: int = 0
     num_events: int = 0
+    #: Availability accounting (chaos extension; all zero without
+    #: failures, so failure-free results compare equal across versions).
+    num_failures: int = 0
+    num_recoveries: int = 0
+    #: Failover retries scheduled (each backoff wait counts once).
+    num_retries: int = 0
+    #: Requests saved by a successful failover retry.
+    num_failovers: int = 0
+    #: Rejections attributable to a failure (some replica holder was down
+    #: or its replica lost when the request finally gave up); a subset of
+    #: ``num_rejected``.
+    num_lost_to_failure: int = 0
+    #: Replicas restored by repair-driven re-replication.
+    num_rereplicated: int = 0
+    #: Mean crash-to-repair time over completed recoveries (minutes).
+    mean_time_to_recovery_min: float = 0.0
+    #: Per-server minutes spent down within the horizon (zeros array when
+    #: no failures occurred — never None, so equality stays structural).
+    server_downtime_min: np.ndarray | None = field(default=None, repr=False)
     wall_time_sec: float = 0.0
 
     def __post_init__(self) -> None:
+        if self.server_downtime_min is None:
+            object.__setattr__(
+                self,
+                "server_downtime_min",
+                np.zeros(self.server_time_avg_load_mbps.size),
+            )
         if self.num_requests < 0 or self.num_rejected < 0:
             raise ValueError("request counts must be >= 0")
         if self.num_truncated < 0 or self.num_events < 0:
             raise ValueError("event counts must be >= 0")
+        if min(
+            self.num_failures,
+            self.num_recoveries,
+            self.num_retries,
+            self.num_failovers,
+            self.num_lost_to_failure,
+            self.num_rereplicated,
+        ) < 0:
+            raise ValueError("availability counters must be >= 0")
+        if self.num_recoveries > self.num_failures:
+            raise ValueError("cannot recover more often than failing")
+        if self.num_lost_to_failure > self.num_rejected:
+            raise ValueError(
+                "requests lost to failure exceed total rejections"
+            )
         if self.num_rejected > self.num_requests:
             raise ValueError("cannot reject more requests than arrived")
         if int(self.per_video_requests.sum()) != self.num_requests:
@@ -138,6 +178,13 @@ class SimulationResult:
             "streams_dropped",
             "num_truncated",
             "num_events",
+            "num_failures",
+            "num_recoveries",
+            "num_retries",
+            "num_failovers",
+            "num_lost_to_failure",
+            "num_rereplicated",
+            "mean_time_to_recovery_min",
         )
         arrays = (
             "per_video_requests",
@@ -146,6 +193,7 @@ class SimulationResult:
             "server_peak_load_mbps",
             "server_served",
             "server_bandwidth_mbps",
+            "server_downtime_min",
         )
         return all(
             getattr(self, name) == getattr(other, name) for name in scalars

@@ -21,9 +21,9 @@ import time
 import numpy as np
 
 from .._validation import check_positive
-from .dispatch import Dispatcher
+from .dispatch import Dispatcher, failover_order
 from .events import EventKind, EventQueue
-from .failures import FailureSchedule
+from .failures import FailoverPolicy, FailureSchedule, RereplicationPolicy
 from .metrics import SimulationResult
 from .redirection import BackboneLink
 from .server import StreamingServer
@@ -43,12 +43,15 @@ class ReferenceClusterSimulator(VoDClusterSimulator):
         horizon_min: float | None = None,
         failures: FailureSchedule | None = None,
         failover_on_down: bool = False,
+        failover: FailoverPolicy | None = None,
+        rereplication: RereplicationPolicy | None = None,
     ) -> SimulationResult:
         """Simulate one trace exactly as the original implementation did."""
         start_wall = time.perf_counter()
         if horizon_min is None:
             horizon_min = trace.duration_min if trace.num_requests else 1.0
         check_positive("horizon_min", horizon_min)
+        horizon_min = float(horizon_min)
 
         servers = [
             StreamingServer(
@@ -71,15 +74,44 @@ class ReferenceClusterSimulator(VoDClusterSimulator):
         streams_dropped = 0
         events_processed = 0
 
+        # Chaos gating mirrors the optimized loop: no (or an empty)
+        # failure schedule turns every new mechanism off.
+        chaos = failures is not None and len(failures) > 0
+        retry_policy = failover if chaos and failover is not None else None
+        rerep = rereplication if chaos and rereplication is not None else None
+        num_failures = num_recoveries = 0
+        num_retries = num_failovers = 0
+        num_lost_to_failure = num_rereplicated = 0
+        down_since: dict[int, float] = {}
+        downtime = [0.0] * len(servers)
+        ttr_sum = 0.0
+
+        rate_matrix = self._rate_matrix
+        if rerep is not None:
+            # Copy-on-write replica rates (see the optimized loop).
+            rate_matrix = self._rate_matrix.copy()
+            lost_by_server: list[list[int]] = [[] for _ in servers]
+
         if failures is not None:
             failures.validate_servers(len(servers))
             for failure in failures:
-                if failure.time_min <= horizon_min:
+                # Strict <: a failure at exactly the end of the peak is a
+                # no-op rather than a mutation of post-horizon state.
+                if failure.time_min < horizon_min:
                     events.push(failure.time_min, EventKind.FAILURE, failure)
 
+        def failure_touched(video: int) -> bool:
+            """Whether a failure is implicated in rejecting *video* now."""
+            for s in dispatcher.holders(video):
+                if float(rate_matrix[video, s]) <= 0.0 or not servers[s].is_up:
+                    return True
+            return False
+
         def handle(event) -> None:
-            """Apply one departure/failure/recovery event."""
-            nonlocal streams_dropped, events_processed
+            """Apply one departure/failure/recovery/retry/replicate event."""
+            nonlocal streams_dropped, events_processed, num_failures
+            nonlocal num_recoveries, num_retries, num_failovers
+            nonlocal num_lost_to_failure, num_rereplicated, ttr_sum
             events_processed += 1
             if event.kind == EventKind.DEPARTURE:
                 server_id, rate, redirected, epoch = event.payload
@@ -92,14 +124,85 @@ class ReferenceClusterSimulator(VoDClusterSimulator):
                     backbone_by_server[server_id] -= rate
             elif event.kind == EventKind.FAILURE:
                 failure = event.payload
-                streams_dropped += servers[failure.server].fail(event.time)
-                if backbone is not None and backbone_by_server[failure.server] > 0:
-                    backbone.release(float(backbone_by_server[failure.server]))
-                    backbone_by_server[failure.server] = 0.0
+                k = failure.server
+                num_failures += 1
+                down_since[k] = event.time
+                streams_dropped += servers[k].fail(event.time)
+                if backbone is not None and backbone_by_server[k] > 0:
+                    backbone.release(float(backbone_by_server[k]))
+                    backbone_by_server[k] = 0.0
+                if rerep is not None:
+                    lost = lost_by_server[k]
+                    for v in np.flatnonzero(self._rate_matrix[:, k] > 0.0):
+                        v = int(v)
+                        if float(rate_matrix[v, k]) > 0.0:
+                            rate_matrix[v, k] = 0.0
+                            lost.append(v)
                 if np.isfinite(failure.recovery_min):
-                    events.push(failure.recovery_min, EventKind.RECOVERY, failure.server)
+                    events.push(failure.recovery_min, EventKind.RECOVERY, k)
             elif event.kind == EventKind.RECOVERY:
-                servers[event.payload].recover(event.time)
+                k = event.payload
+                servers[k].recover(event.time)
+                num_recoveries += 1
+                delta = event.time - down_since.pop(k)
+                downtime[k] += delta
+                ttr_sum += delta
+                if rerep is not None and lost_by_server[k]:
+                    from ..dynamic.migration import plan_rereplication
+
+                    lost = lost_by_server[k]
+                    plan = plan_rereplication(
+                        lost,
+                        self._durations,
+                        {v: float(self._rate_matrix[v, k]) for v in lost},
+                        migration_mbps=rerep.migration_mbps,
+                    )
+                    epoch = servers[k].epoch
+                    for v, offset in plan:
+                        done = event.time + offset
+                        if done <= horizon_min:
+                            events.push(
+                                done, EventKind.REPLICATE, (k, v, epoch)
+                            )
+            elif event.kind == EventKind.RETRY:
+                video, hold, attempt = event.payload
+                tr = event.time
+                saved = False
+                for server_id in failover_order(
+                    dispatcher.holders(video), servers
+                ):
+                    rate = float(rate_matrix[video, server_id])
+                    if rate > 0.0 and servers[server_id].can_admit(rate):
+                        server = servers[server_id]
+                        server.admit(tr, rate)
+                        events.push(
+                            tr + hold,
+                            EventKind.DEPARTURE,
+                            (server_id, rate, False, server.epoch),
+                        )
+                        num_failovers += 1
+                        saved = True
+                        break
+                if not saved:
+                    if attempt < retry_policy.max_retries:
+                        nxt = tr + retry_policy.delay_min(attempt)
+                        if nxt <= horizon_min:
+                            events.push(
+                                nxt, EventKind.RETRY, (video, hold, attempt + 1)
+                            )
+                            num_retries += 1
+                            return
+                    # Retry budget (or horizon) exhausted: a timeout is a
+                    # rejection.
+                    per_video_rejected[video] += 1
+                    if failure_touched(video):
+                        num_lost_to_failure += 1
+            elif event.kind == EventKind.REPLICATE:
+                k, v, epoch = event.payload
+                if servers[k].epoch == epoch:
+                    rate_matrix[v, k] = self._rate_matrix[v, k]
+                    lost_by_server[k].remove(v)
+                    num_rereplicated += 1
 
         def drain(until: float) -> None:
             """Handle every queued event up to *until* (inclusive).
@@ -171,7 +274,7 @@ class ReferenceClusterSimulator(VoDClusterSimulator):
 
             admitted = False
             for server_id in candidates:
-                rate = float(self._rate_matrix[video, server_id])
+                rate = float(rate_matrix[video, server_id])
                 if rate > 0.0 and servers[server_id].can_admit(rate):
                     server = servers[server_id]
                     server.admit(t, rate)
@@ -183,9 +286,16 @@ class ReferenceClusterSimulator(VoDClusterSimulator):
                     admitted = True
                     break
 
-            if not admitted and backbone is not None:
+            if not admitted and backbone is not None and (
+                rerep is None
+                or any(
+                    float(rate_matrix[video, s]) > 0.0
+                    for s in dispatcher.holders(video)
+                )
+            ):
                 # Redirection: any server with free outgoing bandwidth may
-                # stream the video's best copy over the backbone.
+                # stream the video's best copy over the backbone — gated,
+                # under re-replication, on some replica actually existing.
                 rate = float(self._best_rates[video])
                 if backbone.can_carry(rate):
                     delegate = self._least_utilized_with_room(servers, rate)
@@ -201,12 +311,33 @@ class ReferenceClusterSimulator(VoDClusterSimulator):
                         admitted = True
 
             if not admitted:
-                per_video_rejected[video] += 1
+                if retry_policy is not None and (
+                    retry_policy.retry_saturated or failure_touched(video)
+                ):
+                    nxt = t + retry_policy.delay_min(0)
+                    if nxt <= horizon_min:
+                        events.push(
+                            nxt,
+                            EventKind.RETRY,
+                            (video, float(hold_min[index]), 1),
+                        )
+                        num_retries += 1
+                    else:
+                        per_video_rejected[video] += 1
+                        if failure_touched(video):
+                            num_lost_to_failure += 1
+                else:
+                    per_video_rejected[video] += 1
+                    if chaos and failure_touched(video):
+                        num_lost_to_failure += 1
 
         # Apply remaining events inside the horizon, close the integrals.
         drain(horizon_min)
         for server in servers:
             server.advance(horizon_min)
+        # Servers still down at the horizon accrue downtime to its edge.
+        for k, since in down_since.items():
+            downtime[k] += horizon_min - since
 
         return SimulationResult(
             num_requests=int(per_video_requests.sum()),
@@ -224,5 +355,15 @@ class ReferenceClusterSimulator(VoDClusterSimulator):
             streams_dropped=streams_dropped,
             num_truncated=num_truncated,
             num_events=events_processed,
+            num_failures=num_failures,
+            num_recoveries=num_recoveries,
+            num_retries=num_retries,
+            num_failovers=num_failovers,
+            num_lost_to_failure=num_lost_to_failure,
+            num_rereplicated=num_rereplicated,
+            mean_time_to_recovery_min=(
+                ttr_sum / num_recoveries if num_recoveries else 0.0
+            ),
+            server_downtime_min=np.asarray(downtime),
             wall_time_sec=time.perf_counter() - start_wall,
         )

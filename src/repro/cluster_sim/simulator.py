@@ -46,9 +46,9 @@ from ..model.cluster import ClusterSpec
 from ..model.layout import ReplicaLayout
 from ..model.video import VideoCollection
 from ..workload.requests import RequestTrace
-from .dispatch import Dispatcher, StaticRoundRobinDispatcher
+from .dispatch import Dispatcher, StaticRoundRobinDispatcher, failover_order
 from .events import EventKind
-from .failures import FailureSchedule
+from .failures import FailoverPolicy, FailureSchedule, RereplicationPolicy
 from .metrics import SimulationResult
 from .redirection import BackboneLink
 from .server import StreamingServer
@@ -59,6 +59,8 @@ __all__ = ["VoDClusterSimulator"]
 _DEPARTURE = int(EventKind.DEPARTURE)
 _FAILURE = int(EventKind.FAILURE)
 _RECOVERY = int(EventKind.RECOVERY)
+_RETRY = int(EventKind.RETRY)
+_REPLICATE = int(EventKind.REPLICATE)
 
 #: Admission slack (Mb/s); mirrors ``server._EPS_MBPS``.
 _EPS_MBPS = 1e-6
@@ -153,6 +155,8 @@ class VoDClusterSimulator:
         horizon_min: float | None = None,
         failures: FailureSchedule | None = None,
         failover_on_down: bool = False,
+        failover: FailoverPolicy | None = None,
+        rereplication: RereplicationPolicy | None = None,
         auditors=None,
         observer=None,
     ) -> SimulationResult:
@@ -174,6 +178,21 @@ class VoDClusterSimulator:
             (not merely saturated) is retried on the video's remaining
             replica holders — the availability benefit replication buys.
             The paper's static model (False) simply rejects it.
+        failover:
+            Optional :class:`FailoverPolicy` (chaos extension).  A request
+            rejected while failures touched its video — some holder down,
+            or its replica lost and not yet re-copied — is retried across
+            surviving holders after capped exponential backoff, up to the
+            policy's retry budget; exhausted budgets (and retries that
+            would land past the horizon) count as rejections.  Ignored
+            without a non-empty ``failures`` schedule, so attaching a
+            policy to a failure-free run changes nothing.
+        rereplication:
+            Optional :class:`RereplicationPolicy` (chaos extension).  A
+            crash loses the server's replicas; after repair they are
+            re-copied serially under the policy's migration-bandwidth
+            cap, and the server can only serve a video again once its
+            copy completes.  Ignored without failures.
         auditors:
             Optional list of :class:`repro.verify.InvariantAuditor`
             checkers.  When non-empty the run is delegated to the audited
@@ -205,6 +224,8 @@ class VoDClusterSimulator:
                 horizon_min=horizon_min,
                 failures=failures,
                 failover_on_down=failover_on_down,
+                failover=failover,
+                rereplication=rereplication,
             )
             report.raise_if_failed()
             return result
@@ -239,28 +260,163 @@ class VoDClusterSimulator:
         streams_dropped = 0
         events_processed = 0
 
+        # Chaos gating: with no (or an empty) failure schedule every new
+        # mechanism is off and the hot loop below is byte-for-byte the
+        # failure-free path — the bit-identity the BENCH chaos block gates.
+        chaos = failures is not None and len(failures) > 0
+        retry_policy = failover if chaos and failover is not None else None
+        rerep = rereplication if chaos and rereplication is not None else None
+        num_failures = num_recoveries = 0
+        num_retries = num_failovers = 0
+        num_lost_to_failure = num_rereplicated = 0
+        down_since: dict[int, float] = {}
+        downtime = [0.0] * len(servers)
+        ttr_sum = 0.0
+
+        rate_rows = self._rate_rows
+        static_rows = rate_rows
+        if rerep is not None:
+            # Copy-on-write replica rates: a crash zeroes the server's
+            # column entries (replicas lost), a completed re-copy restores
+            # the static value.  Admitted streams therefore always carry
+            # static rates.
+            rate_rows = [row[:] for row in rate_rows]
+            lost_by_server: list[list[int]] = [[] for _ in servers]
+            videos_of_server: list[list[int]] | None = None
+
         if failures is not None:
             failures.validate_servers(len(servers))
             for failure in failures:
-                if failure.time_min <= horizon_min:
+                # Strict <: a failure at exactly the end of the peak is a
+                # no-op rather than a mutation of post-horizon state.
+                if failure.time_min < horizon_min:
                     heappush(heap, (failure.time_min, _FAILURE, seq, failure))
                     seq += 1
 
+        dispatcher_holders = dispatcher.holders
+
+        def failure_touched(video: int) -> bool:
+            """Whether a failure is implicated in rejecting *video* now."""
+            row = rate_rows[video]
+            for s in dispatcher_holders(video):
+                if row[s] <= 0.0 or not servers[s].is_up:
+                    return True
+            return False
+
         def handle_rare(event: tuple, seq: int) -> int:
-            """Apply one failure/recovery event; returns the updated seq."""
-            nonlocal streams_dropped
-            if event[1] == _FAILURE:
+            """Apply one failure/recovery/retry/re-replication event."""
+            nonlocal streams_dropped, num_failures, num_recoveries
+            nonlocal num_retries, num_failovers, num_lost_to_failure
+            nonlocal num_rereplicated, videos_of_server, ttr_sum
+            kind = event[1]
+            if kind == _FAILURE:
                 failure = event[3]
-                streams_dropped += servers[failure.server].fail(event[0])
-                if backbone is not None and backbone_by_server[failure.server] > 0:
-                    backbone.release(backbone_by_server[failure.server])
-                    backbone_by_server[failure.server] = 0.0
+                k = failure.server
+                num_failures += 1
+                down_since[k] = event[0]
+                streams_dropped += servers[k].fail(event[0])
+                if backbone is not None and backbone_by_server[k] > 0:
+                    backbone.release(backbone_by_server[k])
+                    backbone_by_server[k] = 0.0
+                if rerep is not None:
+                    if videos_of_server is None:
+                        videos_of_server = [
+                            [
+                                v
+                                for v in range(len(static_rows))
+                                if static_rows[v][s] > 0.0
+                            ]
+                            for s in range(len(servers))
+                        ]
+                    lost = lost_by_server[k]
+                    for v in videos_of_server[k]:
+                        if rate_rows[v][k] > 0.0:
+                            rate_rows[v][k] = 0.0
+                            lost.append(v)
                 recovery = failure.recovery_min
                 if recovery < _INF:
-                    heappush(heap, (recovery, _RECOVERY, seq, failure.server))
+                    heappush(heap, (recovery, _RECOVERY, seq, k))
                     seq += 1
-            else:  # _RECOVERY
-                servers[event[3]].recover(event[0])
+            elif kind == _RECOVERY:
+                k = event[3]
+                tr = event[0]
+                servers[k].recover(tr)
+                num_recoveries += 1
+                delta = tr - down_since.pop(k)
+                downtime[k] += delta
+                ttr_sum += delta
+                if rerep is not None and lost_by_server[k]:
+                    from ..dynamic.migration import plan_rereplication
+
+                    lost = lost_by_server[k]
+                    plan = plan_rereplication(
+                        lost,
+                        self._durations_list,
+                        {v: static_rows[v][k] for v in lost},
+                        migration_mbps=rerep.migration_mbps,
+                    )
+                    epoch = servers[k].epoch
+                    for v, offset in plan:
+                        done = tr + offset
+                        if done <= horizon_min:
+                            heappush(
+                                heap, (done, _REPLICATE, seq, (k, v, epoch))
+                            )
+                            seq += 1
+            elif kind == _RETRY:
+                video, hold, attempt = event[3]
+                tr = event[0]
+                row = rate_rows[video]
+                saved = False
+                for server_id in failover_order(
+                    dispatcher_holders(video), servers
+                ):
+                    rate = row[server_id]
+                    if rate > 0.0:
+                        server = servers[server_id]
+                        if (
+                            server.is_up
+                            and server.used_mbps + rate
+                            <= server.bandwidth_mbps + _EPS_MBPS
+                            and (
+                                server.max_streams is None
+                                or server.active_streams < server.max_streams
+                            )
+                        ):
+                            server.admit(tr, rate)
+                            heappush(
+                                heap,
+                                (tr + hold, _DEPARTURE, seq,
+                                 (server_id, rate, False, server.epoch)),
+                            )
+                            seq += 1
+                            num_failovers += 1
+                            saved = True
+                            break
+                if not saved:
+                    if attempt < retry_policy.max_retries:
+                        nxt = tr + retry_policy.delay_min(attempt)
+                        if nxt <= horizon_min:
+                            heappush(
+                                heap,
+                                (nxt, _RETRY, seq, (video, hold, attempt + 1)),
+                            )
+                            seq += 1
+                            num_retries += 1
+                            return seq
+                    # Retry budget (or horizon) exhausted: a timeout is a
+                    # rejection.
+                    per_video_rejected[video] += 1
+                    if failure_touched(video):
+                        num_lost_to_failure += 1
+            else:  # _REPLICATE
+                k, v, epoch = event[3]
+                if servers[k].epoch == epoch:
+                    rate_rows[v][k] = static_rows[v][k]
+                    lost_by_server[k].remove(v)
+                    num_rereplicated += 1
+                # else: the server crashed again mid-copy; the replica
+                # stays lost and will be re-planned at the next repair.
             return seq
 
         num_videos = self._videos.num_videos
@@ -289,8 +445,8 @@ class VoDClusterSimulator:
         videos_list = videos.tolist()
         num_arrivals = len(times_list)
 
-        # Hot-loop locals (attribute lookups hoisted out of the loop).
-        rate_rows = self._rate_rows
+        # Hot-loop locals (attribute lookups hoisted out of the loop;
+        # rate_rows was bound above — the COW copy under re-replication).
         best_rates = self._best_rates_list
         candidates_of = dispatcher.candidates
         eps = _EPS_MBPS
@@ -441,7 +597,10 @@ class VoDClusterSimulator:
                 continue
             end_time = t + hold_list[index]
 
-            if failover_on_down:
+            if failover_on_down and chaos:
+                # Without failure events no server is ever down, so the
+                # scan below is a no-op — skip it to keep the failure-free
+                # path on the plain hot path (BENCH chaos budget).
                 candidates = list(candidates_of(video, servers))
                 if any(not servers[s].is_up for s in candidates):
                     # Replication's availability payoff: retry the remaining
@@ -491,9 +650,12 @@ class VoDClusterSimulator:
                         admitted = True
                         break
 
-            if not admitted and backbone is not None:
+            if not admitted and backbone is not None and (
+                rerep is None or any(row[s] > 0.0 for s in dispatcher_holders(video))
+            ):
                 # Redirection: any server with free outgoing bandwidth may
-                # stream the video's best copy over the backbone.
+                # stream the video's best copy over the backbone — gated,
+                # under re-replication, on some replica actually existing.
                 rate = best_rates[video]
                 if backbone.used_mbps + rate <= backbone.capacity_mbps + eps:
                     delegate = None
@@ -535,7 +697,29 @@ class VoDClusterSimulator:
                         admitted = True
 
             if not admitted:
-                per_video_rejected[video] += 1
+                if retry_policy is not None and (
+                    retry_policy.retry_saturated or failure_touched(video)
+                ):
+                    nxt = t + retry_policy.delay_min(0)
+                    if nxt <= horizon_min:
+                        # Failover retry: the request waits out a backoff
+                        # and re-tries surviving holders; the verdict
+                        # (served or rejected) lands when the RETRY event
+                        # resolves, always within the horizon.
+                        heappush(
+                            heap,
+                            (nxt, _RETRY, seq, (video, hold_list[index], 1)),
+                        )
+                        seq += 1
+                        num_retries += 1
+                    else:
+                        per_video_rejected[video] += 1
+                        if failure_touched(video):
+                            num_lost_to_failure += 1
+                else:
+                    per_video_rejected[video] += 1
+                    if chaos and failure_touched(video):
+                        num_lost_to_failure += 1
             if trace_every:
                 trace_arr_down -= 1
                 if not trace_arr_down:
@@ -573,6 +757,9 @@ class VoDClusterSimulator:
                 seq = handle_rare(event, seq)
         for server in servers:
             server.advance(horizon_min)
+        # Servers still down at the horizon accrue downtime to its edge.
+        for k, since in down_since.items():
+            downtime[k] += horizon_min - since
 
         result = SimulationResult(
             num_requests=sum(per_video_requests),
@@ -590,6 +777,16 @@ class VoDClusterSimulator:
             streams_dropped=streams_dropped,
             num_truncated=num_truncated,
             num_events=events_processed,
+            num_failures=num_failures,
+            num_recoveries=num_recoveries,
+            num_retries=num_retries,
+            num_failovers=num_failovers,
+            num_lost_to_failure=num_lost_to_failure,
+            num_rereplicated=num_rereplicated,
+            mean_time_to_recovery_min=(
+                ttr_sum / num_recoveries if num_recoveries else 0.0
+            ),
+            server_downtime_min=np.asarray(downtime),
             wall_time_sec=time.perf_counter() - start_wall,
         )
         if observer is not None:

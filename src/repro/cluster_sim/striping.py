@@ -135,10 +135,17 @@ class StripedClusterSimulator:
         last_time = 0.0
         load_integral = 0.0
 
+        num_failures = 0
+        num_recoveries = 0
+        outage_since = 0.0
+        outage_total = 0.0
+
         if failures is not None:
             failures.validate_servers(self._num_servers)
             for failure in failures:
-                if failure.time_min <= horizon_min:
+                # Strict <: a failure at exactly the end of the peak is a
+                # no-op (same horizon-edge rule as VoDClusterSimulator).
+                if failure.time_min < horizon_min:
                     events.push(failure.time_min, EventKind.FAILURE, failure)
 
         def advance(time: float) -> None:
@@ -148,6 +155,7 @@ class StripedClusterSimulator:
 
         def handle(event) -> None:
             nonlocal members_down, epoch, used_mbps, active_streams, streams_dropped
+            nonlocal num_failures, num_recoveries, outage_since, outage_total
             if event.kind is EventKind.DEPARTURE:
                 drain, stream_epoch = event.payload
                 if stream_epoch != epoch:
@@ -163,12 +171,18 @@ class StripedClusterSimulator:
                 active_streams = 0
                 used_mbps = 0.0
                 epoch += 1
+                if members_down == 0:
+                    outage_since = event.time
                 members_down += 1
+                num_failures += 1
                 if np.isfinite(failure.recovery_min):
                     events.push(failure.recovery_min, EventKind.RECOVERY, None)
             elif event.kind is EventKind.RECOVERY:
                 advance(event.time)
                 members_down -= 1
+                num_recoveries += 1
+                if members_down == 0:
+                    outage_total += event.time - outage_since
 
         def drain_until(until: float) -> None:
             while events and events.peek().time <= until:
@@ -196,6 +210,8 @@ class StripedClusterSimulator:
 
         drain_until(horizon_min)
         advance(horizon_min)
+        if members_down > 0:
+            outage_total += horizon_min - outage_since
 
         # Striping spreads load perfectly: report equal per-server shares
         # of the *useful* (un-inflated) traffic.
@@ -215,6 +231,11 @@ class StripedClusterSimulator:
             server_bandwidth_mbps=self._cluster.bandwidth_mbps,
             horizon_min=float(horizon_min),
             streams_dropped=streams_dropped,
+            num_failures=num_failures,
+            num_recoveries=num_recoveries,
+            # Wide striping couples every server to every outage: the
+            # whole cluster is down whenever any member is.
+            server_downtime_min=np.full(self._num_servers, outage_total),
         )
 
     def _spread_served(self, served: int) -> np.ndarray:

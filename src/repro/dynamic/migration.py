@@ -28,7 +28,39 @@ from ..model.layout import ReplicaLayout
 from ..model.objective import communication_weights
 from ..replication.base import ReplicationResult
 
-__all__ = ["MigrationPlan", "plan_migration"]
+__all__ = ["MigrationPlan", "plan_migration", "plan_rereplication"]
+
+
+def plan_rereplication(
+    lost_videos,
+    durations_min,
+    rates_mbps,
+    *,
+    migration_mbps: float,
+) -> list[tuple[int, float]]:
+    """Schedule re-copies of the replicas a recovered server lost.
+
+    Copies are serialized over one ``migration_mbps`` repair link in
+    ascending video-id order (deterministic, so every simulator loop
+    derives the identical schedule).  A video of ``duration_min`` minutes
+    streamed at ``rate_mbps`` occupies ``duration_min * 60 * rate_mbps``
+    megabits, so its copy takes ``duration_min * rate_mbps /
+    migration_mbps`` minutes — the 60s cancel.
+
+    Returns ``(video, completion_offset_min)`` pairs: offsets are
+    cumulative, measured from the recovery instant.
+    """
+    if not migration_mbps > 0:
+        raise ValueError(f"migration_mbps must be > 0, got {migration_mbps}")
+    plan: list[tuple[int, float]] = []
+    elapsed = 0.0
+    for video in sorted(int(v) for v in lost_videos):
+        rate = float(rates_mbps[video])
+        if rate <= 0.0:
+            raise ValueError(f"video {video} has no positive rate to re-copy")
+        elapsed += float(durations_min[video]) * rate / migration_mbps
+        plan.append((video, elapsed))
+    return plan
 
 
 @dataclass(frozen=True)

@@ -178,6 +178,20 @@ class Observer:
         registry.counter("sim.truncated").inc(result.num_truncated)
         registry.counter("sim.events").inc(result.num_events)
         registry.counter("sim.streams_dropped").inc(result.streams_dropped)
+        if result.num_failures or result.streams_dropped:
+            # Chaos availability counters (absent on failure-free runs so
+            # snapshots stay byte-identical with chaos machinery attached).
+            registry.counter("sim.failures").inc(result.num_failures)
+            registry.counter("sim.recoveries").inc(result.num_recoveries)
+            registry.counter("sim.retries").inc(result.num_retries)
+            registry.counter("sim.failovers").inc(result.num_failovers)
+            registry.counter("sim.lost_to_failure").inc(
+                result.num_lost_to_failure
+            )
+            registry.counter("sim.rereplicated").inc(result.num_rereplicated)
+            registry.gauge("sim.last_mttr_min").set(
+                result.mean_time_to_recovery_min
+            )
         registry.gauge("sim.last_horizon_min").set(result.horizon_min)
         registry.gauge("sim.last_rejection_rate").set(result.rejection_rate)
         registry.gauge("sim.last_imbalance_pct").set(

@@ -98,6 +98,21 @@ class PipelineConfig:
         Run-time dispatcher (``static_rr``, ``least_loaded``, ``first_fit``).
     backbone_mbps:
         Backbone capacity for cross-server redirection (0 disables).
+    failures:
+        Optional chaos recipe (:class:`repro.cluster_sim.FailureSpec` or a
+        ``"kind:key=value,..."`` spec string) building a per-run failure
+        schedule inside each trial; ``None`` disables chaos entirely.
+    failover:
+        Retry/backoff policy for requests hit by a failure
+        (:class:`repro.cluster_sim.FailoverPolicy`); ``None`` rejects them
+        outright, matching the paper's static model.
+    rereplication:
+        Repair-time re-replication policy
+        (:class:`repro.cluster_sim.RereplicationPolicy`); ``None`` keeps
+        replicas lost at a crash lost for the rest of the run.
+    failover_on_down:
+        Immediate same-instant failover to surviving replica holders when
+        the dispatched server is down (the pre-existing S17 behavior).
     setup:
         The :class:`PaperSetup` to derive cluster/videos/seeds from.
     seed_salt:
@@ -119,10 +134,20 @@ class PipelineConfig:
     anneal_seed: int = 0
     dispatcher: str = "static_rr"
     backbone_mbps: float = 0.0
+    failures: object = None
+    failover: object = None
+    rereplication: object = None
+    failover_on_down: bool = False
     setup: PaperSetup = field(default_factory=PaperSetup)
     seed_salt: int = 0
 
     def __post_init__(self) -> None:
+        if isinstance(self.failures, str):
+            from .cluster_sim import FailureSpec
+
+            object.__setattr__(
+                self, "failures", FailureSpec.parse(self.failures)
+            )
         if self.replicator not in REPLICATORS:
             raise ValueError(
                 f"unknown replicator {self.replicator!r}; "
@@ -300,12 +325,16 @@ def solve(
             dispatcher=config.dispatcher,
             backbone_mbps=config.backbone_mbps,
             horizon_min=setup.peak_minutes,
+            failures=config.failures,
+            failover=config.failover,
+            rereplication=config.rereplication,
+            failover_on_down=config.failover_on_down,
         )
         if observer is not None:
             # Serial in-process simulation so the observer sees every run;
             # same trace regeneration and simulator as the pooled path.
             from .cluster_sim import VoDClusterSimulator, make_dispatcher_factory
-            from .runtime.trial import trial_trace
+            from .runtime.trial import trial_run_kwargs, trial_trace
 
             simulator = VoDClusterSimulator(
                 setup.cluster(config.replication_degree),
@@ -323,6 +352,7 @@ def solve(
                         trial_trace(spec),
                         horizon_min=spec.resolved_horizon_min(),
                         observer=observer,
+                        **trial_run_kwargs(spec),
                     )
                     for spec in trials
                 ]

@@ -17,7 +17,13 @@ from .parallel import (
     use_runner,
 )
 from .report import RunReport
-from .trial import TrialSpec, make_trials, run_trial, trial_cache_key
+from .trial import (
+    TrialSpec,
+    make_trials,
+    run_trial,
+    trial_cache_key,
+    trial_run_kwargs,
+)
 
 __all__ = [
     "ParallelRunner",
@@ -33,5 +39,6 @@ __all__ = [
     "set_runner",
     "simulate_many",
     "trial_cache_key",
+    "trial_run_kwargs",
     "use_runner",
 ]

@@ -132,6 +132,13 @@ _SCALAR_FIELDS = (
     ("streams_dropped", int),
     ("num_truncated", int),
     ("num_events", int),
+    ("num_failures", int),
+    ("num_recoveries", int),
+    ("num_retries", int),
+    ("num_failovers", int),
+    ("num_lost_to_failure", int),
+    ("num_rereplicated", int),
+    ("mean_time_to_recovery_min", float),
     ("wall_time_sec", float),
 )
 _ARRAY_FIELDS = (
@@ -141,6 +148,7 @@ _ARRAY_FIELDS = (
     "server_peak_load_mbps",
     "server_served",
     "server_bandwidth_mbps",
+    "server_downtime_min",
 )
 
 

@@ -80,6 +80,11 @@ class RunReport:
     num_audited_runs / num_audited_events / num_audit_violations:
         In-situ invariant audits recorded via :meth:`record_audit`: audited
         simulator runs, events those runs checked, and total violations.
+    num_failures / num_recoveries / num_retries / num_failovers /
+    num_lost_to_failure / num_rereplicated / num_streams_dropped:
+        Availability accounting summed over every trial result (cache hits
+        included — chaos outcomes are semantic, not engine cost).  All zero
+        on failure-free runs, in which case the report omits the line.
     phase_seconds:
         Wall time folded in per named phase via :meth:`record_phase`
         (the :func:`repro.observe.timed` profiling hook).
@@ -98,6 +103,15 @@ class RunReport:
     num_audited_runs: int = 0
     num_audited_events: int = 0
     num_audit_violations: int = 0
+    num_failures: int = 0
+    num_recoveries: int = 0
+    num_retries: int = 0
+    num_failovers: int = 0
+    num_lost_to_failure: int = 0
+    num_rereplicated: int = 0
+    num_streams_dropped: int = 0
+    #: Sum of crash-to-repair minutes over all recoveries (for the mean).
+    ttr_sum_min: float = 0.0
     phase_seconds: dict = field(default_factory=dict, repr=False)
     batches: int = field(default=0, repr=False)
 
@@ -124,18 +138,40 @@ class RunReport:
         self.sa_time_sec = 0.0
         self.num_audited_runs = self.num_audited_events = 0
         self.num_audit_violations = 0
+        self.num_failures = self.num_recoveries = 0
+        self.num_retries = self.num_failovers = 0
+        self.num_lost_to_failure = self.num_rereplicated = 0
+        self.num_streams_dropped = 0
+        self.ttr_sum_min = 0.0
         self.phase_seconds = {}
+
+    def _record_availability(self, result: SimulationResult) -> None:
+        if result.num_failures == 0 and result.streams_dropped == 0:
+            return
+        self.num_failures += result.num_failures
+        self.num_recoveries += result.num_recoveries
+        self.num_retries += result.num_retries
+        self.num_failovers += result.num_failovers
+        self.num_lost_to_failure += result.num_lost_to_failure
+        self.num_rereplicated += result.num_rereplicated
+        self.num_streams_dropped += result.streams_dropped
+        self.ttr_sum_min += (
+            result.mean_time_to_recovery_min * result.num_recoveries
+        )
 
     def record_hit(self, result: SimulationResult) -> None:
         self.num_trials += 1
         self.num_cache_hits += 1
-        del result  # cached events were paid for in an earlier run
+        # Cached events were paid for in an earlier run; availability
+        # counters are outcomes, so they fold in either way.
+        self._record_availability(result)
 
     def record_simulated(self, result: SimulationResult) -> None:
         self.num_trials += 1
         self.num_simulated += 1
         self.num_events += result.num_events
         self.sim_time_sec += result.wall_time_sec
+        self._record_availability(result)
 
     def record_batch(self, wall_sec: float) -> None:
         self.batches += 1
@@ -185,6 +221,15 @@ class RunReport:
         return self.num_sa_steps / self.sa_time_sec if self.sa_time_sec else 0.0
 
     @property
+    def mean_time_to_recovery_min(self) -> float:
+        """Mean crash-to-repair minutes over every recorded recovery."""
+        return (
+            self.ttr_sum_min / self.num_recoveries
+            if self.num_recoveries
+            else 0.0
+        )
+
+    @property
     def concurrency(self) -> float:
         """Achieved sim-time/wall-time ratio (~jobs under perfect scaling)."""
         return (
@@ -230,6 +275,16 @@ class RunReport:
             lines.append(
                 f"  audit {self.num_audited_runs} runs  "
                 f"{self.num_audited_events:,} events checked  {status}"
+            )
+        if self.num_failures or self.num_streams_dropped:
+            lines.append(
+                f"  chaos {self.num_failures} failures "
+                f"({self.num_recoveries} recovered, "
+                f"MTTR {self.mean_time_to_recovery_min:.1f} min)  "
+                f"{self.num_streams_dropped} streams dropped  "
+                f"{self.num_lost_to_failure} requests lost  "
+                f"failover {self.num_failovers}/{self.num_retries} retries  "
+                f"{self.num_rereplicated} re-replicated"
             )
         if self.phase_seconds:
             rendered = "  ".join(

@@ -22,13 +22,24 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..cluster_sim import VoDClusterSimulator, make_dispatcher_factory
+from ..cluster_sim.failures import (
+    FailoverPolicy,
+    FailureSpec,
+    RereplicationPolicy,
+)
 from ..cluster_sim.metrics import SimulationResult
 from ..model.layout import ReplicaLayout
 from ..workload import WorkloadGenerator
 from ..workload.requests import RequestTrace
 from .cache import code_version, content_key
 
-__all__ = ["TrialSpec", "make_trials", "run_trial", "trial_cache_key"]
+__all__ = [
+    "TrialSpec",
+    "make_trials",
+    "run_trial",
+    "trial_cache_key",
+    "trial_run_kwargs",
+]
 
 
 @dataclass(frozen=True)
@@ -50,6 +61,13 @@ class TrialSpec:
     dispatcher: str = "static_rr"
     backbone_mbps: float = 0.0
     horizon_min: float | None = None
+    #: Chaos extension: per-run failure schedule recipe (built inside the
+    #: worker with ``SeedSequence(seed, spawn_key=(0xFA11, run_index))``,
+    #: so chaos randomness never perturbs the workload stream).
+    failures: FailureSpec | None = None
+    failover: FailoverPolicy | None = None
+    rereplication: RereplicationPolicy | None = None
+    failover_on_down: bool = False
     #: Content hash shared by all trials of one design point; fills in the
     #: worker-side simulator memo and the cache key.  Computed by
     #: :func:`make_trials`.
@@ -75,6 +93,10 @@ def make_trials(
     dispatcher: str = "static_rr",
     backbone_mbps: float = 0.0,
     horizon_min: float | None = None,
+    failures: FailureSpec | None = None,
+    failover: FailoverPolicy | None = None,
+    rereplication: RereplicationPolicy | None = None,
+    failover_on_down: bool = False,
 ) -> list[TrialSpec]:
     """Build the *num_runs* trial specs of one design point.
 
@@ -93,6 +115,10 @@ def make_trials(
         dispatcher=dispatcher,
         backbone_mbps=float(backbone_mbps),
         horizon_min=horizon_min,
+        failures=failures,
+        failover=failover,
+        rereplication=rereplication,
+        failover_on_down=bool(failover_on_down),
     )
     config_key = content_key(
         {
@@ -105,6 +131,10 @@ def make_trials(
             "dispatcher": base.dispatcher,
             "backbone_mbps": base.backbone_mbps,
             "horizon_min": base.horizon_min,
+            "failures": base.failures,
+            "failover": base.failover,
+            "rereplication": base.rereplication,
+            "failover_on_down": base.failover_on_down,
             "simulator": VoDClusterSimulator.__qualname__,
             "code_version": code_version(),
         }
@@ -157,9 +187,35 @@ def _simulator_for(spec: TrialSpec) -> VoDClusterSimulator:
     return simulator
 
 
+def trial_run_kwargs(spec: TrialSpec) -> dict:
+    """Chaos keyword arguments for ``run()``, built from the spec's recipe.
+
+    The failure schedule is derived per run from
+    ``SeedSequence(seed, spawn_key=(0xFA11, run_index))`` — a stream
+    disjoint from the workload's ``spawn_key=(run_index,)`` — so enabling
+    chaos never perturbs the arrival process.
+    """
+    if spec.failures is None:
+        return {}
+    cluster = spec.setup.cluster(spec.degree)
+    return {
+        "failures": spec.failures.build(
+            cluster.num_servers,
+            spec.resolved_horizon_min(),
+            seed=spec.seed,
+            run_index=spec.run_index,
+        ),
+        "failover_on_down": spec.failover_on_down,
+        "failover": spec.failover,
+        "rereplication": spec.rereplication,
+    }
+
+
 def run_trial(spec: TrialSpec) -> SimulationResult:
     """Simulate one trial (the function a pool worker executes)."""
     simulator = _simulator_for(spec)
     return simulator.run(
-        trial_trace(spec), horizon_min=spec.resolved_horizon_min()
+        trial_trace(spec),
+        horizon_min=spec.resolved_horizon_min(),
+        **trial_run_kwargs(spec),
     )

@@ -21,12 +21,14 @@ from .audit import AuditReport, run_audited
 from .auditors import (
     BandwidthCapAuditor,
     EventMonotonicityAuditor,
+    FailureAvailabilityAuditor,
     InvariantAuditor,
     InvariantViolation,
     ObjectiveAccountingAuditor,
     ReplicaDistinctnessAuditor,
     StreamConservationAuditor,
     Violation,
+    failure_auditors,
     standard_auditors,
 )
 from .corpus import load_case, load_corpus, save_case
@@ -42,8 +44,12 @@ _FUZZ_EXPORTS = frozenset(
 
 def __getattr__(name: str):
     if name in _FUZZ_EXPORTS:
-        from . import fuzz as _fuzz
+        # import_module, not ``from . import fuzz``: the latter probes the
+        # package with hasattr first, which re-enters this __getattr__ for
+        # the lazy name "fuzz" and recurses without bound.
+        import importlib
 
+        _fuzz = importlib.import_module(".fuzz", __name__)
         return getattr(_fuzz, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
@@ -52,12 +58,14 @@ __all__ = [
     "run_audited",
     "BandwidthCapAuditor",
     "EventMonotonicityAuditor",
+    "FailureAvailabilityAuditor",
     "InvariantAuditor",
     "InvariantViolation",
     "ObjectiveAccountingAuditor",
     "ReplicaDistinctnessAuditor",
     "StreamConservationAuditor",
     "Violation",
+    "failure_auditors",
     "standard_auditors",
     "load_case",
     "load_corpus",

@@ -41,7 +41,7 @@ from heapq import heappop, heappush
 
 import numpy as np
 
-from ..cluster_sim.dispatch import Dispatcher
+from ..cluster_sim.dispatch import Dispatcher, failover_order
 from ..cluster_sim.events import EventKind
 from ..cluster_sim.metrics import SimulationResult
 from ..cluster_sim.redirection import BackboneLink
@@ -53,6 +53,8 @@ __all__ = ["Trajectory", "AuditReport", "run_audited"]
 _DEPARTURE = int(EventKind.DEPARTURE)
 _FAILURE = int(EventKind.FAILURE)
 _RECOVERY = int(EventKind.RECOVERY)
+_RETRY = int(EventKind.RETRY)
+_REPLICATE = int(EventKind.REPLICATE)
 _EPS_MBPS = 1e-6
 _INF = float("inf")
 
@@ -83,6 +85,10 @@ class Trajectory:
         "backbone_capacity_mbps",
         "backbone_used_mbps",
         "rate_matrix",
+        "crash_records",
+        "repair_records",
+        "admission_times",
+        "admission_servers",
     )
 
     def __init__(self, num_servers: int, horizon_min: float) -> None:
@@ -104,6 +110,13 @@ class Trajectory:
         self.backbone_capacity_mbps = 0.0
         self.backbone_used_mbps = 0.0
         self.rate_matrix: np.ndarray | None = None
+        #: (time, server, occupied Mb/s) per crash / (time, server) per
+        #: repair, plus the merged admission (time, server) arrays — the
+        #: raw material of the failure/availability auditors.
+        self.crash_records: list = []
+        self.repair_records: list = []
+        self.admission_times: np.ndarray | None = None
+        self.admission_servers: np.ndarray | None = None
 
 
 @dataclass(frozen=True)
@@ -385,6 +398,8 @@ def run_audited(
     horizon_min: float | None = None,
     failures=None,
     failover_on_down: bool = False,
+    failover=None,
+    rereplication=None,
 ) -> tuple[SimulationResult, AuditReport]:
     """Run *simulator* on *trace* with in-situ invariant auditing.
 
@@ -436,23 +451,64 @@ def run_audited(
     streams_dropped = 0
     events_processed = 0
 
-    #: One record per crash: (time, server, occupied Mb/s at the crash).
+    #: One record per crash: (time, server, occupied Mb/s at the crash);
+    #: one per repair: (time, server).
     crash_records: list = []
+    repair_records: list = []
+    #: Retry admissions: (start, end, server, rate, video) side records,
+    #: merged into the reconstruction tables after the loop.
+    retry_admissions: list = []
     last_event = 0.0
+
+    # Chaos gating mirrors the plain loops exactly.
+    chaos = failures is not None and len(failures) > 0
+    retry_policy = failover if chaos and failover is not None else None
+    rerep = rereplication if chaos and rereplication is not None else None
+    num_failures = num_recoveries = 0
+    num_retries = num_failovers = 0
+    num_lost_to_failure = num_rereplicated = 0
+    down_since: dict[int, float] = {}
+    downtime = [0.0] * num_servers
+    ttr_sum = 0.0
+
+    rate_rows = simulator._rate_rows
+    static_rows = rate_rows
+    if rerep is not None:
+        rate_rows = [row[:] for row in rate_rows]
+        lost_by_server: list[list[int]] = [[] for _ in servers]
+        videos_of_server: list[list[int]] | None = None
+    else:
+        videos_of_server = None
 
     if failures is not None:
         failures.validate_servers(num_servers)
         for failure in failures:
-            if failure.time_min <= horizon_min:
+            # Strict <: a failure at exactly the end of the peak is a
+            # no-op rather than a mutation of post-horizon state.
+            if failure.time_min < horizon_min:
                 heappush(heap, (failure.time_min, _FAILURE, seq, failure))
                 seq += 1
 
+    dispatcher_holders = dispatcher.holders
+
+    def failure_touched(video: int) -> bool:
+        row = rate_rows[video]
+        for s in dispatcher_holders(video):
+            if row[s] <= 0.0 or not servers[s].is_up:
+                return True
+        return False
+
     def handle_rare(event: tuple, seq: int) -> int:
-        """Apply one failure/recovery event (audited); returns updated seq."""
-        nonlocal streams_dropped
-        if event[1] == _FAILURE:
+        """Apply one failure/recovery/retry/replicate event (audited)."""
+        nonlocal streams_dropped, num_failures, num_recoveries
+        nonlocal num_retries, num_failovers, num_lost_to_failure
+        nonlocal num_rereplicated, videos_of_server, ttr_sum
+        kind = event[1]
+        if kind == _FAILURE:
             failure = event[3]
             server_id = failure.server
+            num_failures += 1
+            down_since[server_id] = event[0]
             crash_records.append(
                 (event[0], server_id, servers[server_id].used_mbps)
             )
@@ -460,6 +516,21 @@ def run_audited(
             if backbone is not None and backbone_by_server[server_id] > 0:
                 backbone.release(backbone_by_server[server_id])
                 backbone_by_server[server_id] = 0.0
+            if rerep is not None:
+                if videos_of_server is None:
+                    videos_of_server = [
+                        [
+                            v
+                            for v in range(len(static_rows))
+                            if static_rows[v][s] > 0.0
+                        ]
+                        for s in range(num_servers)
+                    ]
+                lost = lost_by_server[server_id]
+                for v in videos_of_server[server_id]:
+                    if rate_rows[v][server_id] > 0.0:
+                        rate_rows[v][server_id] = 0.0
+                        lost.append(v)
             recovery = failure.recovery_min
             if recovery < _INF:
                 if chk_monotonic and recovery < event[0]:
@@ -474,8 +545,86 @@ def run_audited(
                     )
                 heappush(heap, (recovery, _RECOVERY, seq, server_id))
                 seq += 1
-        else:  # _RECOVERY
-            servers[event[3]].recover(event[0])
+        elif kind == _RECOVERY:
+            k = event[3]
+            tr = event[0]
+            servers[k].recover(tr)
+            repair_records.append((tr, k))
+            num_recoveries += 1
+            delta = tr - down_since.pop(k)
+            downtime[k] += delta
+            ttr_sum += delta
+            if rerep is not None and lost_by_server[k]:
+                from ..dynamic.migration import plan_rereplication
+
+                lost = lost_by_server[k]
+                plan = plan_rereplication(
+                    lost,
+                    simulator._durations_list,
+                    {v: static_rows[v][k] for v in lost},
+                    migration_mbps=rerep.migration_mbps,
+                )
+                epoch = servers[k].epoch
+                for v, offset in plan:
+                    done = tr + offset
+                    if done <= horizon_min:
+                        heappush(heap, (done, _REPLICATE, seq, (k, v, epoch)))
+                        seq += 1
+        elif kind == _RETRY:
+            video, hold, attempt, index = event[3]
+            tr = event[0]
+            row = rate_rows[video]
+            saved = False
+            for server_id in failover_order(
+                dispatcher_holders(video), servers
+            ):
+                rate = row[server_id]
+                if rate > 0.0:
+                    server = servers[server_id]
+                    if (
+                        server.is_up
+                        and server.used_mbps + rate
+                        <= server.bandwidth_mbps + _EPS_MBPS
+                        and (
+                            server.max_streams is None
+                            or server.active_streams < server.max_streams
+                        )
+                    ):
+                        server.admit(tr, rate)
+                        heappush(
+                            heap,
+                            (tr + hold, _DEPARTURE, seq,
+                             (server_id, rate, False, server.epoch)),
+                        )
+                        seq += 1
+                        num_failovers += 1
+                        retry_admissions.append(
+                            (tr, tr + hold, server_id, rate, video)
+                        )
+                        saved = True
+                        break
+            if not saved:
+                if attempt < retry_policy.max_retries:
+                    nxt = tr + retry_policy.delay_min(attempt)
+                    if nxt <= horizon_min:
+                        heappush(
+                            heap,
+                            (nxt, _RETRY, seq,
+                             (video, hold, attempt + 1, index)),
+                        )
+                        seq += 1
+                        num_retries += 1
+                        return seq
+                per_video_rejected[video] += 1
+                decisions[index] = _REJECTED
+                if failure_touched(video):
+                    num_lost_to_failure += 1
+        else:  # _REPLICATE
+            k, v, epoch = event[3]
+            if servers[k].epoch == epoch:
+                rate_rows[v][k] = static_rows[v][k]
+                lost_by_server[k].remove(v)
+                num_rereplicated += 1
         return seq
 
     num_videos = simulator._videos.num_videos
@@ -540,7 +689,7 @@ def run_audited(
         decisions = [0] * num_arrivals
     redirect_base = _ADMIT_BASE + num_servers
 
-    rate_rows = simulator._rate_rows
+    # rate_rows was bound above (the COW copy under re-replication).
     best_rates = simulator._best_rates_list
     candidates_of = dispatcher.candidates
     eps = _EPS_MBPS
@@ -640,7 +789,9 @@ def run_audited(
                     decisions[index] = admit_base + server_id
                     break
 
-        if not admitted and backbone is not None:
+        if not admitted and backbone is not None and (
+            rerep is None or any(row[s] > 0.0 for s in dispatcher_holders(video))
+        ):
             rate = best_rates[video]
             if backbone.used_mbps + rate <= backbone.capacity_mbps + eps:
                 delegate = None
@@ -683,8 +834,31 @@ def run_audited(
                     decisions[index] = redirect_base + delegate_id
 
         if not admitted:
-            per_video_rejected[video] += 1
-            decisions[index] = rejected_code
+            if retry_policy is not None and (
+                retry_policy.retry_saturated or failure_touched(video)
+            ):
+                nxt = t + retry_policy.delay_min(0)
+                if nxt <= horizon_min:
+                    # Pending failover retry: the decision code stays 0
+                    # until the RETRY event resolves (side record on
+                    # admit, rejected code on budget exhaustion).
+                    heappush(
+                        heap,
+                        (nxt, _RETRY, seq,
+                         (video, hold_list[index], 1, index)),
+                    )
+                    seq += 1
+                    num_retries += 1
+                else:
+                    per_video_rejected[video] += 1
+                    decisions[index] = rejected_code
+                    if failure_touched(video):
+                        num_lost_to_failure += 1
+            else:
+                per_video_rejected[video] += 1
+                decisions[index] = rejected_code
+                if chaos and failure_touched(video):
+                    num_lost_to_failure += 1
 
     # Apply remaining events inside the horizon, close the integrals.
     while heap and heap[0][0] <= horizon_min:
@@ -704,6 +878,9 @@ def run_audited(
             seq = handle_rare(event, seq)
     for server in servers:
         server.advance(horizon_min)
+    # Servers still down at the horizon accrue downtime to its edge.
+    for k, since in down_since.items():
+        downtime[k] += horizon_min - since
 
     result = SimulationResult(
         num_requests=sum(per_video_requests),
@@ -721,6 +898,16 @@ def run_audited(
         streams_dropped=streams_dropped,
         num_truncated=num_truncated,
         num_events=events_processed,
+        num_failures=num_failures,
+        num_recoveries=num_recoveries,
+        num_retries=num_retries,
+        num_failovers=num_failovers,
+        num_lost_to_failure=num_lost_to_failure,
+        num_rereplicated=num_rereplicated,
+        mean_time_to_recovery_min=(
+            ttr_sum / num_recoveries if num_recoveries else 0.0
+        ),
+        server_downtime_min=np.asarray(downtime),
         wall_time_sec=_time.perf_counter() - start_wall,
     )
 
@@ -759,12 +946,41 @@ def run_audited(
         simulator._audit_rate_table = rate_table
     rate = rate_table[vid, codes]
 
+    if retry_admissions:
+        # Fold failover-retry admissions into the reconstruction tables.
+        # The tables must stay start-time sorted for the grouped
+        # prefix-sum peak reconstruction; a stable merge sort restores
+        # that after concatenation (retry starts interleave arrivals).
+        r_t0 = np.array([r[0] for r in retry_admissions])
+        r_te = np.array([r[1] for r in retry_admissions])
+        r_sid = np.array([r[2] for r in retry_admissions], dtype=np.int64)
+        r_rate = np.array([r[3] for r in retry_admissions])
+        r_vid = np.array([r[4] for r in retry_admissions], dtype=vid.dtype)
+        t0 = np.concatenate((t0, r_t0))
+        te = np.concatenate((te, r_te))
+        sid = np.concatenate((sid.astype(np.int64), r_sid))
+        rate = np.concatenate((rate, r_rate))
+        red = np.concatenate((red, np.zeros(len(r_t0), dtype=bool)))
+        vid = np.concatenate((vid, r_vid))
+        order = np.argsort(t0, kind="stable")
+        t0 = t0[order]
+        te = te[order]
+        sid = sid[order]
+        rate = rate[order]
+        red = red[order]
+        vid = vid[order]
+
     audit = Trajectory(num_servers, horizon_min)
     audit.arrivals_total = trace.num_requests
-    # Every simulated arrival stores exactly one decision code, so the
+    # Every simulated arrival stores exactly one decision code — or, for
+    # requests saved by a failover retry, one side record — so the
     # rejected tally is the complement of the admissions.
     audit.rejected = simulated - int(len(t0))
     audit.rate_matrix = simulator._rate_matrix
+    audit.crash_records = crash_records
+    audit.repair_records = repair_records
+    audit.admission_times = t0
+    audit.admission_servers = sid
     audit.backbone_capacity_mbps = simulator._backbone_mbps
     audit.last_event_time = last_event
     audit.events_audited = events_processed

@@ -44,7 +44,9 @@ __all__ = [
     "ReplicaDistinctnessAuditor",
     "EventMonotonicityAuditor",
     "ObjectiveAccountingAuditor",
+    "FailureAvailabilityAuditor",
     "standard_auditors",
+    "failure_auditors",
 ]
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -343,6 +345,125 @@ class ObjectiveAccountingAuditor(InvariantAuditor):
         return violations
 
 
+class FailureAvailabilityAuditor(InvariantAuditor):
+    """Chaos-specific invariants: down servers never serve, counters agree.
+
+    The availability extension introduces its own conservation laws on top
+    of the stream-level ones:
+
+    * **no zombie admissions** — no stream starts on server ``k`` inside a
+      down interval ``[crash_t, repair_t)`` (an unrepaired crash extends to
+      the horizon);
+    * **failure-counter consistency** — ``num_failures``/``num_recoveries``
+      equal the crash/repair records the audited loop observed, every
+      successful failover consumed at least one scheduled retry, and
+      requests lost to failures are a subset of all rejections;
+    * **downtime bounds** — no server is down longer than the horizon, and
+      total reported downtime is positive only when failures occurred.
+    """
+
+    name = "failure_availability"
+    checks = frozenset({"conservation"})
+
+    def finish(self, trajectory, servers, result):
+        t = trajectory
+        violations = []
+        if result.num_failures != len(t.crash_records):
+            violations.append(
+                Violation(
+                    self.name,
+                    t.horizon_min,
+                    f"result reports {result.num_failures} failures, audit "
+                    f"observed {len(t.crash_records)} crash events",
+                )
+            )
+        if result.num_recoveries != len(t.repair_records):
+            violations.append(
+                Violation(
+                    self.name,
+                    t.horizon_min,
+                    f"result reports {result.num_recoveries} recoveries, "
+                    f"audit observed {len(t.repair_records)} repair events",
+                )
+            )
+        if result.num_failovers > result.num_retries:
+            violations.append(
+                Violation(
+                    self.name,
+                    t.horizon_min,
+                    f"{result.num_failovers} failover admissions exceed the "
+                    f"{result.num_retries} retries ever scheduled",
+                )
+            )
+        if result.num_lost_to_failure > result.num_rejected:
+            violations.append(
+                Violation(
+                    self.name,
+                    t.horizon_min,
+                    f"{result.num_lost_to_failure} requests lost to failure "
+                    f"exceed {result.num_rejected} total rejections",
+                )
+            )
+        downtime = result.server_downtime_min
+        if downtime is not None:
+            for k, minutes in enumerate(downtime):
+                if minutes < -_ABS_TOL or minutes > t.horizon_min + _ABS_TOL:
+                    violations.append(
+                        Violation(
+                            self.name,
+                            t.horizon_min,
+                            f"server {k} downtime {float(minutes):.6f} min "
+                            f"outside [0, horizon={t.horizon_min:.6f}]",
+                        )
+                    )
+            if result.num_failures == 0 and float(max(downtime, default=0.0)) > 0.0:
+                violations.append(
+                    Violation(
+                        self.name,
+                        t.horizon_min,
+                        "downtime reported without any failure event",
+                    )
+                )
+        violations.extend(self._check_zombie_admissions(t))
+        return violations
+
+    def _check_zombie_admissions(self, t: "Trajectory") -> list[Violation]:
+        """No admission may start inside a server's down interval."""
+        if not t.crash_records or t.admission_times is None:
+            return []
+        # Build per-server down intervals [crash, repair) from the crash
+        # and repair records; an unrepaired crash extends to the horizon.
+        repairs: dict[int, list[float]] = {}
+        for time_min, server_id in t.repair_records:
+            repairs.setdefault(int(server_id), []).append(float(time_min))
+        for times in repairs.values():
+            times.sort()
+        intervals: list[tuple[int, float, float]] = []
+        for crash in sorted(t.crash_records):
+            crash_t = float(crash[0])
+            server_id = int(crash[1])
+            later = [r for r in repairs.get(server_id, ()) if r > crash_t]
+            repair_t = later[0] if later else t.horizon_min
+            intervals.append((server_id, crash_t, repair_t))
+        violations = []
+        for server_id, crash_t, repair_t in intervals:
+            mask = (t.admission_servers == server_id) & (
+                t.admission_times >= crash_t
+            ) & (t.admission_times < repair_t)
+            count = int(mask.sum())
+            if count:
+                violations.append(
+                    Violation(
+                        self.name,
+                        crash_t,
+                        f"{count} stream(s) admitted on server {server_id} "
+                        f"while it was down in [{crash_t:.4f}, "
+                        f"{repair_t:.4f})",
+                    )
+                )
+        return violations
+
+
 def standard_auditors() -> list[InvariantAuditor]:
     """The full default checker list (every invariant enabled)."""
     return [
@@ -352,3 +473,12 @@ def standard_auditors() -> list[InvariantAuditor]:
         EventMonotonicityAuditor(),
         ObjectiveAccountingAuditor(),
     ]
+
+
+def failure_auditors() -> list[InvariantAuditor]:
+    """Chaos-run checker list: every standard invariant plus availability.
+
+    Use this registry when the run injects failures; on failure-free runs
+    the extra auditor is a no-op, so it is always safe to include.
+    """
+    return standard_auditors() + [FailureAvailabilityAuditor()]

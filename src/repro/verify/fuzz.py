@@ -33,6 +33,7 @@ from pathlib import Path
 import numpy as np
 
 from .audit import run_audited
+from .auditors import failure_auditors
 from .scenarios import FuzzCase, build_des, build_sa, draw_case
 from .shrink import shrink_case
 
@@ -84,7 +85,9 @@ def _run_des(params: dict) -> tuple[list[str], dict]:
             f"events {result.num_events} vs {ref_result.num_events})"
         )
 
-    audited, report = run_audited(optimized, trace, **run_kwargs)
+    audited, report = run_audited(
+        optimized, trace, auditors=failure_auditors(), **run_kwargs
+    )
     if not result.same_outcome(audited):
         failures.append(
             "des-audit-equivalence: audited loop diverged from plain run "
@@ -104,6 +107,14 @@ def _run_des(params: dict) -> tuple[list[str], dict]:
         "num_truncated": result.num_truncated,
         "num_redirected": result.num_redirected,
         "streams_dropped": result.streams_dropped,
+        "num_failures": result.num_failures,
+        "num_recoveries": result.num_recoveries,
+        "num_retries": result.num_retries,
+        "num_failovers": result.num_failovers,
+        "num_lost_to_failure": result.num_lost_to_failure,
+        "num_rereplicated": result.num_rereplicated,
+        "mttr_min": repr(float(result.mean_time_to_recovery_min)),
+        "downtime_min": [repr(float(x)) for x in result.server_downtime_min],
         "avg_load": [repr(float(x)) for x in result.server_time_avg_load_mbps],
         "peak_load": [repr(float(x)) for x in result.server_peak_load_mbps],
     }
@@ -236,9 +247,16 @@ def fuzz(
     *,
     corpus_dir: "str | Path | None" = None,
     shrink: bool = True,
+    chaos: bool = False,
     log=None,
 ) -> FuzzReport:
-    """Run a fuzz campaign; shrink + serialize failures when a dir is given."""
+    """Run a fuzz campaign; shrink + serialize failures when a dir is given.
+
+    ``chaos=True`` forces failure injection on in every DES case (the CI
+    chaos-smoke configuration), so all 200 smoke cases exercise the
+    crash/repair/failover machinery rather than the ~50% the default draw
+    would.
+    """
     start = time.perf_counter()
     digest = hashlib.sha256()
     failing: list[CaseOutcome] = []
@@ -246,6 +264,10 @@ def fuzz(
     children = np.random.SeedSequence(int(seed)).spawn(int(num_cases))
     for index, child in enumerate(children):
         case = draw_case(child, index)
+        if chaos and case.kind == "des" and not case.params["failures"]:
+            case = FuzzCase(
+                case.kind, case.name, {**case.params, "failures": True}
+            )
         outcome = run_case(case)
         digest.update(
             json.dumps(
@@ -305,6 +327,8 @@ def main(argv: "list[str] | None" = None) -> int:
                         "(default: tests/corpus)")
     parser.add_argument("--no-shrink", action="store_true",
                         help="serialize failing cases without minimizing")
+    parser.add_argument("--chaos", action="store_true",
+                        help="force failure injection on in every DES case")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress output")
     args = parser.parse_args(argv)
@@ -315,6 +339,7 @@ def main(argv: "list[str] | None" = None) -> int:
         args.seed,
         corpus_dir=args.corpus_dir,
         shrink=not args.no_shrink,
+        chaos=args.chaos,
         log=log,
     )
     print(

@@ -88,6 +88,8 @@ def _draw_des(rng: np.random.Generator, index: int) -> FuzzCase:
         # corpus keeps hitting the rare paths.
         "failures": bool(rng.random() < 0.5),
         "failure_at_t0": bool(rng.random() < 0.15),
+        "failure_at_horizon": bool(rng.random() < 0.1),
+        "correlated_failures": bool(rng.random() < 0.25),
         "mtbf_frac": float(rng.uniform(0.25, 1.0)),
         "mttr_frac": float(rng.uniform(0.05, 0.35)),
         "redirection": bool(rng.random() < 0.5),
@@ -96,6 +98,15 @@ def _draw_des(rng: np.random.Generator, index: int) -> FuzzCase:
         "watch_time": bool(rng.random() < 0.4),
         "watch_mean": float(rng.uniform(0.3, 0.9)),
         "failover_on_down": bool(rng.random() < 0.5),
+        # Chaos & recovery machinery (failover retry with backoff and
+        # repair-driven re-replication); consumed via .get() in build_des
+        # so pre-chaos corpus entries keep replaying unchanged.
+        "failover_retry": bool(rng.random() < 0.4),
+        "max_retries": int(rng.integers(1, 6)),
+        "backoff_frac": float(rng.uniform(0.005, 0.05)),
+        "retry_saturated": bool(rng.random() < 0.2),
+        "rereplication": bool(rng.random() < 0.4),
+        "migration_frac": float(rng.uniform(0.5, 4.0)),
         # < 1 exercises horizon truncation of the arrival tail.
         "horizon_frac": float(rng.uniform(0.6, 1.0))
         if rng.random() < 0.3
@@ -105,7 +116,7 @@ def _draw_des(rng: np.random.Generator, index: int) -> FuzzCase:
         "failure_seed": _seed(rng),
         "limits_seed": _seed(rng),
     }
-    if params["failure_at_t0"]:
+    if params["failure_at_t0"] or params["failure_at_horizon"]:
         params["failures"] = True
     return FuzzCase(kind="des", name=f"des_{index:05d}", params=params)
 
@@ -154,7 +165,12 @@ def build_des(params: dict):
     from .. import ClusterSpec, VideoCollection, ZipfPopularity
     from ..cluster_sim import ReferenceClusterSimulator, VoDClusterSimulator
     from ..cluster_sim.dispatch import make_dispatcher_factory
-    from ..cluster_sim.failures import FailureEvent, FailureSchedule
+    from ..cluster_sim.failures import (
+        FailoverPolicy,
+        FailureEvent,
+        FailureSchedule,
+        RereplicationPolicy,
+    )
     from ..placement import smallest_load_first_placement
     from ..replication import zipf_interval_replication
     from ..workload import ExponentialWatch, WorkloadGenerator
@@ -207,6 +223,7 @@ def build_des(params: dict):
             .tolist()
         )
 
+    horizon_min = duration_min * float(params["horizon_frac"])
     failures = None
     if params["failures"]:
         frng = np.random.default_rng(int(params["failure_seed"]))
@@ -231,6 +248,20 @@ def build_des(params: dict):
                     )
                 )
             failures = FailureSchedule(events)
+        elif params.get("correlated_failures", False) and num_servers >= 2:
+            # Rack-correlated outage model: whole groups crash together.
+            num_groups = 2 if num_servers < 6 else 3
+            groups = [
+                tuple(int(s) for s in g)
+                for g in np.array_split(np.arange(num_servers), num_groups)
+            ]
+            failures = FailureSchedule.correlated(
+                groups,
+                duration_min,
+                frng,
+                mtbf_min=duration_min * float(params["mtbf_frac"]) * num_groups,
+                mttr_min=mttr,
+            )
         else:
             failures = FailureSchedule.random(
                 num_servers,
@@ -239,6 +270,14 @@ def build_des(params: dict):
                 mtbf_min=duration_min * float(params["mtbf_frac"]),
                 mttr_min=mttr,
             )
+        if params.get("failure_at_horizon", False):
+            # Horizon-edge pin: a crash at exactly t == horizon must be a
+            # no-op in every loop (the strict-< rule).  Clear the chosen
+            # server's other events so the schedule stays overlap-free.
+            server = int(frng.integers(num_servers))
+            events = [e for e in failures if e.server != server]
+            events.append(FailureEvent(horizon_min, server, mttr))
+            failures = FailureSchedule(events)
 
     sim_kwargs = dict(
         dispatcher_factory=make_dispatcher_factory(str(params["dispatcher"])),
@@ -251,10 +290,29 @@ def build_des(params: dict):
     )
     optimized = VoDClusterSimulator(cluster, videos, layout, **sim_kwargs)
     reference = ReferenceClusterSimulator(cluster, videos, layout, **sim_kwargs)
+    # Chaos & recovery knobs are read with .get() defaults so pre-chaos
+    # corpus entries (format 1 without these keys) keep replaying.
+    failover = None
+    if params.get("failover_retry", False):
+        failover = FailoverPolicy(
+            max_retries=int(params.get("max_retries", 3)),
+            backoff_base_min=duration_min
+            * float(params.get("backoff_frac", 0.01)),
+            backoff_cap_min=duration_min * 0.25,
+            retry_saturated=bool(params.get("retry_saturated", False)),
+        )
+    rereplication = None
+    if params.get("rereplication", False):
+        rereplication = RereplicationPolicy(
+            migration_mbps=float(params["bandwidth_mbps"])
+            * float(params.get("migration_frac", 1.0))
+        )
     run_kwargs = dict(
-        horizon_min=duration_min * float(params["horizon_frac"]),
+        horizon_min=horizon_min,
         failures=failures,
         failover_on_down=bool(params["failover_on_down"]),
+        failover=failover,
+        rereplication=rereplication,
     )
     return optimized, reference, trace, run_kwargs
 

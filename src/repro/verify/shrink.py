@@ -28,6 +28,7 @@ _NUMERIC_RULES: dict[str, list[tuple[str, float]]] = {
         ("rate_per_min", 0.5),
         ("bandwidth_mbps", 50.0),
         ("video_duration_min", 2.0),
+        ("max_retries", 1),
     ],
     "sa": [
         ("num_videos", 8),
@@ -43,10 +44,15 @@ _FLAG_RULES: dict[str, list[str]] = {
     "des": [
         "failures",
         "failure_at_t0",
+        "failure_at_horizon",
+        "correlated_failures",
         "redirection",
         "stream_limits",
         "watch_time",
         "failover_on_down",
+        "failover_retry",
+        "retry_saturated",
+        "rereplication",
     ],
     "sa": ["compare_engines"],
 }

@@ -34,8 +34,8 @@ class TestAvailabilityExperiment:
         rows = run_availability(tiny, arrival_rate_per_min=10.0, num_runs=2)
         systems = {r["system"] for r in rows}
         assert "striped (0% overhead)" in systems
-        # 2 degrees x 2 failover modes + striping row.
-        assert len(rows) == 5
+        # 2 degrees x 4 recovery modes + striping row.
+        assert len(rows) == 9
         striped = next(r for r in rows if r["system"].startswith("striped"))
         replicated = [r for r in rows if not r["system"].startswith("striped")]
         assert striped["streams_dropped"] >= max(
@@ -44,21 +44,33 @@ class TestAvailabilityExperiment:
 
     def test_failover_never_hurts(self, tiny):
         rows = run_availability(tiny, arrival_rate_per_min=10.0, num_runs=2)
-        by_degree: dict[str, dict[bool, float]] = {}
+        by_degree: dict[str, dict[str, float]] = {}
         for row in rows:
             if row["system"].startswith("replicated"):
-                by_degree.setdefault(row["system"], {})[row["failover"]] = row[
+                by_degree.setdefault(row["system"], {})[row["mode"]] = row[
                     "rejection"
                 ]
             # failover with a single replica cannot help but must not hurt
         for system, modes in by_degree.items():
-            assert modes[True] <= modes[False] + 1e-9, system
+            assert modes["failover"] <= modes["reject"] + 1e-9, system
+
+    def test_rereplication_observable_with_finite_outage(self, tiny):
+        rows = run_availability(
+            tiny,
+            arrival_rate_per_min=10.0,
+            num_runs=2,
+            down_min=20.0,
+            modes=("retry+rerep",),
+        )
+        replicated = [r for r in rows if r["system"].startswith("replicated")]
+        assert any(r["rereplicated"] > 0 for r in replicated)
 
     def test_format(self, tiny):
         text = format_availability(
             run_availability(tiny, arrival_rate_per_min=10.0, num_runs=1)
         )
         assert "E8 availability" in text
+        assert "retry+rerep" in text
 
 
 class TestStripingExperiment:

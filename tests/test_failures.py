@@ -35,14 +35,41 @@ class TestFailureSchedule:
         )
         assert len(schedule) == 2
 
-    def test_failure_at_exact_recovery_instant_rejected(self):
-        # At equal timestamps the simulator processes FAILURE before
-        # RECOVERY, so a failure at the exact recovery instant would
-        # crash a server that is still down.
-        with pytest.raises(ValueError, match="still down"):
-            FailureSchedule(
+    def test_failure_at_exact_recovery_instant_allowed(self):
+        # At equal timestamps the simulator processes RECOVERY before
+        # FAILURE (EventKind.RECOVERY < EventKind.FAILURE), so a crash at
+        # the exact repair instant is a legal back-to-back outage.
+        schedule = FailureSchedule(
+            [FailureEvent(10.0, 0, 5.0), FailureEvent(15.0, 0, 5.0)]
+        )
+        assert len(schedule) == 2
+
+    def test_crash_at_repair_instant_simulates_cleanly(self):
+        # The back-to-back outage above must run: the server is effectively
+        # down over [10, 20) and a t=25 arrival finds it back up.
+        cluster = ClusterSpec.homogeneous(
+            2, storage_gb=100.0, bandwidth_mbps=40.0
+        )
+        videos = VideoCollection.homogeneous(
+            1, bit_rate_mbps=4.0, duration_min=60.0
+        )
+        layout = ReplicaLayout.from_assignment([[0]], 2)
+        sim = VoDClusterSimulator(cluster, videos, layout)
+        trace = RequestTrace(
+            np.array([0.0, 12.0, 25.0]), np.zeros(3, dtype=int)
+        )
+        result = sim.run(
+            trace,
+            horizon_min=30.0,
+            failures=FailureSchedule(
                 [FailureEvent(10.0, 0, 5.0), FailureEvent(15.0, 0, 5.0)]
-            )
+            ),
+        )
+        assert result.num_failures == 2
+        assert result.num_recoveries == 2
+        assert result.streams_dropped == 1   # the t=0 stream dies at t=10
+        assert result.num_rejected == 1      # t=12 arrival finds it down
+        assert result.server_downtime_min[0] == pytest.approx(10.0)
 
     def test_failure_at_time_zero_allowed(self):
         schedule = FailureSchedule.single(0.0, 0, down_min=5.0)
@@ -234,6 +261,21 @@ class TestSimulatorFailures:
             failures=FailureSchedule.single(50.0, 0),
         )
         assert result.streams_dropped == 0
+
+    def test_failure_exactly_at_horizon_is_noop(self):
+        # Strict <: a failure at t == horizon is outside the measured peak
+        # in every simulator (optimized, reference, audited, striped) —
+        # the horizon-edge rule the chaos fuzzer pins.
+        sim = self.two_server_setup([0])
+        trace = RequestTrace(np.array([0.0]), np.zeros(1, dtype=int))
+        result = sim.run(
+            trace,
+            horizon_min=30.0,
+            failures=FailureSchedule.single(30.0, 0),
+        )
+        assert result.streams_dropped == 0
+        assert result.num_failures == 0
+        assert result.server_downtime_min[0] == 0.0
 
     def test_availability_improves_with_replication(self, rng):
         """The headline claim: higher replication degree -> fewer losses

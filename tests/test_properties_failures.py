@@ -1,0 +1,309 @@
+"""Property-based tests (hypothesis) for the chaos & recovery subsystem.
+
+Randomized instances exercise:
+
+* **Schedule validity** — every generator (``random``, ``correlated``,
+  ``mtbf_process``) emits overlap-free, in-range schedules; correlated
+  groups crash together with a shared repair time.
+* **Backoff law** — :meth:`FailoverPolicy.delay_min` is non-decreasing in
+  the attempt number and never exceeds the cap.
+* **Re-replication plan** — serialized transfers have non-decreasing
+  completion offsets that match the cumulative size/bandwidth sum.
+* **Three-loop lockstep** — optimized, reference and audited simulators
+  agree bit-for-bit under failures + failover + re-replication, and the
+  :func:`failure_auditors` registry reports zero violations.
+* **Availability conservation** — requests partition into served and
+  rejected; failure-attributed losses are a subset of rejections; per
+  server downtime is bounded by the horizon.
+* **Failure-free transparency** — attaching the chaos machinery with an
+  empty schedule leaves the result bit-identical to a plain run.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ClusterSpec, VideoCollection, ZipfPopularity
+from repro.cluster_sim import (
+    FailoverPolicy,
+    FailureEvent,
+    FailureSchedule,
+    ReferenceClusterSimulator,
+    RereplicationPolicy,
+    VoDClusterSimulator,
+)
+from repro.cluster_sim.dispatch import make_dispatcher_factory
+from repro.dynamic.migration import plan_rereplication
+from repro.verify import failure_auditors, run_audited
+from repro.workload import WorkloadGenerator
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def chaos_scenarios(draw):
+    """A small cluster + trace + chaos configuration, fully seeded."""
+    return {
+        "num_videos": draw(st.integers(6, 24)),
+        "num_servers": draw(st.integers(2, 6)),
+        "theta": draw(st.floats(0.3, 1.1)),
+        "bandwidth_mbps": draw(st.floats(80.0, 400.0)),
+        "rate_per_min": draw(st.floats(2.0, 20.0)),
+        "duration_min": draw(st.floats(30.0, 90.0)),
+        "mtbf_frac": draw(st.floats(0.2, 0.8)),
+        "mttr_frac": draw(st.floats(0.05, 0.3)),
+        "dispatcher": draw(
+            st.sampled_from(("static_rr", "least_loaded", "first_fit"))
+        ),
+        "backbone": draw(st.booleans()),
+        "failover_retry": draw(st.booleans()),
+        "retry_saturated": draw(st.booleans()),
+        "max_retries": draw(st.integers(1, 4)),
+        "rereplication": draw(st.booleans()),
+        "trace_seed": draw(st.integers(0, 2**31 - 1)),
+        "failure_seed": draw(st.integers(0, 2**31 - 1)),
+    }
+
+
+def _build(scn):
+    """Scenario dict -> (make_simulator, trace, run_kwargs)."""
+    from repro.placement import smallest_load_first_placement
+    from repro.replication import zipf_interval_replication
+
+    m, n = scn["num_videos"], scn["num_servers"]
+    popularity = ZipfPopularity(m, scn["theta"])
+    videos = VideoCollection.homogeneous(m, duration_min=15.0)
+    cluster = ClusterSpec.homogeneous(
+        n, storage_gb=1.0e6, bandwidth_mbps=scn["bandwidth_mbps"]
+    )
+    replication = zipf_interval_replication(
+        popularity.probabilities, n, min(m + n, 2 * m)
+    )
+    layout = smallest_load_first_placement(replication, m + 1)
+    trace = WorkloadGenerator.poisson_zipf(
+        popularity, scn["rate_per_min"]
+    ).generate(
+        scn["duration_min"], np.random.default_rng(scn["trace_seed"])
+    )
+
+    duration = scn["duration_min"]
+    frng = np.random.default_rng(scn["failure_seed"])
+    failures = FailureSchedule.random(
+        n,
+        duration,
+        frng,
+        mtbf_min=duration * scn["mtbf_frac"],
+        mttr_min=duration * scn["mttr_frac"],
+    )
+    failover = (
+        FailoverPolicy(
+            max_retries=scn["max_retries"],
+            backoff_base_min=duration * 0.01,
+            backoff_cap_min=duration * 0.2,
+            retry_saturated=scn["retry_saturated"],
+        )
+        if scn["failover_retry"]
+        else None
+    )
+    rereplication = (
+        RereplicationPolicy(migration_mbps=scn["bandwidth_mbps"])
+        if scn["rereplication"]
+        else None
+    )
+
+    def make_simulator(cls):
+        return cls(
+            cluster,
+            videos,
+            layout,
+            dispatcher_factory=make_dispatcher_factory(scn["dispatcher"]),
+            backbone_mbps=(
+                scn["bandwidth_mbps"] * 0.5 if scn["backbone"] else 0.0
+            ),
+        )
+
+    run_kwargs = dict(
+        horizon_min=duration,
+        failures=failures,
+        failover_on_down=True,
+        failover=failover,
+        rereplication=rereplication,
+    )
+    return make_simulator, trace, run_kwargs
+
+
+# ----------------------------------------------------------------------
+# Schedule generators
+# ----------------------------------------------------------------------
+class TestScheduleProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 8),
+        seed=st.integers(0, 2**31 - 1),
+        mtbf=st.floats(10.0, 120.0),
+        mttr=st.floats(2.0, 40.0),
+    )
+    def test_random_schedules_valid(self, n, seed, mtbf, mttr):
+        rng = np.random.default_rng(seed)
+        schedule = FailureSchedule.random(
+            n, 200.0, rng, mtbf_min=mtbf, mttr_min=mttr
+        )
+        last_up: dict[int, float] = {}
+        for event in schedule:
+            assert 0.0 <= event.time_min < 200.0
+            assert 0 <= event.server < n
+            assert event.time_min >= last_up.get(event.server, 0.0)
+            last_up[event.server] = event.recovery_min
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(2, 9),
+        groups=st.integers(2, 3),
+        seed=st.integers(0, 2**31 - 1),
+        mtbf=st.floats(20.0, 80.0),
+        mttr=st.floats(2.0, 25.0),
+    )
+    def test_correlated_groups_crash_together(self, n, groups, seed, mtbf, mttr):
+        groups = min(groups, n)
+        members = [
+            tuple(int(s) for s in g)
+            for g in np.array_split(np.arange(n), groups)
+        ]
+        rng = np.random.default_rng(seed)
+        schedule = FailureSchedule.correlated(
+            members, 300.0, rng, mtbf_min=mtbf, mttr_min=mttr
+        )
+        by_time: dict[float, list[FailureEvent]] = {}
+        for event in schedule:
+            by_time.setdefault(event.time_min, []).append(event)
+        group_of = {s: i for i, g in enumerate(members) for s in g}
+        for time_min, events in by_time.items():
+            crashed = sorted(e.server for e in events)
+            owner = {group_of[s] for s in crashed}
+            # One whole group per epoch: same group, all members, one
+            # shared repair time.
+            assert len(owner) == 1
+            assert crashed == sorted(members[owner.pop()])
+            assert len({e.recovery_min for e in events}) == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 8),
+        entropy=st.integers(0, 2**31 - 1),
+        mtbf=st.floats(15.0, 100.0),
+        mttr=st.floats(2.0, 30.0),
+    )
+    def test_mtbf_process_valid_and_deterministic(self, n, entropy, mtbf, mttr):
+        make = lambda: FailureSchedule.mtbf_process(
+            n, 250.0, mtbf_min=mtbf, mttr_min=mttr, entropy=entropy
+        )
+        first, second = make(), make()
+        assert [
+            (e.time_min, e.server, e.recovery_min) for e in first
+        ] == [(e.time_min, e.server, e.recovery_min) for e in second]
+        last_up: dict[int, float] = {}
+        for event in first:
+            assert event.time_min >= last_up.get(event.server, 0.0)
+            last_up[event.server] = event.recovery_min
+
+
+class TestPolicyProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        base=st.floats(0.01, 5.0),
+        factor=st.floats(1.0, 4.0),
+        cap=st.floats(5.0, 60.0),
+        retries=st.integers(1, 8),
+    )
+    def test_backoff_monotone_and_capped(self, base, factor, cap, retries):
+        policy = FailoverPolicy(
+            max_retries=retries,
+            backoff_base_min=base,
+            backoff_factor=factor,
+            backoff_cap_min=cap,
+        )
+        delays = [policy.delay_min(a) for a in range(retries + 1)]
+        assert all(b >= a for a, b in zip(delays, delays[1:]))
+        assert all(0.0 < d <= cap for d in delays)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        num=st.integers(1, 12),
+        mbps=st.floats(50.0, 2000.0),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_rereplication_plan_serialized(self, num, mbps, seed):
+        rng = np.random.default_rng(seed)
+        lost = sorted(rng.choice(50, size=num, replace=False).tolist())
+        durations = rng.uniform(5.0, 120.0, size=50)
+        rates = {v: float(rng.uniform(1.0, 8.0)) for v in lost}
+        plan = plan_rereplication(
+            lost, durations, rates, migration_mbps=mbps
+        )
+        assert [v for v, _ in plan] == sorted(lost)
+        offsets = [offset for _, offset in plan]
+        assert all(b >= a for a, b in zip(offsets, offsets[1:]))
+        expected = sum(
+            float(durations[v]) * rates[v] / mbps for v in lost
+        )
+        assert offsets[-1] == pytest.approx(expected)
+
+
+# ----------------------------------------------------------------------
+# Simulator lockstep + conservation
+# ----------------------------------------------------------------------
+class TestChaosLockstep:
+    @settings(max_examples=25, deadline=None)
+    @given(chaos_scenarios())
+    def test_three_loops_agree_and_audit_clean(self, scn):
+        make_simulator, trace, run_kwargs = _build(scn)
+        optimized = make_simulator(VoDClusterSimulator).run(
+            trace, **run_kwargs
+        )
+        reference = make_simulator(ReferenceClusterSimulator).run(
+            trace, **run_kwargs
+        )
+        assert optimized.same_outcome(reference)
+        audited, report = run_audited(
+            make_simulator(VoDClusterSimulator),
+            trace,
+            auditors=failure_auditors(),
+            **run_kwargs,
+        )
+        assert optimized.same_outcome(audited)
+        assert report.ok, list(report.violations)[:5]
+
+    @settings(max_examples=25, deadline=None)
+    @given(chaos_scenarios())
+    def test_availability_conservation(self, scn):
+        make_simulator, trace, run_kwargs = _build(scn)
+        result = make_simulator(VoDClusterSimulator).run(trace, **run_kwargs)
+        assert result.num_requests == result.num_served + result.num_rejected
+        assert result.num_lost_to_failure <= result.num_rejected
+        assert result.num_failovers <= result.num_retries
+        assert result.num_recoveries <= result.num_failures
+        assert (result.server_downtime_min >= 0.0).all()
+        assert (
+            result.server_downtime_min <= result.horizon_min + 1e-9
+        ).all()
+        if result.num_failures == 0:
+            assert result.streams_dropped == 0
+            assert result.server_downtime_min.max() == 0.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(chaos_scenarios())
+    def test_failure_free_run_is_bit_identical(self, scn):
+        make_simulator, trace, run_kwargs = _build(scn)
+        plain = make_simulator(VoDClusterSimulator).run(
+            trace, horizon_min=run_kwargs["horizon_min"]
+        )
+        attached = make_simulator(VoDClusterSimulator).run(
+            trace,
+            horizon_min=run_kwargs["horizon_min"],
+            failures=FailureSchedule.none(),
+            failover_on_down=True,
+            failover=FailoverPolicy(),
+            rereplication=RereplicationPolicy(),
+        )
+        assert plain.same_outcome(attached)
