@@ -5,6 +5,7 @@ Subcommands::
     python -m repro experiments fig4 --quick      # the figure harness
     python -m repro fuzz --trials 100             # differential fuzzing
     python -m repro pipeline --theta 0.75 --rate 30 --observe
+    python -m repro pipeline --shards 4 --jobs 4   # sharded scale-out
     python -m repro observe-report trace.jsonl --chart
 
 ``experiments`` and ``fuzz`` delegate verbatim to the historical module
@@ -83,6 +84,21 @@ def _pipeline_parser(subparsers) -> None:
         help="re-replication bandwidth cap",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "split each run into K deterministic arrival-stream shards and "
+            "merge the per-shard results (weak scaling; 1 = unsharded)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the simulation stage (1 = in-process)",
+    )
+    parser.add_argument(
         "--refine", action="store_true", help="hill-climb the placement"
     )
     parser.add_argument(
@@ -146,6 +162,7 @@ def _cmd_pipeline(args) -> int:
             else None
         ),
         failover_on_down=args.failover,
+        shards=args.shards,
         setup=setup,
     )
     observer = None
@@ -158,7 +175,16 @@ def _cmd_pipeline(args) -> int:
                 trace_events=args.trace_events,
             )
         )
-    result = solve(config, observer=observer)
+    runner = None
+    if args.jobs > 1:
+        from .runtime import ParallelRunner
+
+        runner = ParallelRunner(jobs=args.jobs, observer=observer)
+    try:
+        result = solve(config, observer=observer, runner=runner)
+    finally:
+        if runner is not None:
+            runner.close()
     print(result.format())
     if observer is not None and args.trace_out:
         lines = observer.export_jsonl(args.trace_out)

@@ -12,6 +12,10 @@ Extensions layered on the same event machinery:
   [19], :mod:`.redirection`);
 * chaos & recovery: correlated/MTBF failure injection, failover dispatch
   with retry/backoff, and repair-driven re-replication (:mod:`.failures`);
+* deterministic K-way scale-out: struct-of-arrays request columns shared
+  by all three simulation loops (:mod:`.soa`) and shard/merge machinery
+  whose merged results are bit-identical to an unsharded block run
+  (:mod:`.sharding`);
 * the wide-striping shared-storage architecture the paper argues against
   (:mod:`.striping`);
 * multicast batching delivery (:mod:`.batching`);
@@ -40,7 +44,17 @@ from .queueing import QueueingClusterSimulator, QueueingResult
 from .redirection import BackboneLink
 from .reference import ReferenceClusterSimulator
 from .server import StreamingServer
+from .sharding import (
+    fold_unsharded,
+    merge_results,
+    run_sharded,
+    shard_failure_schedules,
+    shard_spawn_key,
+    shard_traces,
+    unsharded_equivalent,
+)
 from .simulator import VoDClusterSimulator
+from .soa import RequestSoA
 from .striping import StripedClusterSimulator
 
 __all__ = [
@@ -59,6 +73,7 @@ __all__ = [
     "FailureSchedule",
     "FailureSpec",
     "RereplicationPolicy",
+    "RequestSoA",
     "SimulationResult",
     "BackboneLink",
     "QueueingClusterSimulator",
@@ -67,4 +82,11 @@ __all__ = [
     "StreamingServer",
     "StripedClusterSimulator",
     "VoDClusterSimulator",
+    "fold_unsharded",
+    "merge_results",
+    "run_sharded",
+    "shard_failure_schedules",
+    "shard_spawn_key",
+    "shard_traces",
+    "unsharded_equivalent",
 ]

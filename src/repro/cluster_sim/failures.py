@@ -406,15 +406,30 @@ class FailureSpec:
         *,
         seed: int,
         run_index: int = 0,
+        shard: int = 0,
     ) -> FailureSchedule:
         """Instantiate the schedule for one run (deterministic in
-        ``(spec, seed, run_index)``)."""
+        ``(spec, seed, run_index, shard)``).
+
+        ``shard`` extends the chaos spawn key for sharded runs: shard 0
+        keeps the unsharded key ``(0xFA11, run_index)``, shard ``k >= 1``
+        draws from ``(0xFA11, run_index, k)`` — independent per pod,
+        independent of the shard count, and still disjoint from every
+        workload stream.  Deterministic kinds (``single``) repeat
+        identically in every shard: each pod is a full copy of the base
+        system, outage included.
+        """
         if self.kind == "none":
             return FailureSchedule.none()
         if self.kind == "single":
             return FailureSchedule.single(
                 self.time_min, self.server, self.down_min
             )
+        chaos_key = (
+            (_FAILURE_SPAWN_TAG, int(run_index))
+            if shard == 0
+            else (_FAILURE_SPAWN_TAG, int(run_index), int(shard))
+        )
         if self.kind == "mtbf":
             return FailureSchedule.mtbf_process(
                 num_servers,
@@ -422,13 +437,10 @@ class FailureSpec:
                 mtbf_min=self.mtbf_min,
                 mttr_min=self.mttr_min,
                 entropy=int(seed),
-                spawn_prefix=(_FAILURE_SPAWN_TAG, int(run_index)),
+                spawn_prefix=chaos_key,
             )
         rng = np.random.default_rng(
-            np.random.SeedSequence(
-                entropy=int(seed),
-                spawn_key=(_FAILURE_SPAWN_TAG, int(run_index)),
-            )
+            np.random.SeedSequence(entropy=int(seed), spawn_key=chaos_key)
         )
         if self.kind == "random":
             return FailureSchedule.random(

@@ -28,6 +28,7 @@ from .metrics import SimulationResult
 from .redirection import BackboneLink
 from .server import StreamingServer
 from .simulator import VoDClusterSimulator
+from .soa import RequestSoA
 from ..workload.requests import RequestTrace
 
 __all__ = ["ReferenceClusterSimulator"]
@@ -218,35 +219,19 @@ class ReferenceClusterSimulator(VoDClusterSimulator):
         per_video_requests = np.zeros(num_videos, dtype=np.int64)
         per_video_rejected = np.zeros(num_videos, dtype=np.int64)
 
-        times = trace.arrival_min
-        videos = trace.videos
-        if times.size:
-            # Both bounds: a negative id would otherwise wrap through
-            # NumPy's negative indexing into ``self._durations`` and the
-            # rate matrix and silently simulate the wrong videos.
-            if int(videos.min()) < 0:
-                raise ValueError(
-                    f"trace contains negative video id {int(videos.min())}"
-                )
-            if int(videos.max()) >= num_videos:
-                raise ValueError("trace references a video outside the collection")
-        # Stream hold times: the full video duration (the paper's model) or
-        # the per-request watch times of an early-departure workload.
-        if trace.watch_min is not None:
-            hold_min = np.minimum(trace.watch_min, self._durations[videos])
-        else:
-            hold_min = self._durations[videos]
+        # Shared struct-of-arrays request columns (validation, hold times,
+        # horizon cut) — the same preparation the optimized loop uses, so
+        # the two loops cannot drift on truncation or watch-time rules.
+        # An arrival at exactly ``horizon_min`` is still simulated.
+        soa = RequestSoA.from_trace(trace, self._durations, horizon_min)
+        times = soa.times
+        videos = soa.videos
+        hold_min = soa.holds
+        num_truncated = soa.num_truncated
 
-        num_truncated = 0
-        for index, (t, video) in enumerate(zip(times, videos)):
-            t = float(t)
-            if t > horizon_min:
-                # Arrivals are time-ordered: everything from here on is
-                # strictly past the horizon.  An arrival at exactly
-                # ``horizon_min`` is still simulated.
-                num_truncated = int(times.size - index)
-                break
-            video = int(video)
+        for index in range(soa.num_simulated):
+            t = float(times[index])
+            video = int(videos[index])
             # Apply departures/failures/recoveries at or before t.
             drain(t)
 

@@ -52,6 +52,7 @@ from .failures import FailoverPolicy, FailureSchedule, RereplicationPolicy
 from .metrics import SimulationResult
 from .redirection import BackboneLink
 from .server import StreamingServer
+from .soa import RequestSoA
 
 __all__ = ["VoDClusterSimulator"]
 
@@ -423,27 +424,15 @@ class VoDClusterSimulator:
         per_video_requests = [0] * num_videos
         per_video_rejected = [0] * num_videos
 
-        times = trace.arrival_min
-        videos = trace.videos
-        if times.size:
-            # Both bounds: a negative id would otherwise wrap through
-            # NumPy's negative indexing into ``self._durations`` and the
-            # rate matrix and silently simulate the wrong videos.
-            if int(videos.min()) < 0:
-                raise ValueError(
-                    f"trace contains negative video id {int(videos.min())}"
-                )
-            if int(videos.max()) >= num_videos:
-                raise ValueError("trace references a video outside the collection")
-        # Stream hold times: the full video duration (the paper's model) or
-        # the per-request watch times of an early-departure workload.
-        if trace.watch_min is not None:
-            hold_list = np.minimum(trace.watch_min, self._durations[videos]).tolist()
-        else:
-            hold_list = self._durations[videos].tolist()
-        times_list = times.tolist()
-        videos_list = videos.tolist()
-        num_arrivals = len(times_list)
+        # Struct-of-arrays request columns: video-id validation, hold
+        # times and the horizon cut are computed once, vectorized, and
+        # shared verbatim with the reference and audited loops.
+        soa = RequestSoA.from_trace(trace, self._durations, horizon_min)
+        times_list = soa.times_list
+        videos_list = soa.videos_list
+        hold_list = soa.holds_list
+        num_simulated = soa.num_simulated
+        num_truncated = soa.num_truncated
 
         # Hot-loop locals (attribute lookups hoisted out of the loop;
         # rate_rows was bound above — the COW copy under re-replication).
@@ -529,15 +518,11 @@ class VoDClusterSimulator:
                     )
                 )
 
-        num_truncated = 0
-        for index in range(num_arrivals):
+        # Arrivals past the horizon were pre-truncated by the SoA cut (an
+        # arrival at exactly ``horizon_min`` is still simulated), so the
+        # loop carries no per-arrival horizon branch.
+        for index in range(num_simulated):
             t = times_list[index]
-            if t > horizon_min:
-                # Arrivals are time-ordered: everything from here on is
-                # strictly past the horizon.  An arrival at exactly
-                # ``horizon_min`` is still simulated.
-                num_truncated = num_arrivals - index
-                break
             if t >= next_sample:
                 # Observation sampling (never taken when disabled): drain
                 # events up to each boundary, snapshot, advance.
@@ -729,7 +714,7 @@ class VoDClusterSimulator:
         # Close out the observation timeline up to the horizon (sampling
         # drains preserve event order; the loop below sees the remainder).
         if next_sample <= horizon_min:
-            arrivals_done = num_arrivals - num_truncated
+            arrivals_done = num_simulated
             while next_sample <= horizon_min:
                 _drain_events(next_sample)
                 _record_sample(next_sample, arrivals_done)

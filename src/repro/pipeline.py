@@ -113,6 +113,14 @@ class PipelineConfig:
     failover_on_down:
         Immediate same-instant failover to surviving replica holders when
         the dispatched server is down (the pre-existing S17 behavior).
+    shards:
+        Split every run into this many deterministic arrival-stream shards
+        and merge the per-shard results back into one
+        :class:`~repro.cluster_sim.SimulationResult` per run
+        (:mod:`repro.cluster_sim.sharding`).  Weak scaling: each shard
+        simulates the full system against its own full-rate sub-stream, so
+        ``shards=K`` models a K-pod federation; ``shards=1`` (the default)
+        is bit-identical to the pre-sharding pipeline.
     setup:
         The :class:`PaperSetup` to derive cluster/videos/seeds from.
     seed_salt:
@@ -138,6 +146,7 @@ class PipelineConfig:
     failover: object = None
     rereplication: object = None
     failover_on_down: bool = False
+    shards: int = 1
     setup: PaperSetup = field(default_factory=PaperSetup)
     seed_salt: int = 0
 
@@ -159,6 +168,8 @@ class PipelineConfig:
             )
         if self.num_runs is not None and self.num_runs < 1:
             raise ValueError(f"num_runs must be >= 1, got {self.num_runs}")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
 
 
 @dataclass(frozen=True)
@@ -329,6 +340,7 @@ def solve(
             failover=config.failover,
             rereplication=config.rereplication,
             failover_on_down=config.failover_on_down,
+            num_shards=config.shards,
         )
         if observer is not None:
             # Serial in-process simulation so the observer sees every run;
@@ -361,6 +373,28 @@ def solve(
             report.record_batch(time.perf_counter() - start)
         else:
             results = runner.run_trials(trials)
+
+        if config.shards > 1:
+            from .cluster_sim.sharding import merge_results
+
+            # Per-shard phase timings: shard k's wall time summed over all
+            # runs, so the RunReport/observer shows where the shard budget
+            # went even when the shards ran in a worker pool.
+            for k in range(config.shards):
+                sink.record_phase(
+                    f"shard{k}",
+                    sum(
+                        results[r * config.shards + k].wall_time_sec
+                        for r in range(num_runs)
+                    ),
+                )
+            with timed(sink, "merge"):
+                results = [
+                    merge_results(
+                        results[r * config.shards : (r + 1) * config.shards]
+                    )
+                    for r in range(num_runs)
+                ]
 
     if observer is not None:
         observer.fold_into_report(report)

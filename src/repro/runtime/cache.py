@@ -123,6 +123,14 @@ def default_cache_dir() -> Path:
     return Path(os.environ.get("REPRO_CACHE_DIR", "results/cache"))
 
 
+#: On-disk entry schema version, stored inside every npz under the
+#: ``schema`` key and checked on read.  Bump when the persisted field set
+#: changes (v2 = the chaos/availability fields of the current schema).
+#: Entries carrying no marker — every pre-versioning entry — or a foreign
+#: version are treated as misses, never as errors: the runner simply
+#: re-simulates and overwrites them.
+_SCHEMA_VERSION = 2
+
 #: SimulationResult fields persisted per entry, in schema order.
 _SCALAR_FIELDS = (
     ("num_requests", int),
@@ -177,6 +185,11 @@ class ResultCache:
             return None
         try:
             with np.load(path) as archive:
+                if (
+                    "schema" not in archive.files
+                    or int(archive["schema"][()]) != _SCHEMA_VERSION
+                ):
+                    return None  # unversioned (pre-PR-5) or foreign schema
                 scalars = {
                     name: kind(archive[name][()])
                     for name, kind in _SCALAR_FIELDS
@@ -190,7 +203,8 @@ class ResultCache:
         """Persist *result* under *key* atomically."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {name: getattr(result, name) for name, _ in _SCALAR_FIELDS}
+        payload = {"schema": np.int64(_SCHEMA_VERSION)}
+        payload.update({name: getattr(result, name) for name, _ in _SCALAR_FIELDS})
         payload.update({name: getattr(result, name) for name in _ARRAY_FIELDS})
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=path.stem, suffix=".tmp"

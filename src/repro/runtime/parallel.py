@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import os
 import time
+import weakref
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
@@ -46,6 +47,12 @@ def _run_simulation(payload) -> object:
     """Worker entry for :meth:`ParallelRunner.map_simulations`."""
     simulator, trace, kwargs = payload
     return simulator.run(trace, **kwargs)
+
+
+def _shutdown_executor(executor: ProcessPoolExecutor) -> None:
+    """Finalizer target: must not capture the runner (that would keep it
+    alive forever and defeat the finalizer entirely)."""
+    executor.shutdown(wait=True)
 
 
 class ParallelRunner:
@@ -85,15 +92,27 @@ class ParallelRunner:
         self.report.jobs = self.jobs
         self.observer = observer
         self._executor: ProcessPoolExecutor | None = None
+        self._finalizer: "weakref.finalize | None" = None
 
     # ------------------------------------------------------------------
     def _pool(self) -> ProcessPoolExecutor:
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+            executor = ProcessPoolExecutor(max_workers=self.jobs)
+            self._executor = executor
+            # A runner dropped without close() must not leak its worker
+            # processes: the finalizer shuts the pool down when the runner
+            # is garbage-collected or, at the latest, at interpreter exit
+            # (weakref.finalize is atexit-backed).
+            self._finalizer = weakref.finalize(
+                self, _shutdown_executor, executor
+            )
         return self._executor
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -161,18 +180,38 @@ class ParallelRunner:
         self,
         simulator,
         traces: "Iterable[RequestTrace]",
+        *,
+        per_trace_kwargs: "Sequence[dict | None] | None" = None,
         **run_kwargs,
     ) -> list:
         """Run ``simulator.run(trace, **run_kwargs)`` for every trace.
 
         The generic escape hatch for extension simulators (queueing,
         batching, striping, …) whose results are not plain
-        :class:`SimulationResult` objects: parallel, deterministic, but
-        uncached.  The simulator is pickled once per task; simulators are
-        stateless across runs by contract, so sharing one instance across
-        workers is safe.
+        :class:`SimulationResult` objects — and the fan-out path of
+        sharded runs (:func:`repro.cluster_sim.sharding.run_sharded`):
+        parallel, deterministic, but uncached.  ``per_trace_kwargs``,
+        when given, supplies one extra kwargs dict per trace (``None``
+        entries allowed) merged over ``run_kwargs`` — sharded chaos runs
+        use it to hand each shard its own failure schedule.  The
+        simulator is pickled once per task; simulators are stateless
+        across runs by contract, so sharing one instance across workers
+        is safe.
         """
-        tasks = [(simulator, trace, run_kwargs) for trace in traces]
+        traces = list(traces)
+        if per_trace_kwargs is None:
+            tasks = [(simulator, trace, run_kwargs) for trace in traces]
+        else:
+            extras = list(per_trace_kwargs)
+            if len(extras) != len(traces):
+                raise ValueError(
+                    f"{len(extras)} per-trace kwargs for "
+                    f"{len(traces)} traces"
+                )
+            tasks = [
+                (simulator, trace, {**run_kwargs, **(extra or {})})
+                for trace, extra in zip(traces, extras)
+            ]
         start = time.perf_counter()
         with timed(self.report, "simulate"):
             results = self._execute(_run_simulation, tasks)

@@ -12,6 +12,9 @@ This package is the correctness backstop for the optimized hot paths:
 * :mod:`repro.verify.fuzz` — the deterministic scenario fuzzer
   (``python -m repro.verify.fuzz --cases N --seed S``) running
   fast-vs-reference DES and incremental-vs-full annealing differentially;
+* :mod:`repro.verify.shard_audit` — the shard-merge auditor, comparing a
+  K-shard :func:`~repro.cluster_sim.sharding.merge_results` merge against
+  one genuine unsharded block simulation field by field;
 * :mod:`repro.verify.scenarios` / :mod:`repro.verify.shrink` /
   :mod:`repro.verify.corpus` — case generation, greedy minimization of
   failing cases, and the JSON regression corpus under ``tests/corpus/``.
@@ -33,6 +36,7 @@ from .auditors import (
 )
 from .corpus import load_case, load_corpus, save_case
 from .scenarios import FuzzCase, build_des, build_sa, draw_case
+from .shard_audit import ShardMergeReport, audit_shard_merge, compare_merged
 from .shrink import shrink_case
 
 #: Names served lazily from :mod:`repro.verify.fuzz` (PEP 562) so that
@@ -79,5 +83,8 @@ __all__ = [
     "build_des",
     "build_sa",
     "draw_case",
+    "ShardMergeReport",
+    "audit_shard_merge",
+    "compare_merged",
     "shrink_case",
 ]

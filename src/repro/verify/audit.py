@@ -46,6 +46,7 @@ from ..cluster_sim.events import EventKind
 from ..cluster_sim.metrics import SimulationResult
 from ..cluster_sim.redirection import BackboneLink
 from ..cluster_sim.server import StreamingServer
+from ..cluster_sim.soa import RequestSoA
 from .auditors import InvariantAuditor, Violation, standard_auditors
 
 __all__ = ["Trajectory", "AuditReport", "run_audited"]
@@ -631,23 +632,19 @@ def run_audited(
     per_video_requests = [0] * num_videos
     per_video_rejected = [0] * num_videos
 
-    times = trace.arrival_min
-    videos = trace.videos
-    if times.size:
-        if int(videos.min()) < 0:
-            raise ValueError(
-                f"trace contains negative video id {int(videos.min())}"
-            )
-        if int(videos.max()) >= num_videos:
-            raise ValueError("trace references a video outside the collection")
-    if trace.watch_min is not None:
-        holds = np.minimum(trace.watch_min, simulator._durations[videos])
-    else:
-        holds = simulator._durations[videos]
-    hold_list = holds.tolist()
-    times_list = times.tolist()
-    videos_list = videos.tolist()
-    num_arrivals = len(times_list)
+    # Shared struct-of-arrays request columns — the same preparation the
+    # optimized loop runs, so the audited loop cannot drift on validation,
+    # hold times or the horizon cut.  The full (untruncated) numpy columns
+    # feed the monotonicity probes and the end-of-run reconstruction.
+    soa = RequestSoA.from_trace(trace, simulator._durations, horizon_min)
+    times = soa.times
+    videos = soa.videos
+    holds = soa.holds
+    hold_list = soa.holds_list
+    times_list = soa.times_list
+    videos_list = soa.videos_list
+    num_arrivals = soa.num_requests
+    num_simulated = soa.num_simulated
 
     # Event-time monotonicity, checked where violations can actually be
     # *introduced* rather than per heap pop: the loop schedules a departure
@@ -696,12 +693,11 @@ def run_audited(
     rejected_code = _REJECTED
     admit_base = _ADMIT_BASE
 
-    num_truncated = 0
-    for index in range(num_arrivals):
+    # Horizon pre-truncation happened in the SoA cut; the loop runs the
+    # simulated prefix only (mirrors the optimized loop exactly).
+    num_truncated = soa.num_truncated
+    for index in range(num_simulated):
         t = times_list[index]
-        if t > horizon_min:
-            num_truncated = num_arrivals - index
-            break
         video = videos_list[index]
 
         while heap and heap[0][0] <= t:

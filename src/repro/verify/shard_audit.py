@@ -1,0 +1,170 @@
+"""Shard-merge auditor: a K-shard merge vs a genuine unsharded run.
+
+The sharding layer's central claim (:mod:`repro.cluster_sim.sharding`) is
+that merging K per-shard :class:`SimulationResult` objects is *exact*:
+field for field bit-identical to simulating the K-pod block system in one
+unsharded run.  :func:`audit_shard_merge` checks the claim end to end —
+it builds the block system via :func:`unsharded_equivalent`, runs it
+through the real simulator, folds the block result onto the merged shape
+with :func:`fold_unsharded`, and compares every deterministic field.
+
+All fields compare bitwise except ``mean_time_to_recovery_min`` under
+chaos: the block run accumulates its downtime sum in global event order
+(pods interleaved) while the merge folds per-shard subtotals, so the two
+agree only to float-accumulation error when recoveries occurred; the
+auditor checks it to 1e-9 relative tolerance then, exactly otherwise
+(failure-free runs carry an exact 0.0).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster_sim.metrics import SimulationResult
+from ..cluster_sim.sharding import fold_unsharded, unsharded_equivalent
+from .auditors import InvariantViolation, Violation
+
+__all__ = ["ShardMergeReport", "audit_shard_merge", "compare_merged"]
+
+#: Scalar fields compared bitwise between merged and folded results.
+_EXACT_SCALARS = (
+    "num_requests",
+    "num_rejected",
+    "horizon_min",
+    "num_redirected",
+    "streams_dropped",
+    "num_truncated",
+    "num_events",
+    "num_failures",
+    "num_recoveries",
+    "num_retries",
+    "num_failovers",
+    "num_lost_to_failure",
+    "num_rereplicated",
+)
+_EXACT_ARRAYS = (
+    "per_video_requests",
+    "per_video_rejected",
+    "server_time_avg_load_mbps",
+    "server_peak_load_mbps",
+    "server_served",
+    "server_bandwidth_mbps",
+    "server_downtime_min",
+)
+
+#: Relative tolerance for the MTTR cross-check under chaos (see module
+#: docstring); every other field is bitwise.
+_MTTR_REL_TOL = 1e-9
+
+
+@dataclass
+class ShardMergeReport:
+    """Outcome of one merged-vs-unsharded equivalence audit."""
+
+    num_shards: int
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_failed(self) -> None:
+        if self.violations:
+            raise InvariantViolation(self.violations)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "ok" if self.ok else f"{len(self.violations)} violations"
+        return f"ShardMergeReport(num_shards={self.num_shards}, {state})"
+
+
+def compare_merged(
+    merged: SimulationResult, folded: SimulationResult
+) -> list[Violation]:
+    """Field-by-field comparison of a shard merge against a folded block
+    result; returns one :class:`Violation` per mismatched field."""
+    violations: list[Violation] = []
+    for name in _EXACT_SCALARS:
+        a, b = getattr(merged, name), getattr(folded, name)
+        if a != b:
+            violations.append(
+                Violation(
+                    "shard_merge",
+                    0.0,
+                    f"{name}: merged {a!r} != unsharded {b!r}",
+                )
+            )
+    for name in _EXACT_ARRAYS:
+        a, b = getattr(merged, name), getattr(folded, name)
+        if not np.array_equal(a, b):
+            detail = ""
+            if a.shape == b.shape and a.size:
+                where = int(np.argmax(a != b))
+                detail = (
+                    f" (first mismatch at index {where}: "
+                    f"{a.flat[where]!r} != {b.flat[where]!r})"
+                )
+            violations.append(
+                Violation(
+                    "shard_merge",
+                    0.0,
+                    f"{name}: merged array != unsharded array{detail}",
+                )
+            )
+    mttr_a = merged.mean_time_to_recovery_min
+    mttr_b = folded.mean_time_to_recovery_min
+    if merged.num_recoveries == 0 or folded.num_recoveries == 0:
+        mttr_ok = mttr_a == mttr_b
+    else:
+        mttr_ok = math.isclose(
+            mttr_a, mttr_b, rel_tol=_MTTR_REL_TOL, abs_tol=0.0
+        )
+    if not mttr_ok:
+        violations.append(
+            Violation(
+                "shard_merge",
+                0.0,
+                f"mean_time_to_recovery_min: merged {mttr_a!r} vs "
+                f"unsharded {mttr_b!r}",
+            )
+        )
+    return violations
+
+
+def audit_shard_merge(
+    simulator,
+    traces,
+    merged: SimulationResult,
+    *,
+    horizon_min: float,
+    failure_schedules=None,
+    failover_on_down: bool = False,
+    failover=None,
+    rereplication=None,
+) -> ShardMergeReport:
+    """Verify *merged* against one genuine unsharded block simulation.
+
+    ``simulator``/``traces``/``failure_schedules`` are the sharded run's
+    inputs (``traces`` from :func:`shard_traces`, one schedule per shard);
+    ``merged`` its :func:`merge_results` output.  Requires
+    ``backbone_mbps == 0`` (see :func:`unsharded_equivalent`).
+    """
+    traces = list(traces)
+    block_sim, block_trace, block_failures = unsharded_equivalent(
+        simulator, traces, failure_schedules=failure_schedules
+    )
+    block_result = block_sim.run(
+        block_trace,
+        horizon_min=horizon_min,
+        failures=block_failures,
+        failover_on_down=failover_on_down,
+        failover=failover,
+        rereplication=rereplication,
+    )
+    folded = fold_unsharded(block_result, len(traces))
+    return ShardMergeReport(
+        num_shards=len(traces),
+        violations=compare_merged(merged, folded),
+    )

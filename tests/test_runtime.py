@@ -298,6 +298,138 @@ class TestActiveRunner:
             ParallelRunner(jobs=0)
 
 
+class TestExecutorLifecycle:
+    def test_abandoned_runner_reaps_workers(self, small_setup):
+        """A runner dropped without close() must not leak its pool."""
+        import gc
+
+        runner = ParallelRunner(jobs=2)
+        layout = build_layout(small_setup, PAPER_COMBOS[0], 0.75, 1.2)
+        simulator = VoDClusterSimulator(
+            small_setup.cluster(1.2), small_setup.videos(), layout
+        )
+        generator = WorkloadGenerator.poisson_zipf(
+            small_setup.popularity(0.75), 10.0
+        )
+        traces = list(generator.generate_runs(small_setup.peak_minutes, 2, 3))
+        runner.map_simulations(
+            simulator, traces, horizon_min=small_setup.peak_minutes
+        )
+        workers = list(runner._pool()._processes.values())
+        assert workers and any(p.is_alive() for p in workers)
+        del runner  # no close(): the finalizer must shut the pool down
+        gc.collect()
+        for proc in workers:
+            proc.join(timeout=30)
+        assert not any(p.is_alive() for p in workers)
+
+    def test_close_detaches_finalizer(self):
+        runner = ParallelRunner(jobs=2)
+        runner._pool()
+        assert runner._finalizer is not None and runner._finalizer.alive
+        runner.close()
+        assert runner._finalizer is None
+
+    def test_close_is_idempotent(self):
+        runner = ParallelRunner(jobs=2)
+        runner._pool()
+        runner.close()
+        runner.close()
+
+
+class TestCacheSchemaVersion:
+    def _cached_entry(self, small_setup, tmp_path):
+        layout = build_layout(small_setup, PAPER_COMBOS[0], 0.75, 1.2)
+        [spec] = make_trials(
+            small_setup, layout, theta=0.75, degree=1.2,
+            arrival_rate_per_min=15.0, seed=5, num_runs=1,
+        )
+        cache = ResultCache(tmp_path)
+        key = trial_cache_key(spec)
+        cache.put(key, run_trial(spec))
+        return cache, key
+
+    def _rewrite(self, cache, key, mutate):
+        path = cache.path_for(key)
+        with np.load(path) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        mutate(payload)
+        np.savez_compressed(path, **payload)
+
+    def test_entries_carry_the_schema_marker(self, small_setup, tmp_path):
+        cache, key = self._cached_entry(small_setup, tmp_path)
+        with np.load(cache.path_for(key)) as archive:
+            assert int(archive["schema"][()]) >= 2
+
+    def test_unversioned_entry_is_a_miss(self, small_setup, tmp_path):
+        """Pre-versioning entries (no marker) re-simulate, never crash."""
+        cache, key = self._cached_entry(small_setup, tmp_path)
+        self._rewrite(cache, key, lambda p: p.pop("schema"))
+        assert cache.get(key) is None
+
+    def test_foreign_schema_is_a_miss(self, small_setup, tmp_path):
+        cache, key = self._cached_entry(small_setup, tmp_path)
+
+        def bump(payload):
+            payload["schema"] = np.int64(999)
+
+        self._rewrite(cache, key, bump)
+        assert cache.get(key) is None
+
+    def test_pre_pr5_entry_missing_fields_is_a_miss(
+        self, small_setup, tmp_path
+    ):
+        """An old-shape entry (availability fields absent) must read as a
+        miss even if it somehow carries the current marker."""
+        cache, key = self._cached_entry(small_setup, tmp_path)
+
+        def strip(payload):
+            for name in ("server_downtime_min", "num_failures",
+                         "mean_time_to_recovery_min"):
+                payload.pop(name)
+
+        self._rewrite(cache, key, strip)
+        assert cache.get(key) is None
+
+
+class TestShardedTrials:
+    def _trials(self, small_setup, **overrides):
+        layout = build_layout(small_setup, PAPER_COMBOS[0], 0.75, 1.2)
+        kwargs = dict(
+            theta=0.75, degree=1.2, arrival_rate_per_min=10.0,
+            seed=1, num_runs=2,
+        )
+        kwargs.update(overrides)
+        return make_trials(small_setup, layout, **kwargs)
+
+    def test_run_major_order_and_distinct_keys(self, small_setup):
+        trials = self._trials(small_setup, num_shards=3)
+        assert [(t.run_index, t.shard_index) for t in trials] == [
+            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2),
+        ]
+        assert len({trial_cache_key(t) for t in trials}) == 6
+
+    def test_shard_count_changes_config_key(self, small_setup):
+        unsharded = self._trials(small_setup)[0]
+        sharded = self._trials(small_setup, num_shards=2)[0]
+        assert unsharded.config_key != sharded.config_key
+
+    def test_num_shards_validation(self, small_setup):
+        with pytest.raises(ValueError):
+            self._trials(small_setup, num_shards=0)
+
+    def test_shard_zero_trace_matches_plain(self, small_setup):
+        plain = self._trials(small_setup)
+        sharded = self._trials(small_setup, num_shards=2)
+        for run_index in range(2):
+            assert trial_trace(sharded[2 * run_index]) == trial_trace(
+                plain[run_index]
+            )
+            assert trial_trace(sharded[2 * run_index + 1]) != trial_trace(
+                plain[run_index]
+            )
+
+
 class TestTrialSpec:
     def test_resolved_horizon_defaults_to_setup(self, small_setup):
         layout = build_layout(small_setup, PAPER_COMBOS[0], 0.75, 1.2)
