@@ -18,6 +18,10 @@ machine-readable before/after trajectory:
   over a 4-worker pool, reporting aggregate events/sec vs the serial
   baseline and gating the shard merge's exactness (pooled == serial ==
   one genuine unsharded block simulation).
+* **Surrogate** — the analytical Erlang fixed-point layout scorer
+  (`repro.analysis.surrogate`): layouts/sec on a fig5-scale batch vs
+  DES-equivalent scoring (gated >=100x) plus the
+  `repro.verify.surrogate_audit` accuracy/bracketing sample.
 
 Run from the repo root::
 
@@ -583,6 +587,105 @@ def bench_scale(smoke: bool, repeats: int) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Erlang-surrogate benchmark (repro.analysis.surrogate)
+# ----------------------------------------------------------------------
+def bench_surrogate(smoke: bool, repeats: int) -> dict:
+    """Analytical layout scoring: throughput vs the DES, plus accuracy.
+
+    **Speed** — scores a batch of random feasible fig5-scale layouts with
+    :func:`repro.analysis.surrogate.evaluate_layouts` (least-loaded
+    overflow model, the expensive fixed-point path) and compares
+    layouts/sec against DES-equivalent scoring: the pipeline's standard
+    evaluation protocol of 20 independent simulated runs averaged per
+    layout (:class:`repro.experiments.config.PaperSetup` ``num_runs``) —
+    what ``solve()`` pays to attach a rejection rate to one layout.  The
+    >=100x budget gates on non-smoke runs; the ROADMAP's "analytical
+    fast path" contract.
+
+    **Accuracy** — runs the :mod:`repro.verify.surrogate_audit` sample
+    (the CI-pinned seed): max absolute rejection-rate error within the
+    audit tolerance, pooled/partitioned bracketing and fixed-point
+    convergence on every audited configuration.  Gated on every run —
+    the audit is deterministic, so smoke runs must pass it too.
+    """
+    from repro.analysis.surrogate import SurrogateWorkload, evaluate_layouts
+    from repro.placement import random_feasible_placement
+    from repro.verify.surrogate_audit import (
+        DEFAULT_TOLERANCE,
+        audit_surrogate,
+    )
+
+    popularity, cluster, videos, layout = _fig5_system()
+    duration = 20.0 if smoke else 90.0
+    num_layouts = 16 if smoke else 64
+    replication = zipf_interval_replication(popularity.probabilities, 8, 240)
+    rng = np.random.default_rng(3)
+    layouts = [layout] + [
+        random_feasible_placement(replication, 30, rng)
+        for _ in range(num_layouts - 1)
+    ]
+    workload = SurrogateWorkload(
+        popularity=popularity.probabilities,
+        arrival_rate_per_min=40.0,
+        holding_time_min=float(videos.durations_min[0]),
+    )
+
+    wall_batch, batch = _best_wall(
+        lambda: evaluate_layouts(
+            layouts, workload, cluster, dispatcher="least_loaded"
+        ),
+        repeats,
+    )
+    surrogate_lps = num_layouts / wall_batch
+
+    # DES-equivalent scoring: the pipeline's evaluation protocol — 20
+    # independent runs averaged per layout (PaperSetup.num_runs).
+    des_runs = 20
+    generator = WorkloadGenerator.poisson_zipf(popularity, 40.0)
+    traces = [
+        generator.generate(duration, np.random.default_rng(child))
+        for child in np.random.SeedSequence(2).spawn(des_runs)
+    ]
+    simulator = VoDClusterSimulator(cluster, videos, layout)
+    wall_des, _ = _best_wall(
+        lambda: [
+            simulator.run(t, horizon_min=duration).rejection_rate
+            for t in traces
+        ],
+        repeats,
+    )
+    des_lps = 1.0 / wall_des
+    speedup = surrogate_lps / des_lps
+
+    audit = audit_surrogate(
+        num_cases=3 if smoke else 6, num_runs=2 if smoke else 3
+    )
+
+    budget_met = speedup >= 100.0
+    ok = audit.ok and batch.diagnostics.converged and (budget_met or smoke)
+    return {
+        "num_layouts": num_layouts,
+        "dispatcher": "least_loaded",
+        "fixed_point_iterations": batch.diagnostics.iterations,
+        "surrogate_layouts_per_sec": round(surrogate_lps, 1),
+        "des_runs_per_layout": des_runs,
+        "des_layouts_per_sec": round(des_lps, 4),
+        "speedup_vs_des": round(speedup, 1),
+        "batch_wall_sec": round(wall_batch, 6),
+        "des_wall_sec_per_layout": round(wall_des, 6),
+        "budget_speedup": 100.0,
+        "budget_met": budget_met,
+        "audit_configs": len(audit.results),
+        "audit_tolerance": DEFAULT_TOLERANCE,
+        "audit_max_abs_error": round(audit.max_abs_error, 6),
+        "audit_bracketed": audit.all_bracketed,
+        "audit_converged": audit.all_converged,
+        "audit_ok": audit.ok,
+        "ok": ok,
+    }
+
+
+# ----------------------------------------------------------------------
 # Annealing benchmark
 # ----------------------------------------------------------------------
 def _paper_scale_problem() -> ScalableBitRateProblem:
@@ -681,7 +784,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--only",
         action="append",
-        choices=("simulator", "audit", "observe", "chaos", "scale", "annealing"),
+        choices=(
+            "simulator",
+            "audit",
+            "observe",
+            "chaos",
+            "scale",
+            "surrogate",
+            "annealing",
+        ),
         help=(
             "run only the named block(s) and write a partial payload; "
             "repeatable (default: all blocks)"
@@ -689,11 +800,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     repeats = max(args.repeats, 1)
-    blocks = ("simulator", "audit", "observe", "chaos", "scale", "annealing")
+    blocks = (
+        "simulator",
+        "audit",
+        "observe",
+        "chaos",
+        "scale",
+        "surrogate",
+        "annealing",
+    )
     selected = tuple(args.only) if args.only else blocks
 
     payload = {
-        "schema": 5,
+        "schema": 6,
         "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "smoke": args.smoke,
         "machine": _machine_info(),
@@ -748,6 +867,17 @@ def main(argv: list[str] | None = None) -> int:
             f"ok={scale['ok']}"
         )
         ok = ok and scale["ok"]
+    if "surrogate" in selected:
+        surrogate = payload["surrogate"] = bench_surrogate(args.smoke, repeats)
+        print(
+            f"surrogate: {surrogate['surrogate_layouts_per_sec']:,.0f} "
+            f"layouts/s ({surrogate['speedup_vs_des']}x vs DES-equivalent, "
+            f"budget >={surrogate['budget_speedup']:.0f}x), audit max err "
+            f"{surrogate['audit_max_abs_error']} "
+            f"(tol {surrogate['audit_tolerance']}), "
+            f"bracketed={surrogate['audit_bracketed']}, ok={surrogate['ok']}"
+        )
+        ok = ok and surrogate["ok"]
     if "annealing" in selected:
         annealing = payload["annealing"] = bench_annealing(args.smoke, repeats)
         print(

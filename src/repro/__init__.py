@@ -75,6 +75,7 @@ __version__ = "1.0.0"
 _LAZY_EXPORTS = {
     "PipelineConfig": "repro.pipeline",
     "PipelineResult": "repro.pipeline",
+    "SurrogateScreen": "repro.pipeline",
     "solve": "repro.pipeline",
     "Observer": "repro.observe",
     "ObserverConfig": "repro.observe",
@@ -99,6 +100,7 @@ __all__ = [
     # facade (lazy)
     "PipelineConfig",
     "PipelineResult",
+    "SurrogateScreen",
     "solve",
     # observability (lazy)
     "Observer",

@@ -6,6 +6,7 @@ Subcommands::
     python -m repro fuzz --trials 100             # differential fuzzing
     python -m repro pipeline --theta 0.75 --rate 30 --observe
     python -m repro pipeline --shards 4 --jobs 4   # sharded scale-out
+    python -m repro pipeline --surrogate --quick   # analytical screen + top-K DES
     python -m repro observe-report trace.jsonl --chart
 
 ``experiments`` and ``fuzz`` delegate verbatim to the historical module
@@ -105,6 +106,32 @@ def _pipeline_parser(subparsers) -> None:
         "--anneal", action="store_true", help="SA over scalable bit rates"
     )
     parser.add_argument(
+        "--surrogate",
+        action="store_true",
+        help=(
+            "surrogate-guided sweep: screen candidate layouts with the "
+            "analytical Erlang fixed point, DES-simulate only the top-K"
+        ),
+    )
+    parser.add_argument(
+        "--screen-candidates",
+        type=int,
+        default=24,
+        help="candidate layouts scored by the surrogate screen",
+    )
+    parser.add_argument(
+        "--top-k",
+        type=int,
+        default=3,
+        help="screen survivors that get DES confirmation",
+    )
+    parser.add_argument(
+        "--screen-seed",
+        type=int,
+        default=0,
+        help="seed for the screen's random candidate layouts",
+    )
+    parser.add_argument(
         "--quick", action="store_true", help="reduced run count (3)"
     )
     parser.add_argument(
@@ -162,6 +189,10 @@ def _cmd_pipeline(args) -> int:
             else None
         ),
         failover_on_down=args.failover,
+        surrogate=args.surrogate,
+        screen_candidates=args.screen_candidates,
+        screen_top_k=args.top_k,
+        screen_seed=args.screen_seed,
         shards=args.shards,
         setup=setup,
     )

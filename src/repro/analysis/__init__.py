@@ -8,6 +8,16 @@ from .erlang import (
 )
 from .estimation import estimate_popularity, perturb_popularity
 from .plots import ascii_chart
+from .surrogate import (
+    BatchSurrogateResult,
+    FixedPointDiagnostics,
+    FixedPointSpec,
+    SurrogateResult,
+    SurrogateWorkload,
+    evaluate_layout,
+    evaluate_layouts,
+    server_stream_slots,
+)
 from .stats import (
     Summary,
     aggregate_imbalance,
@@ -25,6 +35,14 @@ __all__ = [
     "estimate_popularity",
     "perturb_popularity",
     "ascii_chart",
+    "BatchSurrogateResult",
+    "FixedPointDiagnostics",
+    "FixedPointSpec",
+    "SurrogateResult",
+    "SurrogateWorkload",
+    "evaluate_layout",
+    "evaluate_layouts",
+    "server_stream_slots",
     "Summary",
     "aggregate_imbalance",
     "aggregate_imbalance_percent",

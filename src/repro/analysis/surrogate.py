@@ -1,0 +1,511 @@
+"""Analytical Erlang fixed-point surrogate for layout rejection rates.
+
+The paper's Sec. 5.3 observation — rejections are driven by the dynamic
+load imbalance the ``w_i = p_i / r_i`` dispatch weights leave behind — is
+exactly what a reduced-load Erlang loss model computes in closed form.
+This module turns a concrete :class:`~repro.model.layout.ReplicaLayout`
+plus a workload (popularity vector, Poisson arrival rate, holding times)
+into predicted per-video and cluster-wide rejection rates and per-server
+utilizations *without simulating a single event*, which makes scoring an
+entire SA neighborhood or parameter grid a one-call numpy program
+(:func:`evaluate_layouts`) instead of millions of DES events.
+
+Model
+-----
+Each server ``k`` is an ``M/G/c_k/c_k`` loss system over its stream slots
+``c_k = floor(bandwidth_k / bit_rate)``; by Erlang insensitivity only the
+mean holding time matters.  Video ``i`` offers ``a_i = lambda p_i D_i``
+Erlangs to its replica-holder set ``S_i``:
+
+* ``static_rr`` (the paper's dispatcher) — the per-video stream splits
+  evenly over holders (the ``w_i = p_i / r_i`` weights), so server ``k``
+  is offered ``A_k = sum_i a_i x_ik / r_i`` and blocks with Erlang-B
+  ``L_k = B(A_k, c_k)``.  The offered loads do not depend on the blocking
+  probabilities, so the fixed point degenerates and converges in one
+  step; under Poisson splitting the model is exact in steady state (the
+  cyclic counter makes per-server arrivals slightly *more* regular than
+  Poisson, which the audit tolerance absorbs).
+* ``least_loaded`` / ``first_fit`` — blocked requests overflow to the
+  video's other holders, which couples the servers: a request is lost
+  only when every holder is full (independence approximation, per-video
+  loss ``prod_k L_k``), and the resulting offered loads ``A_k(L)`` feed
+  back into ``L_k = B(A_k, c_k)``.  That is the classical reduced-load
+  Erlang fixed point, solved by damped iteration with
+  convergence/divergence diagnostics.  The two policies differ in how
+  the load routes: ``least_loaded`` spreads each video's carried stream
+  over holders proportionally to their free probability ``1 - L_k``,
+  while ``first_fit`` is an *ordered hunt* — video ``i`` offers ``a_i``
+  to its lowest-id holder and only the blocked fraction overflows to the
+  next (``A_k`` gains ``a_i prod_{j in S_i, j < k} L_j``), matching the
+  simulator's fixed server-id candidate order.
+  *Complete pooled components* — maximal server groups whose videos are
+  replicated on every server of the group — are solved exactly as one
+  pooled ``M/G/C/C`` system instead (full replication therefore
+  reproduces :func:`~repro.analysis.erlang.cluster_blocking_bound`
+  bit-exactly, and single-copy layouts reproduce the partitioned bound).
+
+Assumptions (see DESIGN.md Sec. 10): Poisson arrivals, holding time equal
+to the video duration (no early-exit watch-time model), steady state (the
+paper's 90-minute transient peak rejects *less*; audits use long
+horizons), no backbone redirection and no failures.  The
+:mod:`repro.verify.surrogate_audit` auditor cross-validates the surrogate
+against the real DES on sampled configurations and asserts its
+predictions stay inside the pooled/partitioned Erlang bracket.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import check_non_negative, check_probability_vector
+from .erlang import erlang_b
+from ..model.cluster import ClusterSpec
+from ..model.layout import ReplicaLayout
+
+__all__ = [
+    "SurrogateWorkload",
+    "FixedPointSpec",
+    "FixedPointDiagnostics",
+    "SurrogateResult",
+    "BatchSurrogateResult",
+    "server_stream_slots",
+    "evaluate_layout",
+    "evaluate_layouts",
+]
+
+#: Dispatchers the surrogate understands, mapped to its load models:
+#: static Poisson splitting, proportional overflow, and ordered hunt.
+_STATIC_DISPATCHERS = frozenset({"static_rr"})
+_OVERFLOW_DISPATCHERS = frozenset({"least_loaded", "first_fit"})
+_ORDERED_DISPATCHERS = frozenset({"first_fit"})
+
+
+@dataclass(frozen=True)
+class SurrogateWorkload:
+    """The workload side of a surrogate evaluation.
+
+    Attributes
+    ----------
+    popularity:
+        Per-video request probabilities ``p_i`` (length ``M``, sums to 1).
+    arrival_rate_per_min:
+        Poisson arrival rate ``lambda`` of the request stream.
+    holding_time_min:
+        Mean stream holding time(s) ``D`` — a scalar, or a length-``M``
+        array for per-video durations.
+    """
+
+    popularity: np.ndarray = field(repr=False)
+    arrival_rate_per_min: float = 40.0
+    holding_time_min: "float | np.ndarray" = 90.0
+
+    def __post_init__(self) -> None:
+        probs = check_probability_vector("popularity", self.popularity)
+        check_non_negative("arrival_rate_per_min", self.arrival_rate_per_min)
+        holding = np.asarray(self.holding_time_min, dtype=np.float64)
+        if holding.ndim == 0:
+            holding = np.full(probs.shape, float(holding))
+        if holding.shape != probs.shape:
+            raise ValueError(
+                f"holding_time_min must be scalar or shape {probs.shape}, "
+                f"got {holding.shape}"
+            )
+        if np.any(holding < 0) or not np.all(np.isfinite(holding)):
+            raise ValueError("holding_time_min must be finite and >= 0")
+        holding.setflags(write=False)
+        object.__setattr__(self, "popularity", probs)
+        object.__setattr__(self, "holding_time_min", holding)
+
+    @property
+    def num_videos(self) -> int:
+        return int(self.popularity.shape[0])
+
+    @property
+    def per_video_offered_erlangs(self) -> np.ndarray:
+        """``a_i = lambda p_i D_i`` — each video's offered traffic."""
+        return (
+            self.arrival_rate_per_min * self.popularity * self.holding_time_min
+        )
+
+    @property
+    def total_offered_erlangs(self) -> float:
+        """Cluster-wide offered traffic ``a = sum_i a_i``."""
+        return float(self.per_video_offered_erlangs.sum())
+
+    @classmethod
+    def from_problem(cls, problem) -> "SurrogateWorkload":
+        """Workload of a :class:`repro.model.problem.ReplicationProblem`."""
+        return cls(
+            popularity=problem.popularity.probabilities,
+            arrival_rate_per_min=problem.arrival_rate_per_min,
+            holding_time_min=problem.videos.durations_min,
+        )
+
+    @classmethod
+    def from_setup(
+        cls, setup, theta: float, arrival_rate_per_min: float
+    ) -> "SurrogateWorkload":
+        """Workload of a :class:`repro.experiments.config.PaperSetup` point."""
+        return cls(
+            popularity=setup.popularity(theta).probabilities,
+            arrival_rate_per_min=arrival_rate_per_min,
+            holding_time_min=setup.videos().durations_min,
+        )
+
+
+@dataclass(frozen=True)
+class FixedPointSpec:
+    """Damped fixed-point iteration controls.
+
+    ``damping`` is the step fraction toward the freshly computed blocking
+    vector (1.0 = undamped Picard iteration); the blocking map is a
+    self-map of ``[0, 1]^N`` so the damped iteration is robust, but
+    heavily loaded overflow systems oscillate undamped.
+    """
+
+    damping: float = 0.6
+    tolerance: float = 1e-12
+    max_iterations: int = 500
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.damping <= 1.0:
+            raise ValueError(f"damping must be in (0, 1], got {self.damping}")
+        if not 0.0 < self.tolerance < 1.0:
+            raise ValueError(f"tolerance must be in (0, 1), got {self.tolerance}")
+        if self.max_iterations < 1:
+            raise ValueError(
+                f"max_iterations must be >= 1, got {self.max_iterations}"
+            )
+
+
+@dataclass(frozen=True)
+class FixedPointDiagnostics:
+    """Convergence record of one surrogate evaluation."""
+
+    dispatcher: str
+    iterations: int
+    residual: float
+    converged: bool
+    damping: float
+
+    def __str__(self) -> str:
+        state = "converged" if self.converged else "DIVERGED"
+        return (
+            f"{self.dispatcher}: {state} in {self.iterations} iterations "
+            f"(residual {self.residual:.2e}, damping {self.damping:g})"
+        )
+
+
+@dataclass(frozen=True)
+class SurrogateResult:
+    """Predicted steady-state performance of one layout.
+
+    All blocking figures are probabilities in ``[0, 1]``; utilizations are
+    carried load over stream slots.
+    """
+
+    rejection_rate: float
+    per_video_blocking: np.ndarray = field(repr=False)
+    per_server_offered_erlangs: np.ndarray = field(repr=False)
+    per_server_blocking: np.ndarray = field(repr=False)
+    per_server_utilization: np.ndarray = field(repr=False)
+    diagnostics: FixedPointDiagnostics = field(repr=False, default=None)
+
+    def format(self) -> str:
+        util = ", ".join(f"{u:.3f}" for u in self.per_server_utilization)
+        return (
+            f"surrogate rejection {self.rejection_rate:.4f} "
+            f"(util [{util}]; {self.diagnostics})"
+        )
+
+
+@dataclass(frozen=True)
+class BatchSurrogateResult:
+    """Stacked predictions for ``B`` layouts scored in one call."""
+
+    rejection_rates: np.ndarray = field(repr=False)
+    per_video_blocking: np.ndarray = field(repr=False)
+    per_server_offered_erlangs: np.ndarray = field(repr=False)
+    per_server_blocking: np.ndarray = field(repr=False)
+    per_server_utilization: np.ndarray = field(repr=False)
+    diagnostics: FixedPointDiagnostics = field(repr=False, default=None)
+
+    @property
+    def num_layouts(self) -> int:
+        return int(self.rejection_rates.shape[0])
+
+    def ranking(self) -> np.ndarray:
+        """Layout indices from best (lowest) to worst predicted rejection."""
+        return np.argsort(self.rejection_rates, kind="stable")
+
+    def result_for(self, index: int) -> SurrogateResult:
+        """The single-layout view of batch entry *index*."""
+        return SurrogateResult(
+            rejection_rate=float(self.rejection_rates[index]),
+            per_video_blocking=self.per_video_blocking[index],
+            per_server_offered_erlangs=self.per_server_offered_erlangs[index],
+            per_server_blocking=self.per_server_blocking[index],
+            per_server_utilization=self.per_server_utilization[index],
+            diagnostics=self.diagnostics,
+        )
+
+
+def server_stream_slots(
+    cluster: ClusterSpec, layout: ReplicaLayout
+) -> np.ndarray:
+    """Per-server stream slots ``c_k = floor(bandwidth_k / bit_rate)``.
+
+    The Erlang model needs one slot size, so the layout must be
+    fixed-rate (the Sec. 3.2/4.1 setting): every placed replica at one
+    common bit rate.  Raises ``ValueError`` for scalable-rate layouts.
+    """
+    rates = layout.rate_matrix[layout.rate_matrix > 0]
+    if rates.size == 0:
+        raise ValueError("layout has no replicas; stream slots are undefined")
+    rate = float(rates.max())
+    if not np.allclose(rates, rate, rtol=1e-9):
+        raise ValueError(
+            "surrogate requires a fixed-rate layout (one bit rate for all "
+            "replicas); scalable-rate layouts are outside the Erlang model"
+        )
+    bandwidth = cluster.bandwidth_mbps
+    if layout.num_servers != bandwidth.shape[0]:
+        raise ValueError(
+            f"layout has {layout.num_servers} servers, cluster has "
+            f"{bandwidth.shape[0]}"
+        )
+    return np.floor(bandwidth / rate + 1e-9).astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# Core evaluation
+# ----------------------------------------------------------------------
+def _pooled_components(presence: np.ndarray) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Complete pooled components of one layout's ``(M, N)`` presence.
+
+    A component is a maximal set of servers connected by shared videos;
+    it is *complete* when every video of the component is replicated on
+    every server of the component — then least-loaded dispatch with
+    Erlang insensitivity makes the component one exact pooled
+    ``M/G/C/C`` system (the structure the simulator-agreement tests in
+    ``tests/test_erlang.py`` validate).  Returns ``(video_mask,
+    server_mask)`` pairs for the complete components only.
+    """
+    num_videos, num_servers = presence.shape
+    # Server-server adjacency through shared videos.
+    adjacency = presence.T @ presence  # (N, N) co-hosting counts
+    unvisited = presence.any(axis=0)  # servers holding at least one video
+    complete: list[tuple[np.ndarray, np.ndarray]] = []
+    while unvisited.any():
+        seed = int(np.flatnonzero(unvisited)[0])
+        members = np.zeros(num_servers, dtype=bool)
+        members[seed] = True
+        while True:
+            grown = members | (adjacency[members].any(axis=0) & unvisited)
+            if np.array_equal(grown, members):
+                break
+            members = grown
+        unvisited &= ~members
+        videos = presence[:, members].any(axis=1)
+        if np.all(presence[np.ix_(videos, members)]):
+            complete.append((videos, members))
+    return complete
+
+
+def _evaluate_stacked(
+    presence: np.ndarray,
+    slots: np.ndarray,
+    workload: SurrogateWorkload,
+    dispatcher: str,
+    spec: FixedPointSpec,
+) -> BatchSurrogateResult:
+    """Evaluate stacked ``(B, M, N)`` presence tensors in one numpy program."""
+    presence = presence.astype(np.float64)
+    num_layouts, num_videos, num_servers = presence.shape
+    offered = workload.per_video_offered_erlangs  # (M,) a_i = lambda p_i D_i
+    replicas = presence.sum(axis=2)  # (B, M) r_i
+    placed = replicas > 0
+    safe_replicas = np.maximum(replicas, 1.0)
+
+    if dispatcher in _STATIC_DISPATCHERS:
+        # Degenerate fixed point: the w_i = p_i / r_i split fixes the
+        # offered loads independent of blocking; one Erlang-B pass.
+        per_server_offered = np.einsum(
+            "bmn,bm->bn", presence, offered / safe_replicas
+        )
+        per_server_blocking = erlang_b(per_server_offered, slots)
+        per_video_blocking = (
+            np.einsum("bmn,bn->bm", presence, per_server_blocking)
+            / safe_replicas
+        )
+        diagnostics = FixedPointDiagnostics(
+            dispatcher=dispatcher,
+            iterations=1,
+            residual=0.0,
+            converged=True,
+            damping=spec.damping,
+        )
+    elif dispatcher in _OVERFLOW_DISPATCHERS:
+        per_server_blocking = np.zeros((num_layouts, num_servers))
+        iterations = 0
+        residual = np.inf
+        converged = False
+        for iterations in range(1, spec.max_iterations + 1):
+            # Clamp away from 0 so log(0) * absent-replica 0 cannot form
+            # nan in the einsum; exp(presence @ -690) underflows to the
+            # correct 0 loss.
+            log_blocking = np.log(np.maximum(per_server_blocking, 1e-300))
+            if dispatcher in _ORDERED_DISPATCHERS:
+                # Ordered hunt: video i offers a_i to its lowest-id
+                # holder; server k only sees the overflow of i's earlier
+                # holders, prod_{j in S_i, j < k} L_j (exclusive cumsum
+                # of the holder-masked log blockings).
+                masked_log = presence * log_blocking[:, None, :]
+                overflow = np.exp(
+                    np.cumsum(masked_log, axis=2) - masked_log
+                )
+                per_server_offered = np.einsum(
+                    "bmn,m->bn", presence * overflow, offered
+                )
+            else:
+                # Per-video loss: every holder full (independence
+                # approximation).
+                loss = np.exp(
+                    np.einsum("bmn,bn->bm", presence, log_blocking)
+                )
+                loss = np.where(placed, loss, 1.0)
+                # Proportional split: carried streams spread over holders
+                # by free probability; the offered load a server sees is
+                # carried / (1 - L_k), which cancels to this denominator
+                # form.
+                free = np.einsum(
+                    "bmn,bn->bm", presence, 1.0 - per_server_blocking
+                )
+                demand = np.divide(
+                    offered * (1.0 - loss),
+                    free,
+                    out=np.zeros_like(free),
+                    where=free > 0,
+                )
+                per_server_offered = np.einsum(
+                    "bmn,bm->bn", presence, demand
+                )
+            fresh = erlang_b(per_server_offered, slots)
+            step = spec.damping * (fresh - per_server_blocking)
+            per_server_blocking = per_server_blocking + step
+            residual = float(np.abs(step).max()) if step.size else 0.0
+            if not np.isfinite(residual):  # pragma: no cover - defensive
+                break
+            if residual < spec.tolerance:
+                converged = True
+                break
+        log_blocking = np.log(np.maximum(per_server_blocking, 1e-300))
+        per_video_blocking = np.exp(
+            np.einsum("bmn,bn->bm", presence, log_blocking)
+        )
+        diagnostics = FixedPointDiagnostics(
+            dispatcher=dispatcher,
+            iterations=iterations,
+            residual=residual,
+            converged=converged,
+            damping=spec.damping,
+        )
+    else:
+        raise ValueError(
+            f"unknown dispatcher {dispatcher!r}; surrogate supports "
+            f"{sorted(_STATIC_DISPATCHERS | _OVERFLOW_DISPATCHERS)}"
+        )
+
+    per_video_blocking = np.where(placed, per_video_blocking, 1.0)
+
+    if dispatcher in _OVERFLOW_DISPATCHERS:
+        # Exact pooling override: complete components are genuinely one
+        # M/G/C/C system under dynamic dispatch — replace the fixed-point
+        # approximation with the exact pooled Erlang-B there.
+        bool_presence = presence > 0
+        for b in range(num_layouts):
+            for videos, servers in _pooled_components(bool_presence[b]):
+                pool_offered = float(offered[videos].sum())
+                pool_slots = int(slots[servers].sum())
+                pooled = erlang_b(pool_offered, pool_slots)
+                per_video_blocking[b, videos] = pooled
+                per_server_blocking[b, servers] = pooled
+                share = (
+                    slots[servers] / pool_slots
+                    if pool_slots > 0
+                    else np.full(int(servers.sum()), 0.0)
+                )
+                per_server_offered[b, servers] = pool_offered * share
+
+    safe_slots = np.maximum(slots, 1)
+    per_server_utilization = np.clip(
+        per_server_offered * (1.0 - per_server_blocking) / safe_slots,
+        0.0,
+        1.0,
+    )
+    per_server_utilization = np.where(slots > 0, per_server_utilization, 0.0)
+    rejection_rates = per_video_blocking @ workload.popularity
+    return BatchSurrogateResult(
+        rejection_rates=rejection_rates,
+        per_video_blocking=per_video_blocking,
+        per_server_offered_erlangs=per_server_offered,
+        per_server_blocking=per_server_blocking,
+        per_server_utilization=per_server_utilization,
+        diagnostics=diagnostics,
+    )
+
+
+def evaluate_layout(
+    layout: ReplicaLayout,
+    workload: SurrogateWorkload,
+    cluster: ClusterSpec,
+    *,
+    dispatcher: str = "static_rr",
+    fixed_point: FixedPointSpec | None = None,
+) -> SurrogateResult:
+    """Predict one layout's steady-state rejection and utilizations."""
+    batch = evaluate_layouts(
+        [layout],
+        workload,
+        cluster,
+        dispatcher=dispatcher,
+        fixed_point=fixed_point,
+    )
+    return batch.result_for(0)
+
+
+def evaluate_layouts(
+    layouts: Sequence[ReplicaLayout],
+    workload: SurrogateWorkload,
+    cluster: ClusterSpec,
+    *,
+    dispatcher: str = "static_rr",
+    fixed_point: FixedPointSpec | None = None,
+) -> BatchSurrogateResult:
+    """Score a whole batch of layouts in one vectorized evaluation.
+
+    All layouts must share the ``(M, N)`` shape and the common bit rate;
+    the stacked ``(B, M, N)`` presence tensor runs through a single
+    fixed-point program, so screening an SA neighborhood or a parameter
+    grid costs one numpy call rather than ``B`` DES campaigns.
+    """
+    if not layouts:
+        raise ValueError("evaluate_layouts needs at least one layout")
+    spec = fixed_point if fixed_point is not None else FixedPointSpec()
+    first = layouts[0]
+    slots = server_stream_slots(cluster, first)
+    shape = (first.num_videos, first.num_servers)
+    if workload.num_videos != shape[0]:
+        raise ValueError(
+            f"workload has {workload.num_videos} videos, layouts have {shape[0]}"
+        )
+    for layout in layouts[1:]:
+        if (layout.num_videos, layout.num_servers) != shape:
+            raise ValueError("all layouts must share one (videos, servers) shape")
+        if not np.array_equal(server_stream_slots(cluster, layout), slots):
+            raise ValueError("all layouts must share one common bit rate")
+    presence = np.stack([layout.presence for layout in layouts])
+    return _evaluate_stacked(presence, slots, workload, dispatcher, spec)

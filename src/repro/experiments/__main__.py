@@ -36,6 +36,7 @@ from . import (
     sa_experiment,
     storage_bottleneck,
     striping_comparison,
+    surrogate_sweep,
 )
 
 EXPERIMENTS = {
@@ -50,6 +51,7 @@ EXPERIMENTS = {
     "dynamic": dynamic_experiment.main,
     "batching": batching_experiment.main,
     "storage": storage_bottleneck.main,
+    "surrogate": surrogate_sweep.main,
 }
 
 

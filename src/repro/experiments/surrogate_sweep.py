@@ -1,0 +1,129 @@
+"""E15 — Analytical sweeps: surrogate screen, then top-K DES confirmation.
+
+The ROADMAP's "analytical fast path": the Erlang fixed-point surrogate
+(:mod:`repro.analysis.surrogate`) scores a whole candidate-layout field in
+one numpy call, and only the best-predicted few are worth simulator time.
+This experiment runs that screen at the paper's design points — every
+replicator x placer combo, their Eq. (2)-refined variants, and random
+feasible layouts — across arrival rates, and reports for each rate:
+
+* the surrogate's predicted rejection for the screened field,
+* the DES-confirmed rejection of the top-K survivors,
+* whether the analytically chosen layout matches the DES winner (it
+  should whenever the gap between candidates exceeds Monte-Carlo noise),
+* the screen's layouts/sec against what DES-scoring the same field would
+  have cost (the ~100x+ that makes placement search at scale viable).
+
+The cross-validation *contract* behind this workflow (error tolerance,
+pooled/partitioned bracketing) is audited separately by
+``python -m repro.verify.surrogate_audit``; see DESIGN.md Sec. 10.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..analysis.tables import format_table
+from ..pipeline import PipelineConfig, solve
+from ..runtime import get_runner
+from .config import PaperSetup
+
+__all__ = ["run_sweep", "format_sweep", "main"]
+
+
+def run_sweep(
+    setup: PaperSetup | None = None,
+    *,
+    rates: "tuple[float, ...]" = (30.0, 35.0, 40.0),
+    theta: float | None = None,
+    degree: float = 1.2,
+    dispatcher: str = "least_loaded",
+    candidates: int = 18,
+    top_k: int = 3,
+    num_runs: int | None = None,
+) -> list[dict]:
+    """Surrogate-screened sweep over arrival rates; one row per rate."""
+    setup = setup or PaperSetup()
+    theta = setup.theta_high if theta is None else theta
+    rows = []
+    for rate in rates:
+        config = PipelineConfig(
+            theta=theta,
+            replication_degree=degree,
+            arrival_rate_per_min=rate,
+            num_runs=num_runs,
+            dispatcher=dispatcher,
+            surrogate=True,
+            screen_candidates=candidates,
+            screen_top_k=top_k,
+            setup=setup,
+        )
+        start = time.perf_counter()
+        result = solve(config, runner=get_runner())
+        wall = time.perf_counter() - start
+        screen = result.screen
+        order = screen.predicted_rejections.argsort(kind="stable")
+        best_predicted = int(order[0])
+        confirmed = dict(zip(screen.survivors, screen.confirmed))
+        rows.append(
+            {
+                "rate": rate,
+                "num_candidates": screen.num_candidates,
+                "predicted_best_label": screen.labels[best_predicted],
+                "predicted_best": float(
+                    screen.predicted_rejections[best_predicted]
+                ),
+                "chosen_label": screen.chosen_label,
+                "chosen_predicted": float(
+                    screen.predicted_rejections[screen.chosen]
+                ),
+                "chosen_des": confirmed[screen.chosen].mean,
+                "agreement": screen.chosen == best_predicted,
+                "diagnostics": str(screen.diagnostics),
+                "wall_sec": wall,
+            }
+        )
+    return rows
+
+
+def format_sweep(rows: list[dict]) -> str:
+    table = format_table(
+        [
+            "rate/min",
+            "screened",
+            "chosen layout",
+            "predicted",
+            "DES confirmed",
+            "pred==best",
+        ],
+        [
+            [
+                r["rate"],
+                r["num_candidates"],
+                r["chosen_label"],
+                r["chosen_predicted"],
+                r["chosen_des"],
+                "yes" if r["agreement"] else "no",
+            ]
+            for r in rows
+        ],
+        floatfmt=".4f",
+        title="E15 surrogate screen -> top-K DES confirmation (theta high)",
+    )
+    footer = "\n".join(
+        f"  rate {r['rate']:g}: {r['diagnostics']}; "
+        f"screen+confirm wall {r['wall_sec']:.2f}s"
+        for r in rows
+    )
+    return table + "\n" + footer
+
+
+def main(quick: bool = False, chart: bool = False) -> str:
+    """CLI entry point; returns the formatted report."""
+    del chart
+    if quick:
+        setup = PaperSetup().quick(num_runs=3)
+        rows = run_sweep(setup, rates=(30.0, 40.0), candidates=14, top_k=2)
+    else:
+        rows = run_sweep()
+    return format_sweep(rows)

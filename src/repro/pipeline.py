@@ -32,7 +32,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from .analysis.stats import Summary, summarize
+from .analysis.surrogate import SurrogateWorkload, evaluate_layouts
 from .experiments.config import PaperSetup
 from .experiments.runner import workload_seed
 from .observe.profile import timed
@@ -50,7 +53,7 @@ from .replication import (
     ZipfIntervalReplicator,
 )
 
-__all__ = ["PipelineConfig", "PipelineResult", "solve"]
+__all__ = ["PipelineConfig", "PipelineResult", "SurrogateScreen", "solve"]
 
 #: Replication algorithms selectable by name in :class:`PipelineConfig`.
 REPLICATORS = {
@@ -113,6 +116,22 @@ class PipelineConfig:
     failover_on_down:
         Immediate same-instant failover to surviving replica holders when
         the dispatched server is down (the pre-existing S17 behavior).
+    surrogate:
+        Surrogate-guided sweep mode: instead of simulating the single
+        replicator/placer design, screen ``screen_candidates`` candidate
+        layouts with the analytical Erlang fixed-point surrogate
+        (:mod:`repro.analysis.surrogate`), DES-simulate only the
+        ``screen_top_k`` best-predicted survivors, and keep the winner.
+        Incompatible with ``anneal`` (scalable rates are outside the
+        Erlang model) and with ``shards > 1``.
+    screen_candidates:
+        Candidate layouts to score analytically: every replicator x
+        placer combo, its Eq. (2)-refined variant, and random feasible
+        layouts filling up the remainder.
+    screen_top_k:
+        Survivors of the analytical screen that get DES confirmation.
+    screen_seed:
+        Seed for the random candidate layouts of the screen.
     shards:
         Split every run into this many deterministic arrival-stream shards
         and merge the per-shard results back into one
@@ -146,6 +165,10 @@ class PipelineConfig:
     failover: object = None
     rereplication: object = None
     failover_on_down: bool = False
+    surrogate: bool = False
+    screen_candidates: int = 24
+    screen_top_k: int = 3
+    screen_seed: int = 0
     shards: int = 1
     setup: PaperSetup = field(default_factory=PaperSetup)
     seed_salt: int = 0
@@ -170,14 +193,85 @@ class PipelineConfig:
             raise ValueError(f"num_runs must be >= 1, got {self.num_runs}")
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.surrogate:
+            if self.anneal:
+                raise ValueError(
+                    "surrogate screening needs fixed-rate layouts; it is "
+                    "incompatible with anneal=True (scalable bit rates)"
+                )
+            if self.shards > 1:
+                raise ValueError(
+                    "surrogate screening does not compose with shards > 1"
+                )
+            if self.screen_top_k < 1:
+                raise ValueError(
+                    f"screen_top_k must be >= 1, got {self.screen_top_k}"
+                )
+            if self.screen_candidates < self.screen_top_k:
+                raise ValueError(
+                    "screen_candidates must be >= screen_top_k, got "
+                    f"{self.screen_candidates} < {self.screen_top_k}"
+                )
+
+
+@dataclass(frozen=True)
+class SurrogateScreen:
+    """Record of one surrogate-guided screening pass.
+
+    ``predicted_rejections[i]`` is the analytical Erlang fixed-point
+    prediction for candidate ``labels[i]``; ``survivors`` lists the
+    top-K candidate indices that were DES-confirmed, ``confirmed``
+    their simulated rejection summaries (same order), and ``chosen``
+    the winning candidate's index.
+    """
+
+    labels: tuple = field(default=())
+    predicted_rejections: np.ndarray = field(repr=False, default=None)
+    survivors: tuple = field(default=())
+    confirmed: tuple = field(repr=False, default=())
+    chosen: int = 0
+    diagnostics: object = field(repr=False, default=None)
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.labels)
+
+    @property
+    def chosen_label(self) -> str:
+        return self.labels[self.chosen]
+
+    def format(self) -> str:
+        lines = [
+            f"screen        {self.num_candidates} candidates -> "
+            f"{len(self.survivors)} DES-confirmed ({self.diagnostics})"
+        ]
+        confirmed = dict(zip(self.survivors, self.confirmed))
+        order = sorted(
+            range(self.num_candidates),
+            key=lambda i: self.predicted_rejections[i],
+        )
+        for rank, index in enumerate(order):
+            if index in confirmed:
+                note = f"DES {confirmed[index].mean:.4f}"
+                if index == self.chosen:
+                    note += "  <- chosen"
+            elif rank < 8:
+                note = "screened out"
+            else:
+                continue  # keep the report short past the top ranks
+            lines.append(
+                f"  {self.labels[index]:<20} predicted "
+                f"{self.predicted_rejections[index]:.4f}  {note}"
+            )
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)
 class PipelineResult:
     """Everything one :func:`solve` call produced.
 
-    ``replication``/``refinement``/``sa_result`` are ``None`` for the
-    stages the configuration skipped.
+    ``replication``/``refinement``/``sa_result``/``screen`` are ``None``
+    for the stages the configuration skipped.
     """
 
     config: PipelineConfig
@@ -185,6 +279,7 @@ class PipelineResult:
     replication: object = field(repr=False, default=None)
     refinement: object = field(repr=False, default=None)
     sa_result: object = field(repr=False, default=None)
+    screen: SurrogateScreen | None = field(repr=False, default=None)
     results: list = field(repr=False, default_factory=list)
     rejection: Summary | None = None
     imbalance_percent: Summary | None = None
@@ -219,6 +314,8 @@ class PipelineResult:
                 f"  annealing    best cost {self.sa_result.best_cost:.6f} "
                 f"({self.sa_result.levels} levels, {self.sa_result.steps:,} steps)"
             )
+        if self.screen is not None:
+            lines.extend("  " + line for line in self.screen.format().splitlines())
         if self.rejection is not None:
             lines.append(f"  rejection    {self.rejection}")
         if self.imbalance_percent is not None:
@@ -287,6 +384,127 @@ def _design_layout(config: PipelineConfig, sink, observer):
     return layout, replication, refinement, None
 
 
+def _screen_candidates(config: PipelineConfig):
+    """Deterministic candidate layouts for the surrogate screen.
+
+    Every replicator x placer combo, an Eq. (2)-refined variant of each,
+    and seeded random feasible layouts (of the config's replicator)
+    filling up to ``screen_candidates``.
+    """
+    from .placement import RandomFeasiblePlacer
+
+    setup = config.setup
+    popularity = setup.popularity(config.theta)
+    budget = setup.replica_budget(config.replication_degree)
+    capacity = setup.capacity_replicas(config.replication_degree)
+    replications = {
+        name: cls().replicate(popularity.probabilities, setup.num_servers, budget)
+        for name, cls in REPLICATORS.items()
+    }
+
+    labels, layouts = [], []
+
+    def add(label: str, layout) -> None:
+        labels.append(label)
+        layouts.append(layout)
+
+    for rep_name, replication in replications.items():
+        for placer_name, placer_cls in PLACERS.items():
+            if len(labels) >= config.screen_candidates:
+                break
+            layout = placer_cls().place(
+                replication, capacity, bit_rate_mbps=setup.bit_rate_mbps
+            )
+            add(f"{rep_name}+{placer_name}", layout)
+    for label, layout in list(zip(labels, layouts)):
+        if len(labels) >= config.screen_candidates:
+            break
+        refinement = refine_placement(
+            layout,
+            popularity.probabilities,
+            capacity,
+            max_steps=config.refine_max_steps,
+        )
+        add(f"{label}+refine", refinement.layout)
+    base_replication = replications[config.replicator]
+    index = 0
+    while len(labels) < config.screen_candidates:
+        rng = np.random.default_rng(
+            np.random.SeedSequence((config.screen_seed, index))
+        )
+        add(
+            f"{config.replicator}+random{index:02d}",
+            RandomFeasiblePlacer(rng).place(
+                base_replication, capacity, bit_rate_mbps=setup.bit_rate_mbps
+            ),
+        )
+        index += 1
+    return labels, layouts
+
+
+def _screen_and_confirm(config: PipelineConfig, sink, runner):
+    """Surrogate screen -> DES-confirm top-K -> keep the winner.
+
+    Returns ``(layout, screen, results)`` where *results* are the
+    winner's simulation runs (they double as the pipeline's results —
+    the winner is never simulated twice).
+    """
+    setup = config.setup
+    with timed(sink, "screen"):
+        labels, layouts = _screen_candidates(config)
+        workload = SurrogateWorkload.from_setup(
+            setup, config.theta, config.arrival_rate_per_min
+        )
+        batch = evaluate_layouts(
+            layouts,
+            workload,
+            setup.cluster(config.replication_degree),
+            dispatcher=config.dispatcher,
+        )
+        survivors = tuple(
+            int(i) for i in batch.ranking()[: config.screen_top_k]
+        )
+
+    num_runs = config.num_runs if config.num_runs is not None else setup.num_runs
+    seed = workload_seed(
+        setup.seed, config.arrival_rate_per_min, config.theta, config.seed_salt
+    )
+    confirmed_results = []
+    with timed(sink, "confirm"):
+        for index in survivors:
+            trials = make_trials(
+                setup,
+                layouts[index],
+                theta=config.theta,
+                degree=config.replication_degree,
+                arrival_rate_per_min=config.arrival_rate_per_min,
+                seed=seed,
+                num_runs=num_runs,
+                dispatcher=config.dispatcher,
+                backbone_mbps=config.backbone_mbps,
+                horizon_min=setup.peak_minutes,
+                failures=config.failures,
+                failover=config.failover,
+                rereplication=config.rereplication,
+                failover_on_down=config.failover_on_down,
+            )
+            confirmed_results.append(runner.run_trials(trials))
+    confirmed = tuple(
+        summarize([r.rejection_rate for r in results])
+        for results in confirmed_results
+    )
+    best = min(range(len(survivors)), key=lambda i: confirmed[i].mean)
+    screen = SurrogateScreen(
+        labels=tuple(labels),
+        predicted_rejections=batch.rejection_rates,
+        survivors=survivors,
+        confirmed=confirmed,
+        chosen=survivors[best],
+        diagnostics=batch.diagnostics,
+    )
+    return layouts[screen.chosen], screen, confirmed_results[best]
+
+
 def solve(
     config: PipelineConfig,
     *,
@@ -314,6 +532,23 @@ def solve(
         runner = ParallelRunner(jobs=1, observer=observer)
     report = runner.report
     sink = observer if observer is not None else report
+
+    if config.surrogate:
+        with use_runner(runner):
+            layout, screen, results = _screen_and_confirm(config, sink, runner)
+        if observer is not None:
+            observer.fold_into_report(report)
+        return PipelineResult(
+            config=config,
+            layout=layout,
+            screen=screen,
+            results=results,
+            rejection=summarize([r.rejection_rate for r in results]),
+            imbalance_percent=summarize(
+                [r.load_imbalance_percent() for r in results]
+            ),
+            report=report,
+        )
 
     with use_runner(runner):
         layout, replication, refinement, sa_result = _design_layout(

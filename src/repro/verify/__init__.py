@@ -15,6 +15,11 @@ This package is the correctness backstop for the optimized hot paths:
 * :mod:`repro.verify.shard_audit` — the shard-merge auditor, comparing a
   K-shard :func:`~repro.cluster_sim.sharding.merge_results` merge against
   one genuine unsharded block simulation field by field;
+* :mod:`repro.verify.surrogate_audit` — the Erlang-surrogate auditor
+  (``python -m repro.verify.surrogate_audit``), cross-validating
+  :mod:`repro.analysis.surrogate` rejection predictions against the real
+  DES on sampled steady-state configurations and asserting the
+  pooled/partitioned bracket;
 * :mod:`repro.verify.scenarios` / :mod:`repro.verify.shrink` /
   :mod:`repro.verify.corpus` — case generation, greedy minimization of
   failing cases, and the JSON regression corpus under ``tests/corpus/``.
@@ -39,22 +44,34 @@ from .scenarios import FuzzCase, build_des, build_sa, draw_case
 from .shard_audit import ShardMergeReport, audit_shard_merge, compare_merged
 from .shrink import shrink_case
 
-#: Names served lazily from :mod:`repro.verify.fuzz` (PEP 562) so that
-#: ``python -m repro.verify.fuzz`` does not import the module twice.
-_FUZZ_EXPORTS = frozenset(
-    {"CaseOutcome", "FuzzReport", "fuzz", "replay", "run_case"}
-)
+#: Names served lazily (PEP 562) from submodules with a ``__main__``
+#: entry point, so ``python -m repro.verify.<mod>`` does not import the
+#: module twice (runpy's sys.modules warning).
+_LAZY_EXPORTS = {
+    "CaseOutcome": ".fuzz",
+    "FuzzReport": ".fuzz",
+    "fuzz": ".fuzz",
+    "replay": ".fuzz",
+    "run_case": ".fuzz",
+    "SurrogateAuditCase": ".surrogate_audit",
+    "SurrogateAuditReport": ".surrogate_audit",
+    "SurrogateAuditResult": ".surrogate_audit",
+    "audit_case": ".surrogate_audit",
+    "audit_surrogate": ".surrogate_audit",
+    "bracket_bounds": ".surrogate_audit",
+    "sample_audit_cases": ".surrogate_audit",
+}
 
 
 def __getattr__(name: str):
-    if name in _FUZZ_EXPORTS:
+    if name in _LAZY_EXPORTS:
         # import_module, not ``from . import fuzz``: the latter probes the
         # package with hasattr first, which re-enters this __getattr__ for
         # the lazy name "fuzz" and recurses without bound.
         import importlib
 
-        _fuzz = importlib.import_module(".fuzz", __name__)
-        return getattr(_fuzz, name)
+        module = importlib.import_module(_LAZY_EXPORTS[name], __name__)
+        return getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -87,4 +104,11 @@ __all__ = [
     "audit_shard_merge",
     "compare_merged",
     "shrink_case",
+    "SurrogateAuditCase",
+    "SurrogateAuditReport",
+    "SurrogateAuditResult",
+    "audit_case",
+    "audit_surrogate",
+    "bracket_bounds",
+    "sample_audit_cases",
 ]

@@ -29,6 +29,7 @@ class TestArgumentParsing:
             "dynamic",
             "batching",
             "storage",
+            "surrogate",
         }
 
     def test_all_mains_accept_quick_and_chart(self):
