@@ -7,6 +7,7 @@ Subcommands::
     python -m repro pipeline --theta 0.75 --rate 30 --observe
     python -m repro pipeline --shards 4 --jobs 4   # sharded scale-out
     python -m repro pipeline --surrogate --quick   # analytical screen + top-K DES
+    python -m repro serve --epochs 12 --elastic --slo 0.05 --drift release:3
     python -m repro observe-report trace.jsonl --chart
 
 ``experiments`` and ``fuzz`` delegate verbatim to the historical module
@@ -158,6 +159,187 @@ def _pipeline_parser(subparsers) -> None:
     )
 
 
+def _serve_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="run the online serving control plane (epoch loop with drift "
+        "re-optimization and SLO elasticity)",
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=8, help="epochs to serve"
+    )
+    parser.add_argument(
+        "--epoch-minutes",
+        type=float,
+        default=None,
+        help="epoch length (default: the setup's peak window)",
+    )
+    parser.add_argument("--theta", type=float, default=0.75, help="Zipf skew")
+    parser.add_argument(
+        "--degree", type=float, default=1.2, help="replication degree"
+    )
+    parser.add_argument(
+        "--base-rate", type=float, default=15.0, help="off-peak requests/min"
+    )
+    parser.add_argument(
+        "--peak-rate", type=float, default=30.0, help="diurnal peak requests/min"
+    )
+    parser.add_argument(
+        "--day-epochs", type=int, default=4, help="epochs per diurnal day"
+    )
+    parser.add_argument(
+        "--flash-epochs",
+        default=None,
+        metavar="E1,E2,...",
+        help="epochs hit by a flash-crowd spike (comma-separated)",
+    )
+    parser.add_argument(
+        "--flash-multiplier",
+        type=float,
+        default=2.0,
+        help="rate multiplier during a flash crowd",
+    )
+    parser.add_argument(
+        "--drift",
+        default=None,
+        metavar="SPEC",
+        help="popularity drift: none | rankswap:K | release:K | lognormal:S",
+    )
+    parser.add_argument(
+        "--replan",
+        default="drift",
+        choices=("drift", "always", "never"),
+        help="re-planning policy (drift = on detector trigger)",
+    )
+    parser.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.10,
+        help="total-variation drift threshold for replan=drift",
+    )
+    parser.add_argument(
+        "--move-budget",
+        type=int,
+        default=None,
+        help="max replicas copied per re-plan (default: unlimited)",
+    )
+    parser.add_argument(
+        "--screen",
+        action="store_true",
+        help="surrogate-screen each migration against the incumbent",
+    )
+    parser.add_argument(
+        "--anneal-polish",
+        action="store_true",
+        help="warm-start SA polish of each migrated layout",
+    )
+    parser.add_argument(
+        "--elastic",
+        action="store_true",
+        help="add/drain servers on sustained SLO breach/calm",
+    )
+    parser.add_argument(
+        "--slo",
+        type=float,
+        default=0.05,
+        help="SLO rejection-rate target",
+    )
+    parser.add_argument(
+        "--max-servers",
+        type=int,
+        default=None,
+        help="elastic ceiling (default: 2x the setup)",
+    )
+    parser.add_argument(
+        "--dispatcher",
+        default="static_rr",
+        choices=("static_rr", "least_loaded", "first_fit"),
+    )
+    parser.add_argument(
+        "--backbone-mbps", type=float, default=0.0, help="redirection backbone"
+    )
+    parser.add_argument(
+        "--failures",
+        default=None,
+        metavar="SPEC",
+        help="per-epoch chaos recipe (same grammar as pipeline --failures)",
+    )
+    parser.add_argument(
+        "--failover",
+        action="store_true",
+        help="failover dispatch for failure-hit requests",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the setup seed"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="scaled-down setup (50x4)"
+    )
+    parser.add_argument(
+        "--observe",
+        action="store_true",
+        help="instrument the run (metrics + traces); implied by --trace-out",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the observation as JSONL (implies --observe)",
+    )
+
+
+def _cmd_serve(args) -> int:
+    from .cluster_sim import FailoverPolicy
+    from .experiments.config import PaperSetup
+    from .serving import ServingConfig, ServingControlPlane
+
+    setup = PaperSetup()
+    if args.quick:
+        setup = setup.scaled_down()
+    flash = ()
+    if args.flash_epochs:
+        flash = tuple(int(e) for e in args.flash_epochs.split(","))
+    config = ServingConfig(
+        epochs=args.epochs,
+        epoch_minutes=args.epoch_minutes,
+        theta=args.theta,
+        replication_degree=args.degree,
+        base_rate_per_min=args.base_rate,
+        peak_rate_per_min=args.peak_rate,
+        day_epochs=args.day_epochs,
+        flash_epochs=flash,
+        flash_multiplier=args.flash_multiplier,
+        drift=args.drift,
+        replan=args.replan,
+        drift_threshold=args.drift_threshold,
+        move_budget=args.move_budget,
+        screen=args.screen,
+        anneal_polish=args.anneal_polish,
+        elastic=args.elastic,
+        slo_rejection_rate=args.slo,
+        max_servers=args.max_servers,
+        dispatcher=args.dispatcher,
+        backbone_mbps=args.backbone_mbps,
+        failures=args.failures,
+        failover=(FailoverPolicy() if args.failover else None),
+        failover_on_down=args.failover,
+        setup=setup,
+        seed=args.seed,
+    )
+    observer = None
+    if args.observe or args.trace_out:
+        from .observe import Observer
+
+        observer = Observer()
+    result = ServingControlPlane(config, observer=observer).run()
+    print(result.format())
+    print(f"digest: {result.digest()}")
+    if observer is not None and args.trace_out:
+        lines = observer.export_jsonl(args.trace_out)
+        print(f"trace: {lines} lines -> {args.trace_out}")
+    return 0
+
+
 def _cmd_pipeline(args) -> int:
     from .cluster_sim import FailoverPolicy, RereplicationPolicy
     from .experiments.config import PaperSetup
@@ -254,6 +436,7 @@ def main(argv: "list[str] | None" = None) -> int:
         add_help=False,
     )
     _pipeline_parser(subparsers)
+    _serve_parser(subparsers)
     report_parser = subparsers.add_parser(
         "observe-report", help="render a trace JSONL written by --trace-out"
     )
@@ -274,6 +457,8 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "pipeline":
         return _cmd_pipeline(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "observe-report":
         return _cmd_observe_report(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

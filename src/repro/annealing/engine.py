@@ -129,6 +129,18 @@ class AnnealingResult:
         return self.steps / self.wall_time_sec if self.wall_time_sec > 0 else 0.0
 
 
+def _starting_state(
+    problem: AnnealingProblem,
+    rng: np.random.Generator,
+    initial_state: Any | None,
+) -> Any:
+    """Fresh state from the problem, or a private copy of the incumbent."""
+    if initial_state is None:
+        return problem.initial_state(rng)
+    copy = getattr(initial_state, "copy", None)
+    return copy() if callable(copy) else initial_state
+
+
 class SimulatedAnnealer:
     """Metropolis annealer with level-based cooling and stall detection.
 
@@ -196,6 +208,7 @@ class SimulatedAnnealer:
         record_history: bool = True,
         use_incremental: bool = True,
         observer=None,
+        initial_state: Any | None = None,
     ) -> AnnealingResult:
         """Anneal *problem* and return the best state found.
 
@@ -203,6 +216,12 @@ class SimulatedAnnealer:
         :class:`IncrementalContext`) and ``use_incremental`` is True, moves
         are evaluated in O(touched entries); pass ``use_incremental=False``
         to force the full-recompute loop (the cross-check reference).
+
+        ``initial_state`` warm-starts the chain from an incumbent instead
+        of ``problem.initial_state(rng)`` (the incumbent is copied, never
+        mutated).  Warm-started runs carry a *never-worse* guarantee: the
+        returned ``best_state`` costs no more than the incumbent — if the
+        walk only went uphill, the incumbent itself is returned.
 
         ``observer`` (an optional, duck-typed
         :class:`repro.observe.Observer`) records one event per temperature
@@ -214,13 +233,27 @@ class SimulatedAnnealer:
         start_wall = time.perf_counter()
         make_incremental = getattr(problem, "make_incremental", None)
         if use_incremental and make_incremental is not None:
-            result = self._run_incremental(problem, rng, record_history, observer)
+            result = self._run_incremental(
+                problem, rng, record_history, observer, initial_state
+            )
         else:
-            result = self._run_full(problem, rng, record_history, observer)
+            result = self._run_full(
+                problem, rng, record_history, observer, initial_state
+            )
+        best_state, best_cost = result.best_state, result.best_cost
+        if initial_state is not None:
+            # Never-worse guarantee: cached-cost drift in the incremental
+            # loop could otherwise let a recomputed best exceed the
+            # incumbent by float noise.
+            incumbent_cost = problem.cost(initial_state)
+            if incumbent_cost < best_cost:
+                copy = getattr(initial_state, "copy", None)
+                best_state = copy() if callable(copy) else initial_state
+                best_cost = incumbent_cost
         wall = time.perf_counter() - start_wall
         result = AnnealingResult(
-            best_state=result.best_state,
-            best_cost=result.best_cost,
+            best_state=best_state,
+            best_cost=best_cost,
             final_cost=result.final_cost,
             levels=result.levels,
             steps=result.steps,
@@ -239,9 +272,10 @@ class SimulatedAnnealer:
         rng: np.random.Generator,
         record_history: bool,
         observer=None,
+        initial_state: Any | None = None,
     ) -> AnnealingResult:
         """The original copy-and-rescan Metropolis loop."""
-        state = problem.initial_state(rng)
+        state = _starting_state(problem, rng, initial_state)
         cost = problem.cost(state)
         best_state, best_cost = state, cost
 
@@ -306,9 +340,10 @@ class SimulatedAnnealer:
         rng: np.random.Generator,
         record_history: bool,
         observer=None,
+        initial_state: Any | None = None,
     ) -> AnnealingResult:
         """Delta-cost Metropolis loop over an :class:`IncrementalContext`."""
-        state = problem.initial_state(rng)
+        state = _starting_state(problem, rng, initial_state)
         schedule = self._schedule or self._calibrate_schedule(problem, state, rng)
 
         context: IncrementalContext = problem.make_incremental(state)

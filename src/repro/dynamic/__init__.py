@@ -18,13 +18,21 @@ setting.  This package closes that gap:
 """
 
 from .controller import DynamicReplicationController
-from .drift import LognormalDrift, NoDrift, PopularityDrift, RankSwapDrift, ReleaseChurnDrift
+from .drift import (
+    DriftDetector,
+    LognormalDrift,
+    NoDrift,
+    PopularityDrift,
+    RankSwapDrift,
+    ReleaseChurnDrift,
+)
 from .epoch_sim import EpochRecord, run_epoch_study
 from .migration import MigrationPlan, plan_migration
 from .tracker import EwmaPopularityTracker
 
 __all__ = [
     "DynamicReplicationController",
+    "DriftDetector",
     "LognormalDrift",
     "NoDrift",
     "PopularityDrift",

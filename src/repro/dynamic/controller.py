@@ -117,6 +117,21 @@ class DynamicReplicationController:
         """
         if self._layout is None:
             raise RuntimeError("controller not bootstrapped; call bootstrap() first")
+        observed_counts = np.asarray(observed_counts, dtype=np.float64)
+        if observed_counts.size and float(observed_counts.sum()) == 0.0:
+            # Cold epoch: nothing was observed, so there is no evidence
+            # to re-plan from.  Folding the all-zero counts into the
+            # tracker would only smear the estimate toward uniform (via
+            # the additive smoothing) and trigger a spurious migration —
+            # the epoch is a strict no-op instead.
+            self._epoch += 1
+            plan = MigrationPlan(
+                new_layout=self._layout, added=(), removed=(),
+                replicas_copied=0,
+            )
+            if self._observer is not None:
+                self._observer.migration_event(epoch=self._epoch, plan=plan)
+            return plan
         estimate = self._tracker.observe(observed_counts)
         target = self._replicate(estimate)
         plan = plan_migration(

@@ -20,7 +20,12 @@ import abc
 
 import numpy as np
 
-from .._validation import check_int_in_range, check_non_negative, check_probability_vector
+from .._validation import (
+    check_in_range,
+    check_int_in_range,
+    check_non_negative,
+    check_probability_vector,
+)
 
 __all__ = [
     "PopularityDrift",
@@ -28,6 +33,7 @@ __all__ = [
     "RankSwapDrift",
     "ReleaseChurnDrift",
     "LognormalDrift",
+    "DriftDetector",
 ]
 
 
@@ -95,6 +101,41 @@ class ReleaseChurnDrift(PopularityDrift):
         chosen = rng.choice(probs.size, size=min(self._releases, probs.size), replace=False)
         probs[chosen] = rng.choice(top_values, size=chosen.size)
         return probs / probs.sum()
+
+
+class DriftDetector:
+    """Scores how far an online estimate has moved from the popularity a
+    layout was last planned for.
+
+    The score is the total-variation distance ``0.5 * sum |p - q|`` —
+    the largest probability mass any event set can disagree by, so it is
+    in ``[0, 1]`` regardless of catalogue size and directly comparable
+    to a threshold.  The serving control plane re-solves when
+    :meth:`drifted` fires.
+    """
+
+    def __init__(self, threshold: float = 0.10) -> None:
+        check_in_range("threshold", threshold, 0.0, 1.0)
+        self._threshold = float(threshold)
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    def score(self, planned: np.ndarray, estimate: np.ndarray) -> float:
+        """Total-variation distance between two probability vectors."""
+        planned = check_probability_vector("planned", planned)
+        estimate = check_probability_vector("estimate", estimate)
+        if planned.shape != estimate.shape:
+            raise ValueError(
+                f"planned and estimate disagree on M: {planned.shape} vs "
+                f"{estimate.shape}"
+            )
+        return float(0.5 * np.abs(planned - estimate).sum())
+
+    def drifted(self, planned: np.ndarray, estimate: np.ndarray) -> bool:
+        """True when the score strictly exceeds the threshold."""
+        return self.score(planned, estimate) > self._threshold
 
 
 class LognormalDrift(PopularityDrift):

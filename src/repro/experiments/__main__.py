@@ -34,6 +34,7 @@ from . import (
     fig5,
     fig6,
     sa_experiment,
+    serving_sweep,
     storage_bottleneck,
     striping_comparison,
     surrogate_sweep,
@@ -52,6 +53,7 @@ EXPERIMENTS = {
     "batching": batching_experiment.main,
     "storage": storage_bottleneck.main,
     "surrogate": surrogate_sweep.main,
+    "serving": serving_sweep.main,
 }
 
 

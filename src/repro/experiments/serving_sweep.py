@@ -1,0 +1,155 @@
+"""E16 — Online serving: re-optimizing control plane vs a frozen layout.
+
+The serving control plane (:mod:`repro.serving`) closes the loop the
+paper leaves open: under popularity drift, does epoch-wise drift-detected
+re-planning (plus SLO elasticity) actually beat the statically planned
+layout the paper's pipeline deploys?
+
+The sweep crosses the three control knobs the loop exposes:
+
+* **drift speed** — the release-churn rate of the ground truth,
+* **move budget** — replicas a re-planning migration may copy,
+* **SLO target** — the rejection-rate threshold driving elasticity,
+
+and for every cell runs the same non-homogeneous workload (diurnal
+trapezoid + a flash-crowd epoch) twice: once with the adaptive controller
+(``replan="drift"``, elasticity on) and once with its frozen twin
+(``config.frozen()``: the bootstrap layout all the way through, the
+paper's static setting).  Reported per cell: the long-horizon rejection
+rate of both runs, the adaptive run's re-plan/copy/server-add counts, and
+the headline delta.  Under meaningful drift the adaptive controller must
+come out ahead — that inequality is pinned by
+``tests/test_experiments_extensions.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..analysis.tables import format_table
+from ..serving import ServingConfig, ServingControlPlane
+from .config import PaperSetup
+
+__all__ = ["run_sweep", "format_sweep", "main"]
+
+
+def _base_config(setup: PaperSetup, *, epochs: int) -> ServingConfig:
+    """The shared workload: an overloaded diurnal day + one flash epoch."""
+    saturation = setup.saturation_rate_per_min
+    return ServingConfig(
+        epochs=epochs,
+        epoch_minutes=60.0,
+        base_rate_per_min=1.25 * saturation,
+        peak_rate_per_min=2.25 * saturation,
+        day_epochs=4,
+        flash_epochs=(5,),
+        flash_multiplier=1.5,
+        replan="drift",
+        drift_threshold=0.08,
+        breach_epochs=1,
+        cooldown_epochs=1,
+        max_servers=2 * setup.num_servers,
+        setup=setup,
+    )
+
+
+def run_sweep(
+    setup: PaperSetup | None = None,
+    *,
+    epochs: int = 12,
+    drifts: "tuple[str, ...]" = ("release:2", "release:6"),
+    budgets: "tuple[int | None, ...]" = (None, 8, 3),
+    slos: "tuple[float, ...]" = (0.05, 0.15),
+) -> list[dict]:
+    """Drift speed x move budget x SLO target; one row per cell."""
+    setup = setup or PaperSetup().scaled_down()
+    base = _base_config(setup, epochs=epochs)
+    rows = []
+    for drift in drifts:
+        for budget in budgets:
+            for slo in slos:
+                config = replace(
+                    base,
+                    drift=drift,
+                    move_budget=budget,
+                    slo_rejection_rate=slo,
+                    elastic=True,
+                )
+                adaptive = ServingControlPlane(config).run()
+                frozen = ServingControlPlane(config.frozen()).run()
+                rows.append(
+                    {
+                        "drift": drift,
+                        "budget": budget,
+                        "slo": slo,
+                        "frozen_rejection": frozen.mean_rejection_rate,
+                        "adaptive_rejection": adaptive.mean_rejection_rate,
+                        "delta": frozen.mean_rejection_rate
+                        - adaptive.mean_rejection_rate,
+                        "replans": adaptive.replans,
+                        "copies": adaptive.total_replicas_copied,
+                        "adds": adaptive.servers_added,
+                        "drains": adaptive.servers_drained,
+                        "final_servers": adaptive.final_num_servers,
+                        "breaches": adaptive.slo_breaches,
+                    }
+                )
+    return rows
+
+
+def format_sweep(rows: list[dict]) -> str:
+    table = format_table(
+        [
+            "drift",
+            "budget",
+            "SLO",
+            "frozen rej",
+            "adaptive rej",
+            "delta",
+            "replans",
+            "copies",
+            "adds",
+            "final N",
+        ],
+        [
+            [
+                r["drift"],
+                "inf" if r["budget"] is None else r["budget"],
+                r["slo"],
+                r["frozen_rejection"],
+                r["adaptive_rejection"],
+                r["delta"],
+                r["replans"],
+                r["copies"],
+                r["adds"],
+                r["final_servers"],
+            ]
+            for r in rows
+        ],
+        floatfmt=".4f",
+        title="E16 serving control plane: drift x move budget x SLO "
+        "(adaptive vs frozen layout)",
+    )
+    wins = sum(1 for r in rows if r["delta"] > 0)
+    footer = (
+        f"  adaptive beats frozen in {wins}/{len(rows)} cells; "
+        f"best delta {max(r['delta'] for r in rows):.4f}, "
+        f"worst {min(r['delta'] for r in rows):.4f}"
+    )
+    return table + "\n" + footer
+
+
+def main(quick: bool = False, chart: bool = False) -> str:
+    """CLI entry point; returns the formatted report."""
+    del chart
+    if quick:
+        rows = run_sweep(
+            PaperSetup().scaled_down(),
+            epochs=8,
+            drifts=("release:4",),
+            budgets=(None, 10),
+            slos=(0.05,),
+        )
+    else:
+        rows = run_sweep()
+    return format_sweep(rows)

@@ -371,6 +371,42 @@ class Observer:
             )
 
     # ------------------------------------------------------------------
+    # Serving-control-plane hook
+    # ------------------------------------------------------------------
+    def serving_epoch(self, *, epoch: int, snapshot) -> None:
+        """Record one control-plane epoch (an ``EpochSnapshot``)."""
+        registry = self.registry
+        registry.counter("serving.epochs").inc()
+        registry.counter("serving.requests").inc(snapshot.num_requests)
+        registry.counter("serving.rejected").inc(snapshot.num_rejected)
+        if snapshot.migration_executed:
+            registry.counter("serving.replans").inc()
+            registry.counter("serving.replicas_copied").inc(
+                snapshot.replicas_copied
+            )
+        if snapshot.elasticity_action > 0:
+            registry.counter("serving.servers_added").inc()
+        elif snapshot.elasticity_action < 0:
+            registry.counter("serving.servers_drained").inc()
+        if snapshot.slo_breached:
+            registry.counter("serving.slo_breaches").inc()
+        registry.gauge("serving.num_servers").set(snapshot.num_servers)
+        registry.gauge("serving.rejection_rate").set(snapshot.rejection_rate)
+        self.tracer.emit(
+            "serving.epoch",
+            epoch=epoch,
+            num_servers=snapshot.num_servers,
+            requests=snapshot.num_requests,
+            rejection_rate=snapshot.rejection_rate,
+            drift_score=snapshot.drift_score,
+            replanned=snapshot.replanned,
+            migration_executed=snapshot.migration_executed,
+            replicas_copied=snapshot.replicas_copied,
+            elasticity_action=snapshot.elasticity_action,
+            slo_breached=snapshot.slo_breached,
+        )
+
+    # ------------------------------------------------------------------
     # Runner hook
     # ------------------------------------------------------------------
     def runner_batch(

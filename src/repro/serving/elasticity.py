@@ -1,0 +1,108 @@
+"""SLO-driven cluster elasticity with hysteresis.
+
+The control plane watches each epoch's rejection rate against the SLO
+target.  Sustained breach (``breach_epochs`` consecutive epochs over the
+target) adds one server; sustained calm (``relax_epochs`` consecutive
+epochs under *half* the target — the low watermark) drains one.  A
+cooldown window after any action suppresses further actions, so the
+policy cannot oscillate add/drain on a workload sitting near the
+threshold: two actions are always at least ``cooldown_epochs + 1``
+epochs apart, which ``tests/test_serving_properties.py`` pins as the
+hysteresis property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import check_in_range, check_int_in_range
+
+__all__ = ["ElasticityPolicy", "ElasticityController"]
+
+
+@dataclass(frozen=True)
+class ElasticityPolicy:
+    """Thresholds and hysteresis windows of the add/drain policy."""
+
+    slo_rejection_rate: float = 0.05
+    breach_epochs: int = 2
+    relax_epochs: int = 3
+    cooldown_epochs: int = 2
+    min_servers: int = 1
+    max_servers: int = 16
+
+    def __post_init__(self) -> None:
+        check_in_range("slo_rejection_rate", self.slo_rejection_rate, 0.0, 1.0)
+        check_int_in_range("breach_epochs", self.breach_epochs, 1)
+        check_int_in_range("relax_epochs", self.relax_epochs, 1)
+        check_int_in_range("cooldown_epochs", self.cooldown_epochs, 0)
+        check_int_in_range("min_servers", self.min_servers, 1)
+        if self.max_servers < self.min_servers:
+            raise ValueError(
+                f"max_servers {self.max_servers} < min_servers {self.min_servers}"
+            )
+
+    @property
+    def drain_watermark(self) -> float:
+        """Rejection rate below which an epoch counts toward draining."""
+        return self.slo_rejection_rate / 2.0
+
+
+class ElasticityController:
+    """Mutable hysteresis state over one serving run."""
+
+    def __init__(self, policy: ElasticityPolicy) -> None:
+        self._policy = policy
+        self._breach_streak = 0
+        self._calm_streak = 0
+        self._last_action_epoch: int | None = None
+
+    @property
+    def policy(self) -> ElasticityPolicy:
+        return self._policy
+
+    def _in_cooldown(self, epoch: int) -> bool:
+        return (
+            self._last_action_epoch is not None
+            and epoch - self._last_action_epoch <= self._policy.cooldown_epochs
+        )
+
+    def decide(self, epoch: int, rejection_rate: float, num_servers: int) -> int:
+        """Update streaks with one epoch's outcome; return -1, 0 or +1.
+
+        ``+1`` adds a server, ``-1`` drains one, ``0`` holds.  Streaks
+        keep accumulating during cooldown, but no action fires until the
+        window has passed; any action resets both streaks.
+        """
+        policy = self._policy
+        if rejection_rate > policy.slo_rejection_rate:
+            self._breach_streak += 1
+            self._calm_streak = 0
+        elif rejection_rate <= policy.drain_watermark:
+            self._calm_streak += 1
+            self._breach_streak = 0
+        else:
+            # The dead band between the watermark and the SLO: neither
+            # streak advances, so a workload sitting there never acts.
+            self._breach_streak = 0
+            self._calm_streak = 0
+
+        if self._in_cooldown(epoch):
+            return 0
+        if (
+            self._breach_streak >= policy.breach_epochs
+            and num_servers < policy.max_servers
+        ):
+            self._last_action_epoch = epoch
+            self._breach_streak = 0
+            self._calm_streak = 0
+            return 1
+        if (
+            self._calm_streak >= policy.relax_epochs
+            and num_servers > policy.min_servers
+        ):
+            self._last_action_epoch = epoch
+            self._breach_streak = 0
+            self._calm_streak = 0
+            return -1
+        return 0

@@ -34,7 +34,14 @@ import numpy as np
 
 from .audit import run_audited
 from .auditors import failure_auditors
-from .scenarios import FuzzCase, build_des, build_sa, draw_case
+from .scenarios import (
+    FuzzCase,
+    build_des,
+    build_sa,
+    build_serving,
+    draw_case,
+    draw_serving_case,
+)
 from .shrink import shrink_case
 
 __all__ = ["CaseOutcome", "FuzzReport", "run_case", "replay", "fuzz", "main"]
@@ -215,6 +222,87 @@ def _run_sa(params: dict) -> tuple[list[str], dict]:
     return failures, summary
 
 
+def _run_serving(params: dict) -> tuple[list[str], dict]:
+    from ..serving import ServingControlPlane, chain_batch_epochs
+
+    config = build_serving(params)
+    failures: list[str] = []
+
+    result = ServingControlPlane(config).run()
+    again = ServingControlPlane(config).run()
+    if result.digest() != again.digest():
+        failures.append(
+            "serving-determinism: repeat run changed the epoch digest "
+            f"({result.digest()[:12]} vs {again.digest()[:12]})"
+        )
+
+    for s in result.snapshots:
+        # Request conservation: every simulated request is admitted or
+        # rejected, and every generated request is simulated or truncated
+        # by the epoch horizon.
+        if s.num_admitted + s.num_rejected != s.num_requests:
+            failures.append(
+                f"serving-conservation: epoch {s.epoch} admitted "
+                f"{s.num_admitted} + rejected {s.num_rejected} != "
+                f"requests {s.num_requests}"
+            )
+        if s.num_requests + s.num_truncated != s.num_generated:
+            failures.append(
+                f"serving-conservation: epoch {s.epoch} requests "
+                f"{s.num_requests} + truncated {s.num_truncated} != "
+                f"generated {s.num_generated}"
+            )
+        if (
+            config.move_budget is not None
+            and s.replicas_copied > config.move_budget
+        ):
+            failures.append(
+                f"serving-budget: epoch {s.epoch} copied "
+                f"{s.replicas_copied} > move budget {config.move_budget}"
+            )
+        if s.cold and s.migration_executed:
+            failures.append(
+                f"serving-cold: epoch {s.epoch} replanned with zero "
+                "observed requests"
+            )
+
+    action_epochs = [
+        s.epoch for s in result.snapshots if s.elasticity_action != 0
+    ]
+    for prev, cur in zip(action_epochs, action_epochs[1:]):
+        if cur - prev <= config.cooldown_epochs:
+            failures.append(
+                f"serving-hysteresis: elastic actions at epochs {prev} and "
+                f"{cur} violate the {config.cooldown_epochs}-epoch cooldown"
+            )
+
+    # Differential oracle: the frozen control plane (no re-planning, no
+    # elasticity) must match the manually chained batch epochs
+    # bit-identically.
+    frozen = config.frozen()
+    frozen_run = ServingControlPlane(frozen).run()
+    for s, batch in zip(frozen_run.snapshots, chain_batch_epochs(frozen)):
+        if not s.result.same_outcome(batch):
+            failures.append(
+                f"serving-oracle: frozen epoch {s.epoch} diverged from the "
+                f"chained batch path (rejected {s.num_rejected} vs "
+                f"{batch.num_rejected})"
+            )
+
+    summary = {
+        "digest": result.digest(),
+        "frozen_digest": frozen_run.digest(),
+        "requests": result.total_generated,
+        "rejected": result.total_rejected,
+        "replans": result.replans,
+        "copies": result.total_replicas_copied,
+        "adds": result.servers_added,
+        "drains": result.servers_drained,
+        "final_servers": result.final_num_servers,
+    }
+    return failures, summary
+
+
 def run_case(case: FuzzCase) -> CaseOutcome:
     """Run every differential check for one case."""
     try:
@@ -222,6 +310,8 @@ def run_case(case: FuzzCase) -> CaseOutcome:
             failures, summary = _run_des(case.params)
         elif case.kind == "sa":
             failures, summary = _run_sa(case.params)
+        elif case.kind == "serving":
+            failures, summary = _run_serving(case.params)
         else:
             raise ValueError(f"unknown case kind {case.kind!r}")
     except Exception as exc:  # a crash is a finding, not an abort
@@ -248,6 +338,7 @@ def fuzz(
     corpus_dir: "str | Path | None" = None,
     shrink: bool = True,
     chaos: bool = False,
+    serving: bool = False,
     log=None,
 ) -> FuzzReport:
     """Run a fuzz campaign; shrink + serialize failures when a dir is given.
@@ -255,7 +346,9 @@ def fuzz(
     ``chaos=True`` forces failure injection on in every DES case (the CI
     chaos-smoke configuration), so all 200 smoke cases exercise the
     crash/repair/failover machinery rather than the ~50% the default draw
-    would.
+    would.  ``serving=True`` draws serving control-plane cases instead of
+    the des/sa mix (the CI serving-smoke configuration); the default mix
+    is untouched so historical campaign digests stay stable.
     """
     start = time.perf_counter()
     digest = hashlib.sha256()
@@ -263,7 +356,11 @@ def fuzz(
     corpus_paths: list[str] = []
     children = np.random.SeedSequence(int(seed)).spawn(int(num_cases))
     for index, child in enumerate(children):
-        case = draw_case(child, index)
+        case = (
+            draw_serving_case(child, index)
+            if serving
+            else draw_case(child, index)
+        )
         if chaos and case.kind == "des" and not case.params["failures"]:
             case = FuzzCase(
                 case.kind, case.name, {**case.params, "failures": True}
@@ -329,6 +426,9 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="serialize failing cases without minimizing")
     parser.add_argument("--chaos", action="store_true",
                         help="force failure injection on in every DES case")
+    parser.add_argument("--serving", action="store_true",
+                        help="draw serving control-plane cases instead of "
+                        "the des/sa mix")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress output")
     args = parser.parse_args(argv)
@@ -340,6 +440,7 @@ def main(argv: "list[str] | None" = None) -> int:
         corpus_dir=args.corpus_dir,
         shrink=not args.no_shrink,
         chaos=args.chaos,
+        serving=args.serving,
         log=log,
     )
     print(

@@ -2,7 +2,8 @@
 
 A :class:`FuzzCase` is a *self-contained* JSON-serializable description of
 one differential check: its kind (``"des"`` for simulator equivalence,
-``"sa"`` for annealing delta cross-checks) plus a flat parameter dict that
+``"sa"`` for annealing delta cross-checks, ``"serving"`` for serving
+control-plane invariants) plus a flat parameter dict that
 includes every seed the builders consume.  Replaying a case therefore
 needs nothing but the JSON — no global seed, no generation order — which
 is what makes the shrunk repro files under ``tests/corpus/`` stable
@@ -21,7 +22,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["FuzzCase", "draw_case", "build_des", "build_sa", "DISPATCHER_NAMES"]
+__all__ = [
+    "FuzzCase",
+    "draw_case",
+    "draw_serving_case",
+    "build_des",
+    "build_sa",
+    "build_serving",
+    "DISPATCHER_NAMES",
+]
 
 DISPATCHER_NAMES = ("static_rr", "least_loaded", "first_fit")
 
@@ -33,7 +42,7 @@ _SEED_MAX = 2**31 - 1
 class FuzzCase:
     """One self-contained fuzz scenario."""
 
-    kind: str  # "des" | "sa"
+    kind: str  # "des" | "sa" | "serving"
     name: str
     params: dict = field(hash=False)
 
@@ -47,7 +56,7 @@ class FuzzCase:
             raise ValueError(
                 f"unsupported fuzz-case format {payload.get('format')!r}"
             )
-        if payload["kind"] not in ("des", "sa"):
+        if payload["kind"] not in ("des", "sa", "serving"):
             raise ValueError(f"unknown fuzz-case kind {payload['kind']!r}")
         return cls(
             kind=payload["kind"],
@@ -154,6 +163,76 @@ def _draw_sa(rng: np.random.Generator, index: int) -> FuzzCase:
         "engine_seed": _seed(rng),
     }
     return FuzzCase(kind="sa", name=f"sa_{index:05d}", params=params)
+
+
+def draw_serving_case(
+    seed_seq: np.random.SeedSequence, index: int
+) -> FuzzCase:
+    """Draw one serving control-plane case (the ``--serving`` stream).
+
+    Kept out of :func:`draw_case`'s default mix so the historical
+    ``des``/``sa`` campaign digests stay stable.
+    """
+    rng = np.random.default_rng(seed_seq)
+    return _draw_serving(rng, index)
+
+
+def _draw_serving(rng: np.random.Generator, index: int) -> FuzzCase:
+    num_videos = int(rng.integers(12, 41))
+    num_servers = int(rng.integers(2, 7))
+    epochs = int(rng.integers(3, 8))
+    epoch_minutes = float(rng.uniform(12.0, 30.0))
+    video_duration_min = float(rng.uniform(10.0, 30.0))
+    bandwidth = float(rng.uniform(80.0, 400.0))
+    # Saturation rate of the drawn cluster; the peak rate straddles it so
+    # a slice of cases exercises the rejection/elasticity regime.
+    streams = num_servers * int(bandwidth / 4.0)
+    saturation = streams / video_duration_min
+    peak_rate = float(saturation * rng.uniform(0.3, 1.3))
+    drift_kind = ("rankswap", "release", "lognormal")[int(rng.integers(3))]
+    drift_value = {
+        "rankswap": str(int(rng.integers(1, 7))),
+        "release": str(int(rng.integers(1, 5))),
+        "lognormal": f"{rng.uniform(0.1, 0.8):.3f}",
+    }[drift_kind]
+    params = {
+        "num_videos": num_videos,
+        "num_servers": num_servers,
+        "theta": float(rng.uniform(0.3, 1.1)),
+        "degree": float(rng.uniform(1.05, min(1.8, float(num_servers)))),
+        "bandwidth_mbps": bandwidth,
+        "video_duration_min": video_duration_min,
+        "epochs": epochs,
+        "epoch_minutes": epoch_minutes,
+        "day_epochs": int(rng.integers(2, 5)),
+        "base_rate_per_min": float(peak_rate * rng.uniform(0.3, 0.8)),
+        "peak_rate_per_min": peak_rate,
+        "flash": bool(rng.random() < 0.35),
+        "flash_epoch": int(rng.integers(epochs)),
+        "flash_multiplier": float(rng.uniform(1.5, 2.5)),
+        "drift_enabled": bool(rng.random() < 0.7),
+        "drift_spec": f"{drift_kind}:{drift_value}",
+        "replan": "always" if rng.random() < 0.4 else "drift",
+        "drift_threshold": float(rng.uniform(0.05, 0.25)),
+        "tracker_alpha": float(rng.uniform(0.3, 0.8)),
+        "move_budget": (
+            int(rng.integers(2, 21)) if rng.random() < 0.5 else None
+        ),
+        "screen": bool(rng.random() < 0.15),
+        "elastic": bool(rng.random() < 0.35),
+        "slo_rejection_rate": float(rng.uniform(0.02, 0.15)),
+        "breach_epochs": int(rng.integers(1, 3)),
+        "relax_epochs": int(rng.integers(2, 4)),
+        "cooldown_epochs": int(rng.integers(1, 3)),
+        "extra_servers": int(rng.integers(1, 4)),
+        "dispatcher": DISPATCHER_NAMES[int(rng.integers(len(DISPATCHER_NAMES)))],
+        "failures": bool(rng.random() < 0.35),
+        "mtbf_frac": float(rng.uniform(0.5, 2.0)),
+        "mttr_frac": float(rng.uniform(0.05, 0.3)),
+        "failover_on_down": bool(rng.random() < 0.5),
+        "seed": _seed(rng),
+    }
+    return FuzzCase(kind="serving", name=f"serving_{index:05d}", params=params)
 
 
 # ----------------------------------------------------------------------
@@ -350,3 +429,66 @@ def build_sa(params: dict):
         patience_levels=0,
     )
     return ScalableBitRateProblem(problem), annealer
+
+
+def build_serving(params: dict):
+    """Build a :class:`repro.serving.ServingConfig` for a serving case."""
+    from ..experiments.config import PaperSetup
+    from ..serving import ServingConfig
+
+    epoch_minutes = float(params["epoch_minutes"])
+    setup = PaperSetup(
+        num_servers=int(params["num_servers"]),
+        server_bandwidth_mbps=float(params["bandwidth_mbps"]),
+        num_videos=int(params["num_videos"]),
+        duration_min=float(params["video_duration_min"]),
+        peak_minutes=epoch_minutes,
+        num_runs=1,
+        seed=int(params["seed"]),
+    )
+    failures = None
+    if params.get("failures", False):
+        mtbf = epoch_minutes * float(params.get("mtbf_frac", 1.0))
+        mttr = epoch_minutes * float(params.get("mttr_frac", 0.15))
+        kind = str(params.get("failure_kind", "random"))
+        if kind == "correlated":
+            groups = int(params.get("failure_groups", 2))
+            failures = (
+                f"correlated:groups={groups},mtbf={mtbf:.3f},mttr={mttr:.3f}"
+            )
+        else:
+            failures = f"random:mtbf={mtbf:.3f},mttr={mttr:.3f}"
+    move_budget = params.get("move_budget")
+    return ServingConfig(
+        epochs=int(params["epochs"]),
+        epoch_minutes=epoch_minutes,
+        theta=float(params["theta"]),
+        replication_degree=float(params["degree"]),
+        base_rate_per_min=float(params["base_rate_per_min"]),
+        peak_rate_per_min=float(params["peak_rate_per_min"]),
+        day_epochs=int(params["day_epochs"]),
+        flash_epochs=(
+            (int(params["flash_epoch"]),) if params.get("flash") else ()
+        ),
+        flash_multiplier=float(params["flash_multiplier"]),
+        drift=(
+            str(params["drift_spec"])
+            if params.get("drift_enabled")
+            else None
+        ),
+        replan=str(params["replan"]),
+        drift_threshold=float(params["drift_threshold"]),
+        tracker_alpha=float(params["tracker_alpha"]),
+        move_budget=None if move_budget is None else int(move_budget),
+        screen=bool(params.get("screen", False)),
+        elastic=bool(params.get("elastic", False)),
+        slo_rejection_rate=float(params["slo_rejection_rate"]),
+        breach_epochs=int(params["breach_epochs"]),
+        relax_epochs=int(params["relax_epochs"]),
+        cooldown_epochs=int(params["cooldown_epochs"]),
+        max_servers=int(params["num_servers"]) + int(params["extra_servers"]),
+        dispatcher=str(params["dispatcher"]),
+        failures=failures,
+        failover_on_down=bool(params.get("failover_on_down", False)),
+        setup=setup,
+    )

@@ -37,6 +37,18 @@ _NUMERIC_RULES: dict[str, list[tuple[str, float]]] = {
         ("steps_per_level", 5),
         ("max_levels", 2),
     ],
+    "serving": [
+        ("num_videos", 8),
+        ("num_servers", 2),
+        ("epochs", 2),
+        ("epoch_minutes", 8.0),
+        ("video_duration_min", 5.0),
+        ("bandwidth_mbps", 40.0),
+        ("peak_rate_per_min", 1.0),
+        ("base_rate_per_min", 0.25),
+        ("move_budget", 1),
+        ("extra_servers", 1),
+    ],
 }
 
 #: Feature flags switched off (True -> False), per case kind.
@@ -55,6 +67,14 @@ _FLAG_RULES: dict[str, list[str]] = {
         "rereplication",
     ],
     "sa": ["compare_engines"],
+    "serving": [
+        "flash",
+        "drift_enabled",
+        "elastic",
+        "screen",
+        "failures",
+        "failover_on_down",
+    ],
 }
 
 

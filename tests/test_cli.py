@@ -30,6 +30,7 @@ class TestArgumentParsing:
             "batching",
             "storage",
             "surrogate",
+            "serving",
         }
 
     def test_all_mains_accept_quick_and_chart(self):

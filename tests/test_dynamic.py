@@ -319,22 +319,28 @@ class TestControllerEpochBoundaries:
         assert tight.skipped_epochs == 1
 
     def test_zero_count_epoch_with_smoothing(self):
-        # An epoch with no requests at all is a legal boundary: smoothing
-        # turns it into a uniform observation.
+        # An epoch with no requests at all is a legal boundary, but it
+        # carries no evidence: smoothing it into a uniform observation
+        # used to drag the estimate toward uniform and trigger a
+        # spurious migration, so the epoch is now a strict no-op (see
+        # TestColdEpoch for the full contract).
         tracker, controller = self.make()
         controller.bootstrap(ZipfPopularity(20, 0.75).probabilities)
+        before = controller.layout
         plan = controller.step(np.zeros(20))
-        assert plan.executed
-        assert controller.layout.replica_counts.min() >= 1
-        assert tracker.epochs_observed == 1
+        assert plan.executed and plan.replicas_copied == 0
+        assert controller.layout is before
+        assert tracker.epochs_observed == 0
 
-    def test_zero_count_epoch_without_smoothing_rejected(self):
+    def test_zero_count_epoch_without_smoothing_is_noop_too(self):
+        # Without smoothing a zero-count epoch used to raise from the
+        # tracker; the cold-epoch guard short-circuits before the
+        # tracker sees it, so both smoothing settings behave alike.
         tracker, controller = self.make(smoothing=0.0)
         controller.bootstrap(ZipfPopularity(20, 0.75).probabilities)
         before = controller.layout
-        with pytest.raises(ValueError, match="zero"):
-            controller.step(np.zeros(20))
-        # The failed epoch must not have touched the deployed layout.
+        plan = controller.step(np.zeros(20))
+        assert plan.executed and plan.replicas_copied == 0
         assert controller.layout is before
         assert tracker.epochs_observed == 0
 
@@ -458,3 +464,54 @@ class TestEpochStudy:
         static = np.mean([r.rejection_rate for r in records if r.strategy == "static"])
         oracle = np.mean([r.rejection_rate for r in records if r.strategy == "oracle"])
         assert abs(static - oracle) < 0.02
+
+
+# ----------------------------------------------------------------------
+# Cold-epoch regression: a zero-request epoch must be a strict no-op
+# ----------------------------------------------------------------------
+class TestColdEpoch:
+    """Regression: the controller used to fold an all-zero epoch into the
+    tracker, smearing the estimate toward uniform (via the additive
+    smoothing) and re-planning off pure noise."""
+
+    def make(self):
+        tracker = EwmaPopularityTracker(20, alpha=0.6, smoothing=1.0)
+        controller = DynamicReplicationController(4, 10, tracker)
+        controller.bootstrap(ZipfPopularity(20, 1.0).probabilities)
+        return tracker, controller
+
+    def test_cold_epoch_is_noop(self):
+        tracker, controller = self.make()
+        before = controller.layout
+        plan = controller.step(np.zeros(20))
+        assert plan.executed
+        assert plan.replicas_copied == 0
+        assert plan.added == () and plan.removed == ()
+        assert controller.layout is before
+        assert tracker.epochs_observed == 0
+
+    def test_cold_epoch_does_not_bias_later_estimates(self):
+        tracker, controller = self.make()
+        counts = np.zeros(20)
+        counts[0] = 500.0
+        controller.step(counts)
+        estimate_warm = tracker.estimate()
+
+        tracker2, controller2 = self.make()
+        controller2.step(np.zeros(20))  # cold epoch in between
+        controller2.step(counts)
+        np.testing.assert_array_equal(tracker2.estimate(), estimate_warm)
+        assert tracker2.epochs_observed == 1
+
+    def test_cold_epoch_still_notifies_observer(self):
+        events = []
+
+        class Spy:
+            def migration_event(self, *, epoch, plan):
+                events.append((epoch, plan.executed, plan.replicas_copied))
+
+        tracker = EwmaPopularityTracker(20, alpha=0.6)
+        controller = DynamicReplicationController(4, 10, tracker, observer=Spy())
+        controller.bootstrap(ZipfPopularity(20, 1.0).probabilities)
+        controller.step(np.zeros(20))
+        assert events == [(1, True, 0)]

@@ -143,3 +143,37 @@ class TestWatchTimeAblation:
     def test_structure(self, tiny):
         results = run_watch_time(tiny, num_runs=1)
         assert len(results["curves"]) == 3
+
+
+class TestServingSweep:
+    def run_rows(self):
+        from repro.experiments.serving_sweep import run_sweep
+
+        return run_sweep(
+            PaperSetup().scaled_down(),
+            epochs=8,
+            drifts=("release:4",),
+            budgets=(None, 8),
+            slos=(0.05,),
+        )
+
+    def test_adaptive_beats_frozen_under_drift(self):
+        # The PR's acceptance criterion: the re-optimizing controller must
+        # come out ahead of the frozen layout in every drifting cell.
+        for row in self.run_rows():
+            assert row["adaptive_rejection"] < row["frozen_rejection"], row
+
+    def test_structure_and_format(self):
+        from repro.experiments.serving_sweep import format_sweep
+
+        rows = self.run_rows()
+        assert len(rows) == 2
+        assert all(row["replans"] >= 1 for row in rows)
+        text = format_sweep(rows)
+        assert "E16" in text
+        assert "adaptive beats frozen" in text
+
+    def test_registered_in_harness(self):
+        from repro.experiments.__main__ import EXPERIMENTS
+
+        assert "serving" in EXPERIMENTS

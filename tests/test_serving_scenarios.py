@@ -1,0 +1,132 @@
+"""Pinned serving scenario replays (``tests/corpus/serving/``).
+
+Each JSON file is a self-contained serving control-plane scenario — the
+``build_serving`` parameter dict plus the run digest pinned when the
+scenario was recorded.  Replaying must reproduce the digest bit-for-bit,
+so any behavior change in the epoch loop, the workload generation, the
+drift/elasticity machinery or the chaos integration shows up as a diff
+against a named, reviewable scenario.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.serving import ServingControlPlane, chain_batch_epochs
+from repro.verify.fuzz import run_case
+from repro.verify.scenarios import FuzzCase, build_serving
+
+SCENARIO_DIR = Path(__file__).parent / "corpus" / "serving"
+SCENARIOS = sorted(SCENARIO_DIR.glob("*.json"))
+
+
+def load(path: Path) -> dict:
+    payload = json.loads(path.read_text())
+    assert payload["format"] == 1
+    assert payload["kind"] == "serving"
+    return payload
+
+
+def test_scenario_corpus_is_seeded():
+    names = {path.stem for path in SCENARIOS}
+    assert {
+        "popularity_inversion",
+        "flash_crowd_peak",
+        "rack_failure_migration",
+    } <= names
+
+
+@pytest.mark.parametrize("path", SCENARIOS, ids=[p.stem for p in SCENARIOS])
+def test_scenario_replays_to_pinned_digest(path):
+    payload = load(path)
+    result = ServingControlPlane(build_serving(payload["params"])).run()
+    assert result.digest() == payload["digest"], (
+        f"{payload['name']}: the serving loop no longer reproduces the "
+        "pinned scenario; if the change is intentional, re-record the "
+        "digest"
+    )
+
+
+@pytest.mark.parametrize("path", SCENARIOS, ids=[p.stem for p in SCENARIOS])
+def test_scenario_passes_the_fuzz_invariants(path):
+    # The pinned scenarios double as fuzz cases: conservation, budget,
+    # hysteresis and the frozen-vs-batch oracle must all hold on them.
+    payload = load(path)
+    outcome = run_case(
+        FuzzCase(kind="serving", name=payload["name"], params=payload["params"])
+    )
+    assert outcome.ok, outcome.failures
+
+
+def test_popularity_inversion_triggers_replans():
+    payload = load(SCENARIO_DIR / "popularity_inversion.json")
+    config = build_serving(payload["params"])
+    result = ServingControlPlane(config).run()
+    assert result.replans >= 2
+    assert all(
+        s.replicas_copied <= config.move_budget for s in result.snapshots
+    )
+
+
+def test_flash_crowd_peak_adds_a_server():
+    payload = load(SCENARIO_DIR / "flash_crowd_peak.json")
+    result = ServingControlPlane(build_serving(payload["params"])).run()
+    assert result.servers_added >= 1
+    assert result.slo_breaches >= 1
+
+
+def test_rack_failure_scenario_sees_failures_and_stays_in_budget():
+    payload = load(SCENARIO_DIR / "rack_failure_migration.json")
+    config = build_serving(payload["params"])
+    result = ServingControlPlane(config).run()
+    assert sum(s.result.num_failures for s in result.snapshots) >= 1
+    assert all(
+        s.replicas_copied <= config.move_budget for s in result.snapshots
+    )
+    # The frozen twin of a chaos scenario still matches the batch chain.
+    frozen = config.frozen()
+    for snapshot, batch in zip(
+        ServingControlPlane(frozen).run().snapshots, chain_batch_epochs(frozen)
+    ):
+        assert snapshot.result.same_outcome(batch)
+
+
+@pytest.mark.fuzz
+class TestServingFuzzCampaign:
+    def test_serving_campaign_is_reproducible(self, tmp_path):
+        from repro.verify.fuzz import fuzz
+
+        first = fuzz(8, 3, corpus_dir=tmp_path, serving=True)
+        second = fuzz(8, 3, corpus_dir=tmp_path, serving=True)
+        assert first.ok, [o.failures for o in first.failures]
+        assert first.digest == second.digest
+        assert list(tmp_path.glob("*.json")) == []  # nothing failed
+
+    def test_serving_draw_is_deterministic(self):
+        import numpy as np
+
+        from repro.verify.scenarios import draw_serving_case
+
+        a = [
+            draw_serving_case(c, i)
+            for i, c in enumerate(np.random.SeedSequence(5).spawn(6))
+        ]
+        b = [
+            draw_serving_case(c, i)
+            for i, c in enumerate(np.random.SeedSequence(5).spawn(6))
+        ]
+        assert a == b
+        assert all(case.kind == "serving" for case in a)
+
+    def test_serving_case_roundtrips_through_json(self):
+        import numpy as np
+
+        from repro.verify.scenarios import draw_serving_case
+
+        case = draw_serving_case(np.random.SeedSequence(1).spawn(1)[0], 0)
+        clone = FuzzCase.from_json(
+            json.loads(json.dumps(case.to_json()))
+        )
+        assert clone == case
+        assert run_case(clone).ok
