@@ -4,24 +4,66 @@ Subcommands::
 
     python -m repro experiments fig4 --quick      # the figure harness
     python -m repro fuzz --trials 100             # differential fuzzing
+    python -m repro bench --smoke --only vector   # hot-path microbenchmarks
     python -m repro pipeline --theta 0.75 --rate 30 --observe
+    python -m repro pipeline --engine vector       # numpy event-batch core
     python -m repro pipeline --shards 4 --jobs 4   # sharded scale-out
     python -m repro pipeline --surrogate --quick   # analytical screen + top-K DES
     python -m repro serve --epochs 12 --elastic --slo 0.05 --drift release:3
+    python -m repro serve --engine vector --shards 2 --jobs 2
     python -m repro observe-report trace.jsonl --chart
 
-``experiments`` and ``fuzz`` delegate verbatim to the historical module
-CLIs (``python -m repro.experiments`` / ``python -m repro.verify.fuzz``),
+``experiments``, ``fuzz`` and ``bench`` delegate verbatim to the
+underlying drivers (``python -m repro.experiments`` /
+``python -m repro.verify.fuzz`` / ``benchmarks/bench_hotpaths.py``),
 which keep working unchanged.  ``pipeline`` runs the
 :func:`repro.pipeline.solve` facade for one design point, optionally
 instrumented; ``observe-report`` renders a trace JSONL written with
 ``--trace-out`` (or :meth:`repro.observe.Observer.export_jsonl`).
+``--engine``, ``--shards``, ``--jobs`` and ``--observe`` mean the same
+thing on ``pipeline`` and ``serve``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _shared_sim_flags(parser) -> None:
+    """Flags whose meaning is identical across ``pipeline`` and ``serve``."""
+    parser.add_argument(
+        "--engine",
+        default="optimized",
+        choices=("optimized", "vector", "reference", "audited"),
+        help=(
+            "lockstep simulation engine: optimized (tuple-heap loop, "
+            "default), vector (numpy event-batch core), reference "
+            "(readable oracle), audited (optimized + invariant auditors); "
+            "all engines produce identical results"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "split each simulated run into K deterministic arrival-stream "
+            "shards and merge the per-shard results (weak scaling; "
+            "1 = unsharded)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the simulation stage (1 = in-process)",
+    )
+    parser.add_argument(
+        "--observe",
+        action="store_true",
+        help="instrument the run (metrics + traces); implied by --trace-out",
+    )
 
 
 def _pipeline_parser(subparsers) -> None:
@@ -85,21 +127,7 @@ def _pipeline_parser(subparsers) -> None:
         default=1000.0,
         help="re-replication bandwidth cap",
     )
-    parser.add_argument(
-        "--shards",
-        type=int,
-        default=1,
-        help=(
-            "split each run into K deterministic arrival-stream shards and "
-            "merge the per-shard results (weak scaling; 1 = unsharded)"
-        ),
-    )
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for the simulation stage (1 = in-process)",
-    )
+    _shared_sim_flags(parser)
     parser.add_argument(
         "--refine", action="store_true", help="hill-climb the placement"
     )
@@ -134,11 +162,6 @@ def _pipeline_parser(subparsers) -> None:
     )
     parser.add_argument(
         "--quick", action="store_true", help="reduced run count (3)"
-    )
-    parser.add_argument(
-        "--observe",
-        action="store_true",
-        help="instrument the run (metrics + traces); implied by --trace-out",
     )
     parser.add_argument(
         "--sample-interval",
@@ -275,11 +298,7 @@ def _serve_parser(subparsers) -> None:
     parser.add_argument(
         "--quick", action="store_true", help="scaled-down setup (50x4)"
     )
-    parser.add_argument(
-        "--observe",
-        action="store_true",
-        help="instrument the run (metrics + traces); implied by --trace-out",
-    )
+    _shared_sim_flags(parser)
     parser.add_argument(
         "--trace-out",
         default=None,
@@ -319,10 +338,12 @@ def _cmd_serve(args) -> int:
         slo_rejection_rate=args.slo,
         max_servers=args.max_servers,
         dispatcher=args.dispatcher,
+        engine=args.engine,
         backbone_mbps=args.backbone_mbps,
         failures=args.failures,
         failover=(FailoverPolicy() if args.failover else None),
         failover_on_down=args.failover,
+        shards=args.shards,
         setup=setup,
         seed=args.seed,
     )
@@ -331,7 +352,18 @@ def _cmd_serve(args) -> int:
         from .observe import Observer
 
         observer = Observer()
-    result = ServingControlPlane(config, observer=observer).run()
+    runner = None
+    if args.jobs > 1:
+        from .runtime import ParallelRunner
+
+        runner = ParallelRunner(jobs=args.jobs, observer=observer)
+    try:
+        result = ServingControlPlane(
+            config, observer=observer, runner=runner
+        ).run()
+    finally:
+        if runner is not None:
+            runner.close()
     print(result.format())
     print(f"digest: {result.digest()}")
     if observer is not None and args.trace_out:
@@ -358,6 +390,7 @@ def _cmd_pipeline(args) -> int:
         refine=args.refine,
         anneal=args.anneal,
         dispatcher=args.dispatcher,
+        engine=args.engine,
         backbone_mbps=args.backbone_mbps,
         failures=args.failures,
         failover=(
@@ -413,6 +446,32 @@ def _cmd_observe_report(args) -> int:
     return 0
 
 
+def _cmd_bench(argv: list[str]) -> int:
+    """Delegate to the repo-root hot-path benchmark driver.
+
+    The driver lives outside the installable package (it writes
+    ``BENCH_hotpaths.json`` at the repo root), so it is loaded from the
+    checkout by path; an installed-only environment gets a clear error.
+    """
+    import importlib.util
+    from pathlib import Path
+
+    script = (
+        Path(__file__).resolve().parents[2] / "benchmarks" / "bench_hotpaths.py"
+    )
+    if not script.exists():
+        print(
+            "bench requires a repository checkout "
+            f"(no {script})",
+            file=sys.stderr,
+        )
+        return 2
+    spec = importlib.util.spec_from_file_location("bench_hotpaths", script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.main(argv)
+
+
 def main(argv: "list[str] | None" = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     parser = argparse.ArgumentParser(
@@ -435,6 +494,12 @@ def main(argv: "list[str] | None" = None) -> int:
         help="differential fuzzing (python -m repro.verify.fuzz ...)",
         add_help=False,
     )
+    subparsers.add_parser(
+        "bench",
+        help="hot-path microbenchmarks writing BENCH_hotpaths.json "
+        "(benchmarks/bench_hotpaths.py ...)",
+        add_help=False,
+    )
     _pipeline_parser(subparsers)
     _serve_parser(subparsers)
     report_parser = subparsers.add_parser(
@@ -453,6 +518,8 @@ def main(argv: "list[str] | None" = None) -> int:
         from .verify.fuzz import main as fuzz_main
 
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return _cmd_bench(argv[1:])
 
     args = parser.parse_args(argv)
     if args.command == "pipeline":

@@ -27,8 +27,6 @@ comparisons therefore use long horizons.
 
 from __future__ import annotations
 
-import warnings
-
 import numpy as np
 
 from .._validation import check_int_in_range, check_non_negative, check_probability_vector
@@ -39,8 +37,6 @@ __all__ = [
     "cluster_blocking_bound",
     "partitioned_blocking",
 ]
-
-_UNSET = object()
 
 try:  # scipy is optional: the array path falls back to a pure-numpy loop
     from scipy.special import gammaincc as _gammaincc, gammaln as _gammaln
@@ -159,51 +155,27 @@ def _erlang_b_array(offered_load: np.ndarray, num_servers) -> np.ndarray:
     return np.where(servers == 0, np.where(loads > 0.0, 1.0, 0.0), blocking)
 
 
-def erlang_b(
-    offered_load=_UNSET,
-    num_servers=None,
-    *,
-    offered_load_erlangs=_UNSET,
-):
+def erlang_b(offered_load, num_servers):
     """Erlang-B blocking probability ``B(a, c)``.
 
     Parameters
     ----------
     offered_load:
         Offered traffic ``a = lambda * holding_time`` — a scalar or an
-        array (any shape, broadcast against ``num_servers``).
+        array (any shape, broadcast against ``num_servers``).  (The
+        parameter was once named ``offered_load_erlangs``, which shadowed
+        the module-level :func:`offered_load_erlangs` helper; the
+        transitional keyword alias served its deprecation window and has
+        been removed — see DESIGN.md "Deprecation windows".)
     num_servers:
         Number of circuits ``c`` (stream slots here) — a scalar or an
         integer array broadcastable against ``offered_load``.
-    offered_load_erlangs:
-        Deprecated keyword alias of ``offered_load``.  The old parameter
-        name shadowed the module-level :func:`offered_load_erlangs`
-        helper inside this module, so it was renamed; the alias keeps
-        existing keyword call sites working.
 
     Scalars use the numerically stable recurrence ``B(a, 0) = 1;
     B(a, c) = a B(a, c-1) / (c + a B(a, c-1))`` (bit-compatible with the
     historical implementation); arrays use a log-domain inverse
     recurrence vectorized over all elements.
     """
-    if offered_load_erlangs is not _UNSET:
-        if offered_load is not _UNSET:
-            raise TypeError(
-                "pass offered_load or the deprecated offered_load_erlangs "
-                "alias, not both"
-            )
-        warnings.warn(
-            "the offered_load_erlangs= keyword of erlang_b() is deprecated "
-            "(it shadows analysis.erlang.offered_load_erlangs); use "
-            "offered_load=",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        offered_load = offered_load_erlangs
-    if offered_load is _UNSET:
-        raise TypeError("erlang_b() missing required argument: 'offered_load'")
-    if num_servers is None:
-        raise TypeError("erlang_b() missing required argument: 'num_servers'")
     if np.ndim(offered_load) == 0 and np.ndim(num_servers) == 0:
         return _erlang_b_scalar(offered_load, num_servers)
     return _erlang_b_array(offered_load, num_servers)

@@ -65,7 +65,8 @@ class Summary:
     """Mean / spread summary of a sample of scalar measurements.
 
     Field names follow the canonical result schema (DESIGN.md): counts are
-    ``num_*``.  The pre-schema name ``n`` remains as a deprecated alias.
+    ``num_*``.  The pre-schema alias ``n`` served its deprecation window
+    and has been removed (see DESIGN.md "Deprecation windows").
     """
 
     mean: float
@@ -74,18 +75,6 @@ class Summary:
     num_samples: int
     min: float
     max: float
-
-    @property
-    def n(self) -> int:
-        """Deprecated alias of :attr:`num_samples`."""
-        import warnings
-
-        warnings.warn(
-            "Summary.n is deprecated; use Summary.num_samples",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.num_samples
 
     def __str__(self) -> str:
         return f"{self.mean:.4f} ± {self.ci95:.4f} (n={self.num_samples})"

@@ -16,6 +16,8 @@ Extensions layered on the same event machinery:
   by all three simulation loops (:mod:`.soa`) and shard/merge machinery
   whose merged results are bit-identical to an unsharded block run
   (:mod:`.sharding`);
+* a vectorized event-batch engine over the SoA columns (:mod:`.vector`)
+  behind the lockstep engine registry (:mod:`.engines`);
 * the wide-striping shared-storage architecture the paper argues against
   (:mod:`.striping`);
 * multicast batching delivery (:mod:`.batching`);
@@ -23,6 +25,7 @@ Extensions layered on the same event machinery:
 """
 
 from .batching import BatchingClusterSimulator, BatchingResult
+from .engines import ENGINES, engine_run_kwargs, make_simulator, validate_engine
 from .dispatch import (
     Dispatcher,
     FirstFitDispatcher,
@@ -56,10 +59,15 @@ from .sharding import (
 from .simulator import VoDClusterSimulator
 from .soa import RequestSoA
 from .striping import StripedClusterSimulator
+from .vector import VectorClusterSimulator
 
 __all__ = [
     "BatchingClusterSimulator",
     "BatchingResult",
+    "ENGINES",
+    "engine_run_kwargs",
+    "make_simulator",
+    "validate_engine",
     "Dispatcher",
     "FirstFitDispatcher",
     "LeastLoadedDispatcher",
@@ -81,6 +89,7 @@ __all__ = [
     "ReferenceClusterSimulator",
     "StreamingServer",
     "StripedClusterSimulator",
+    "VectorClusterSimulator",
     "VoDClusterSimulator",
     "fold_unsharded",
     "merge_results",

@@ -88,6 +88,16 @@ class VoDClusterSimulator:
     backbone_mbps:
         Internal-backbone capacity for the redirection extension; 0
         disables redirection (the paper's base admission control).
+    redirection_pods:
+        Number of independent backbone partitions (default 1, the
+        paper's single shared link).  With ``P > 1`` the cluster is
+        split into P contiguous pods — pod ``p`` owns videos
+        ``[p*M/P, (p+1)*M/P)`` and servers ``[p*N/P, (p+1)*N/P)`` —
+        each with its *own* ``backbone_mbps`` link, and a request may
+        only be redirected to a server inside its video's pod.  This is
+        exactly the K-shard block system, which is what makes the
+        sharded backbone merge exact (see
+        :func:`~repro.cluster_sim.sharding.unsharded_equivalent`).
     stream_limits:
         Optional per-server concurrent-stream caps from the disk-subsystem
         model (:mod:`repro.storage`); ``None`` keeps the paper's
@@ -104,6 +114,7 @@ class VoDClusterSimulator:
         *,
         dispatcher_factory=StaticRoundRobinDispatcher,
         backbone_mbps: float = 0.0,
+        redirection_pods: int = 1,
         stream_limits: "np.ndarray | list[int] | None" = None,
         validate_layout: bool = True,
     ) -> None:
@@ -121,6 +132,19 @@ class VoDClusterSimulator:
                 raise ValueError("stream_limits must be >= 0")
         self._stream_limits = stream_limits
         check_non_negative("backbone_mbps", backbone_mbps)
+        redirection_pods = int(redirection_pods)
+        if redirection_pods < 1:
+            raise ValueError("redirection_pods must be >= 1")
+        if redirection_pods > 1:
+            if videos.num_videos % redirection_pods:
+                raise ValueError(
+                    "redirection_pods must divide the number of videos"
+                )
+            if cluster.num_servers % redirection_pods:
+                raise ValueError(
+                    "redirection_pods must divide the number of servers"
+                )
+        self._redirection_pods = redirection_pods
         if validate_layout:
             # Mixed per-replica rates are a valid runtime configuration
             # (the Sec. 4.3 scalable setting); storage/coverage still hold.
@@ -247,9 +271,24 @@ class VoDClusterSimulator:
             for k, spec in enumerate(self._cluster)
         ]
         dispatcher: Dispatcher = self._dispatcher_factory(self._layout)
-        backbone = (
-            BackboneLink(self._backbone_mbps) if self._backbone_mbps > 0 else None
-        )
+        # Redirection pods: one independent BackboneLink per pod.  P=1 is
+        # the paper's single shared backbone; the per-pod indices below
+        # all reduce to 0 and the delegate scan covers every server, so
+        # the P=1 path is semantically identical to the historical single
+        # link (and the backbone-off hot path is untouched).
+        pods = self._redirection_pods
+        if self._backbone_mbps > 0:
+            backbones = [
+                BackboneLink(self._backbone_mbps) for _ in range(pods)
+            ]
+            videos_per_pod = self._videos.num_videos // pods
+            servers_per_pod = len(servers) // pods
+            pod_servers = [
+                servers[p * servers_per_pod : (p + 1) * servers_per_pod]
+                for p in range(pods)
+            ]
+        else:
+            backbones = None
         # Bare-tuple event heap: (time, kind, seq, payload).  seq is the
         # insertion-order tiebreak, so tuple comparison never reaches the
         # payload (identical ordering to EventQueue).
@@ -316,8 +355,10 @@ class VoDClusterSimulator:
                 num_failures += 1
                 down_since[k] = event[0]
                 streams_dropped += servers[k].fail(event[0])
-                if backbone is not None and backbone_by_server[k] > 0:
-                    backbone.release(backbone_by_server[k])
+                if backbones is not None and backbone_by_server[k] > 0:
+                    backbones[k // servers_per_pod].release(
+                        backbone_by_server[k]
+                    )
                     backbone_by_server[k] = 0.0
                 if rerep is not None:
                     if videos_of_server is None:
@@ -495,7 +536,9 @@ class VoDClusterSimulator:
                         server.used_mbps = used
                         server.active_streams -= 1
                         if dep_redirected:
-                            backbone.release(dep_rate)
+                            backbones[dep_server // servers_per_pod].release(
+                                dep_rate
+                            )
                             backbone_by_server[dep_server] -= dep_rate
                         if trace_every:
                             trace_dep_down -= 1
@@ -513,8 +556,12 @@ class VoDClusterSimulator:
                         [s.active_streams for s in servers],
                         arrivals_done,
                         sum(per_video_rejected),
-                        backbone.redirected_streams if backbone is not None else 0,
-                        backbone.used_mbps if backbone is not None else 0.0,
+                        sum(b.redirected_streams for b in backbones)
+                        if backbones is not None
+                        else 0,
+                        sum(b.used_mbps for b in backbones)
+                        if backbones is not None
+                        else 0.0,
                     )
                 )
 
@@ -559,7 +606,7 @@ class VoDClusterSimulator:
                     server.used_mbps = used
                     server.active_streams -= 1
                     if redirected:
-                        backbone.release(rate)
+                        backbones[server_id // servers_per_pod].release(rate)
                         backbone_by_server[server_id] -= rate
                     if trace_every:
                         trace_dep_down -= 1
@@ -635,17 +682,20 @@ class VoDClusterSimulator:
                         admitted = True
                         break
 
-            if not admitted and backbone is not None and (
+            if not admitted and backbones is not None and (
                 rerep is None or any(row[s] > 0.0 for s in dispatcher_holders(video))
             ):
-                # Redirection: any server with free outgoing bandwidth may
-                # stream the video's best copy over the backbone — gated,
-                # under re-replication, on some replica actually existing.
+                # Redirection: any server in the video's pod with free
+                # outgoing bandwidth may stream the video's best copy over
+                # the pod's backbone — gated, under re-replication, on
+                # some replica actually existing.
                 rate = best_rates[video]
+                pod = video // videos_per_pod
+                backbone = backbones[pod]
                 if backbone.used_mbps + rate <= backbone.capacity_mbps + eps:
                     delegate = None
                     best_util = _INF
-                    for server in servers:
+                    for server in pod_servers[pod]:
                         if (
                             server.is_up
                             and server.used_mbps + rate
@@ -731,7 +781,7 @@ class VoDClusterSimulator:
                     continue
                 server.release(event[0], rate)
                 if redirected:
-                    backbone.release(rate)
+                    backbones[server_id // servers_per_pod].release(rate)
                     backbone_by_server[server_id] -= rate
                 if trace_every:
                     trace_dep_down -= 1
@@ -758,7 +808,11 @@ class VoDClusterSimulator:
             server_served=np.array([s.served_requests for s in servers]),
             server_bandwidth_mbps=self._cluster.bandwidth_mbps,
             horizon_min=horizon_min,
-            num_redirected=backbone.redirected_streams if backbone else 0,
+            num_redirected=(
+                sum(b.redirected_streams for b in backbones)
+                if backbones is not None
+                else 0
+            ),
             streams_dropped=streams_dropped,
             num_truncated=num_truncated,
             num_events=events_processed,

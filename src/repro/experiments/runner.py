@@ -24,7 +24,7 @@ from ..replication import (
     ZipfIntervalReplicator,
 )
 from ..replication.base import Replicator
-from ..runtime import get_runner, make_trials
+from ..runtime import get_runner
 from .config import PaperSetup
 
 __all__ = [
@@ -113,36 +113,44 @@ def simulate_combo(
     backbone_mbps: float = 0.0,
     layout: ReplicaLayout | None = None,
     seed_salt: int = 0,
+    engine: str = "optimized",
 ) -> list[SimulationResult]:
     """Run ``num_runs`` independent peak-period simulations of one point.
 
-    The workload seed is derived from the setup seed, the arrival rate and
-    ``seed_salt`` only — *not* from the algorithm combo — so competing
-    algorithms face identical request traces (paired comparison, lower
-    variance), mirroring a careful simulation methodology.
+    A thin adapter over :func:`repro.pipeline.solve`: the combo's layout
+    is built from its replicator/placer *instances* (so custom-configured
+    combos keep their configuration) and handed to the facade as a
+    ``layout=`` override, together with a :class:`repro.PipelineConfig`
+    carrying the design point.  The facade derives the workload seed
+    through :func:`workload_seed` — identical to the historical inline
+    path — so results stay bit-identical across the migration.
 
     Execution goes through the active :class:`repro.runtime.ParallelRunner`
     (serial and uncached by default): trials fan out over its worker pool
     and may be answered from its result cache, bit-identically either way.
     """
-    if num_runs is None:
-        num_runs = setup.num_runs
+    # Lazy import: repro.pipeline imports this module (workload_seed).
+    from ..pipeline import PLACERS, REPLICATORS, PipelineConfig, solve
+
     if layout is None:
         layout = build_layout(setup, combo, theta, degree)
-    seed = workload_seed(setup.seed, arrival_rate_per_min, theta, seed_salt)
-    trials = make_trials(
-        setup,
-        layout,
+    replicator_names = {cls: name for name, cls in REPLICATORS.items()}
+    placer_names = {cls: name for name, cls in PLACERS.items()}
+    config = PipelineConfig(
+        setup=setup,
         theta=theta,
-        degree=degree,
+        replication_degree=degree,
         arrival_rate_per_min=arrival_rate_per_min,
-        seed=seed,
         num_runs=num_runs,
+        # Labels only — the pre-built layout above is what gets simulated.
+        replicator=replicator_names.get(type(combo.replicator), "zipf"),
+        placer=placer_names.get(type(combo.placer), "slf"),
         dispatcher=dispatcher,
         backbone_mbps=backbone_mbps,
-        horizon_min=setup.peak_minutes,
+        engine=engine,
+        seed_salt=seed_salt,
     )
-    return get_runner().run_trials(trials)
+    return solve(config, runner=get_runner(), layout=layout).results
 
 
 def rejection_summary(results: list[SimulationResult]) -> Summary:

@@ -36,7 +36,7 @@ import numpy as np
 
 from .analysis.stats import Summary, summarize
 from .analysis.surrogate import SurrogateWorkload, evaluate_layouts
-from .experiments.config import PaperSetup
+from .config_core import SimulationConfig
 from .experiments.runner import workload_seed
 from .observe.profile import timed
 from .placement import (
@@ -72,15 +72,17 @@ PLACERS = {
 
 
 @dataclass(frozen=True)
-class PipelineConfig:
+class PipelineConfig(SimulationConfig):
     """Everything :func:`solve` needs for one design point.
+
+    The simulation-facing knobs shared with the serving plane (theta,
+    replication degree, dispatcher, **engine**, backbone, chaos stack,
+    shards, setup) live on the common :class:`repro.config_core.
+    SimulationConfig` base and are documented there; the fields below
+    are the batch pipeline's own.
 
     Attributes
     ----------
-    theta:
-        Zipf skew of the popularity distribution.
-    replication_degree:
-        Cluster-wide replicas per video (1.0 = no replication).
     arrival_rate_per_min:
         Poisson request rate of the simulated peak period.
     num_runs:
@@ -97,25 +99,6 @@ class PipelineConfig:
         replicator/placer pair (requires >= 2 allowed bit rates).
     anneal_chains / anneal_steps_per_level / anneal_max_levels / anneal_seed:
         SA chain count, per-level step budget, level cap, and chain seed.
-    dispatcher:
-        Run-time dispatcher (``static_rr``, ``least_loaded``, ``first_fit``).
-    backbone_mbps:
-        Backbone capacity for cross-server redirection (0 disables).
-    failures:
-        Optional chaos recipe (:class:`repro.cluster_sim.FailureSpec` or a
-        ``"kind:key=value,..."`` spec string) building a per-run failure
-        schedule inside each trial; ``None`` disables chaos entirely.
-    failover:
-        Retry/backoff policy for requests hit by a failure
-        (:class:`repro.cluster_sim.FailoverPolicy`); ``None`` rejects them
-        outright, matching the paper's static model.
-    rereplication:
-        Repair-time re-replication policy
-        (:class:`repro.cluster_sim.RereplicationPolicy`); ``None`` keeps
-        replicas lost at a crash lost for the rest of the run.
-    failover_on_down:
-        Immediate same-instant failover to surviving replica holders when
-        the dispatched server is down (the pre-existing S17 behavior).
     surrogate:
         Surrogate-guided sweep mode: instead of simulating the single
         replicator/placer design, screen ``screen_candidates`` candidate
@@ -132,22 +115,10 @@ class PipelineConfig:
         Survivors of the analytical screen that get DES confirmation.
     screen_seed:
         Seed for the random candidate layouts of the screen.
-    shards:
-        Split every run into this many deterministic arrival-stream shards
-        and merge the per-shard results back into one
-        :class:`~repro.cluster_sim.SimulationResult` per run
-        (:mod:`repro.cluster_sim.sharding`).  Weak scaling: each shard
-        simulates the full system against its own full-rate sub-stream, so
-        ``shards=K`` models a K-pod federation; ``shards=1`` (the default)
-        is bit-identical to the pre-sharding pipeline.
-    setup:
-        The :class:`PaperSetup` to derive cluster/videos/seeds from.
     seed_salt:
         Extra salt folded into the workload seed.
     """
 
-    theta: float = 0.75
-    replication_degree: float = 1.2
     arrival_rate_per_min: float = 30.0
     num_runs: int | None = None
     replicator: str = "zipf"
@@ -159,27 +130,14 @@ class PipelineConfig:
     anneal_steps_per_level: int = 200
     anneal_max_levels: int = 60
     anneal_seed: int = 0
-    dispatcher: str = "static_rr"
-    backbone_mbps: float = 0.0
-    failures: object = None
-    failover: object = None
-    rereplication: object = None
-    failover_on_down: bool = False
     surrogate: bool = False
     screen_candidates: int = 24
     screen_top_k: int = 3
     screen_seed: int = 0
-    shards: int = 1
-    setup: PaperSetup = field(default_factory=PaperSetup)
     seed_salt: int = 0
 
     def __post_init__(self) -> None:
-        if isinstance(self.failures, str):
-            from .cluster_sim import FailureSpec
-
-            object.__setattr__(
-                self, "failures", FailureSpec.parse(self.failures)
-            )
+        super().__post_init__()
         if self.replicator not in REPLICATORS:
             raise ValueError(
                 f"unknown replicator {self.replicator!r}; "
@@ -191,8 +149,6 @@ class PipelineConfig:
             )
         if self.num_runs is not None and self.num_runs < 1:
             raise ValueError(f"num_runs must be >= 1, got {self.num_runs}")
-        if self.shards < 1:
-            raise ValueError(f"shards must be >= 1, got {self.shards}")
         if self.surrogate:
             if self.anneal:
                 raise ValueError(
@@ -487,6 +443,7 @@ def _screen_and_confirm(config: PipelineConfig, sink, runner):
                 failover=config.failover,
                 rereplication=config.rereplication,
                 failover_on_down=config.failover_on_down,
+                engine=config.engine,
             )
             confirmed_results.append(runner.run_trials(trials))
     confirmed = tuple(
@@ -510,6 +467,7 @@ def solve(
     *,
     observer=None,
     runner: ParallelRunner | None = None,
+    layout=None,
 ) -> PipelineResult:
     """Run the full pipeline for one design point.
 
@@ -527,7 +485,19 @@ def solve(
         through; a fresh serial runner is used otherwise.  Ignored for the
         simulation stage when ``observer`` is set (see above), but still
         accumulates the run report.
+    layout:
+        Optional pre-built :class:`repro.model.layout.ReplicaLayout` to
+        simulate directly, skipping the replicate/place/refine design
+        stage (``PipelineResult.replication``/``refinement`` come back
+        ``None``).  This is how ``experiments.simulate_combo`` reuses one
+        layout across an arrival-rate sweep.  Incompatible with
+        ``surrogate`` and ``anneal`` modes, which design their own layouts.
     """
+    if layout is not None and (config.surrogate or config.anneal):
+        raise ValueError(
+            "layout= overrides the design stage; it is incompatible with "
+            "surrogate=True and anneal=True, which build their own layouts"
+        )
     if runner is None:
         runner = ParallelRunner(jobs=1, observer=observer)
     report = runner.report
@@ -551,9 +521,12 @@ def solve(
         )
 
     with use_runner(runner):
-        layout, replication, refinement, sa_result = _design_layout(
-            config, sink, observer
-        )
+        if layout is None:
+            layout, replication, refinement, sa_result = _design_layout(
+                config, sink, observer
+            )
+        else:
+            replication = refinement = sa_result = None
 
         setup = config.setup
         num_runs = config.num_runs if config.num_runs is not None else setup.num_runs
@@ -576,14 +549,26 @@ def solve(
             rereplication=config.rereplication,
             failover_on_down=config.failover_on_down,
             num_shards=config.shards,
+            engine=config.engine,
         )
         if observer is not None:
             # Serial in-process simulation so the observer sees every run;
             # same trace regeneration and simulator as the pooled path.
-            from .cluster_sim import VoDClusterSimulator, make_dispatcher_factory
+            from .cluster_sim import (
+                engine_run_kwargs,
+                make_dispatcher_factory,
+                make_simulator,
+            )
             from .runtime.trial import trial_run_kwargs, trial_trace
 
-            simulator = VoDClusterSimulator(
+            if config.engine == "reference":
+                raise ValueError(
+                    "observer= requires an engine with observation support; "
+                    "the reference oracle loop has none (use optimized, "
+                    "vector or audited)"
+                )
+            simulator = make_simulator(
+                config.engine,
                 setup.cluster(config.replication_degree),
                 setup.videos(),
                 layout,
@@ -600,6 +585,7 @@ def solve(
                         horizon_min=spec.resolved_horizon_min(),
                         observer=observer,
                         **trial_run_kwargs(spec),
+                        **engine_run_kwargs(config.engine),
                     )
                     for spec in trials
                 ]

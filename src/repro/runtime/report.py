@@ -10,15 +10,13 @@ CLI prints after each experiment::
 
 Field names follow the canonical result schema (DESIGN.md "Canonical
 result-field schema"): counts are ``num_*``, durations ``*_sec``, rates
-``*_rate``.  The pre-schema names (``trials``, ``simulated``,
-``cache_hits``, ``events``, ``sa_runs``, ``sa_steps``, ``audited_runs``,
-``audited_events``, ``audit_violations``) remain as deprecated read/write
-aliases that emit :class:`DeprecationWarning`.
+``*_rate``.  The pre-schema names (``trials``, ``simulated``, ...) were
+deprecated aliases for one release window and have been removed (see
+DESIGN.md "Deprecation windows").
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 from ..cluster_sim.metrics import SimulationResult
@@ -32,27 +30,6 @@ def _si(value: float) -> str:
         if abs(value) >= divisor:
             return f"{value / divisor:.1f}{suffix}"
     return f"{value:.1f}"
-
-
-def _deprecated_alias(old: str, new: str):
-    """A read/write property forwarding *old* to *new* with a warning."""
-
-    def _warn() -> None:
-        warnings.warn(
-            f"RunReport.{old} is deprecated; use RunReport.{new}",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    def getter(self):
-        _warn()
-        return getattr(self, new)
-
-    def setter(self, value):
-        _warn()
-        setattr(self, new, value)
-
-    return property(getter, setter, doc=f"Deprecated alias of ``{new}``.")
 
 
 @dataclass
@@ -114,19 +91,6 @@ class RunReport:
     ttr_sum_min: float = 0.0
     phase_seconds: dict = field(default_factory=dict, repr=False)
     batches: int = field(default=0, repr=False)
-
-    # Deprecated pre-schema aliases (read/write, warning on both).
-    trials = _deprecated_alias("trials", "num_trials")
-    simulated = _deprecated_alias("simulated", "num_simulated")
-    cache_hits = _deprecated_alias("cache_hits", "num_cache_hits")
-    events = _deprecated_alias("events", "num_events")
-    sa_runs = _deprecated_alias("sa_runs", "num_sa_runs")
-    sa_steps = _deprecated_alias("sa_steps", "num_sa_steps")
-    audited_runs = _deprecated_alias("audited_runs", "num_audited_runs")
-    audited_events = _deprecated_alias("audited_events", "num_audited_events")
-    audit_violations = _deprecated_alias(
-        "audit_violations", "num_audit_violations"
-    )
 
     # ------------------------------------------------------------------
     def reset(self) -> None:

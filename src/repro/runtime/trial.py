@@ -21,7 +21,13 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from ..cluster_sim import VoDClusterSimulator, make_dispatcher_factory
+from ..cluster_sim import (
+    ENGINES,
+    VoDClusterSimulator,
+    engine_run_kwargs,
+    make_dispatcher_factory,
+    make_simulator,
+)
 from ..cluster_sim.failures import (
     FailoverPolicy,
     FailureSpec,
@@ -60,6 +66,11 @@ class TrialSpec:
     seed: int
     run_index: int
     dispatcher: str = "static_rr"
+    #: Lockstep engine executing the trial (see
+    #: :data:`repro.cluster_sim.ENGINES`); all engines are
+    #: ``same_outcome``-identical, so the engine only affects speed (and,
+    #: for ``audited``, in-situ invariant checking).
+    engine: str = "optimized"
     backbone_mbps: float = 0.0
     horizon_min: float | None = None
     #: Chaos extension: per-run failure schedule recipe (built inside the
@@ -106,6 +117,7 @@ def make_trials(
     rereplication: RereplicationPolicy | None = None,
     failover_on_down: bool = False,
     num_shards: int = 1,
+    engine: str = "optimized",
 ) -> list[TrialSpec]:
     """Build the trial specs of one design point.
 
@@ -131,6 +143,7 @@ def make_trials(
         seed=int(seed),
         run_index=0,
         dispatcher=dispatcher,
+        engine=engine,
         backbone_mbps=float(backbone_mbps),
         horizon_min=horizon_min,
         failures=failures,
@@ -155,7 +168,8 @@ def make_trials(
             "rereplication": base.rereplication,
             "failover_on_down": base.failover_on_down,
             "num_shards": base.num_shards,
-            "simulator": VoDClusterSimulator.__qualname__,
+            "engine": base.engine,
+            "simulator": ENGINES[base.engine].__qualname__,
             "code_version": code_version(),
         }
     )
@@ -199,7 +213,8 @@ _SIM_MEMO_MAX = 32
 def _simulator_for(spec: TrialSpec) -> VoDClusterSimulator:
     simulator = _SIM_MEMO.get(spec.config_key) if spec.config_key else None
     if simulator is None:
-        simulator = VoDClusterSimulator(
+        simulator = make_simulator(
+            spec.engine,
             spec.setup.cluster(spec.degree),
             spec.setup.videos(),
             spec.layout,
@@ -245,4 +260,5 @@ def run_trial(spec: TrialSpec) -> SimulationResult:
         trial_trace(spec),
         horizon_min=spec.resolved_horizon_min(),
         **trial_run_kwargs(spec),
+        **engine_run_kwargs(spec.engine),
     )

@@ -16,7 +16,7 @@ corpus under ``tests/corpus/serving/`` pins.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from .._validation import (
     check_in_range,
@@ -24,6 +24,7 @@ from .._validation import (
     check_non_negative,
     check_positive,
 )
+from ..config_core import SimulationConfig, core_field_names
 from ..dynamic.drift import (
     LognormalDrift,
     NoDrift,
@@ -31,7 +32,6 @@ from ..dynamic.drift import (
     RankSwapDrift,
     ReleaseChurnDrift,
 )
-from ..experiments.config import PaperSetup
 
 __all__ = ["ServingConfig", "parse_drift", "REPLAN_MODES"]
 
@@ -63,8 +63,18 @@ def parse_drift(text: str | None) -> PopularityDrift | None:
 
 
 @dataclass(frozen=True)
-class ServingConfig:
+class ServingConfig(SimulationConfig):
     """Everything one control-plane run needs.
+
+    The simulation-facing knobs shared with the batch pipeline (theta,
+    replication degree, dispatcher, **engine**, backbone, chaos stack,
+    shards, setup) live on the common :class:`repro.config_core.
+    SimulationConfig` base and are documented there.  ``shards`` splits
+    every epoch's workload into that many full-rate sub-streams — shard
+    0 regenerates the unsharded epoch trace, shard ``k >= 1`` draws from
+    the extended spawn key ``(0x5E12, epoch, k)`` — simulated
+    independently and merged (:func:`repro.cluster_sim.sharding.
+    merge_results`) into one K-pod result per epoch.
 
     Attributes
     ----------
@@ -72,8 +82,6 @@ class ServingConfig:
         Number of serving epochs (simulator runs on persistent state).
     epoch_minutes:
         Simulated length of one epoch; ``None`` takes the setup's peak.
-    theta / replication_degree:
-        The design point (bootstrap popularity prior + storage sizing).
     base_rate_per_min / peak_rate_per_min:
         The diurnal trapezoid's off-peak and peak arrival rates.  Epochs
         tile a "day" of ``day_epochs`` epochs; the rate ramps linearly
@@ -117,21 +125,16 @@ class ServingConfig:
     min_servers / max_servers:
         Cluster-size bounds; ``None`` defaults to the setup's server
         count and twice it, respectively.
-    dispatcher / backbone_mbps:
-        Run-time dispatch policy and redirection backbone.
-    failures / failover / rereplication / failover_on_down:
-        Chaos passthrough (per-epoch schedules built from the spec with
-        the epoch index as run index, spawn key ``(0xFA11, epoch)``).
-    setup:
-        The :class:`PaperSetup` to derive cluster/videos/seed from.
     seed:
         Root seed; ``None`` takes the setup's.
+
+    The chaos spec builds per-epoch schedules with the epoch index as
+    run index (spawn key ``(0xFA11, epoch)``; shard ``k >= 1`` extends
+    it to ``(0xFA11, epoch, k)``).
     """
 
     epochs: int = 8
     epoch_minutes: float | None = None
-    theta: float = 0.75
-    replication_degree: float = 1.2
     base_rate_per_min: float = 15.0
     peak_rate_per_min: float = 30.0
     day_epochs: int = 4
@@ -154,16 +157,10 @@ class ServingConfig:
     cooldown_epochs: int = 2
     min_servers: int | None = None
     max_servers: int | None = None
-    dispatcher: str = "static_rr"
-    backbone_mbps: float = 0.0
-    failures: object = None
-    failover: object = None
-    rereplication: object = None
-    failover_on_down: bool = False
-    setup: PaperSetup = field(default_factory=PaperSetup)
     seed: int | None = None
 
     def __post_init__(self) -> None:
+        super().__post_init__()
         check_int_in_range("epochs", self.epochs, 1)
         if self.epoch_minutes is not None:
             check_positive("epoch_minutes", self.epoch_minutes)
@@ -200,10 +197,6 @@ class ServingConfig:
         check_int_in_range("breach_epochs", self.breach_epochs, 1)
         check_int_in_range("relax_epochs", self.relax_epochs, 1)
         check_int_in_range("cooldown_epochs", self.cooldown_epochs, 0)
-        if isinstance(self.failures, str):
-            from ..cluster_sim import FailureSpec
-
-            object.__setattr__(self, "failures", FailureSpec.parse(self.failures))
         setup = self.setup
         lo = self.min_servers if self.min_servers is not None else setup.num_servers
         hi = self.max_servers if self.max_servers is not None else 2 * setup.num_servers
@@ -247,21 +240,16 @@ class ServingConfig:
         """Derive a serving config from a batch :class:`PipelineConfig`.
 
         The pipeline's arrival rate becomes the diurnal peak (with the
-        base at half of it); design point, dispatcher, backbone and the
-        chaos stack carry over.  Keyword overrides win.
+        base at half of it); every shared-core knob — design point,
+        dispatcher, engine, backbone, chaos stack, shards, setup —
+        carries over verbatim.  Keyword overrides win.
         """
-        fields = dict(
-            theta=pipeline.theta,
-            replication_degree=pipeline.replication_degree,
+        fields = {
+            name: getattr(pipeline, name) for name in core_field_names()
+        }
+        fields.update(
             base_rate_per_min=pipeline.arrival_rate_per_min / 2.0,
             peak_rate_per_min=pipeline.arrival_rate_per_min,
-            dispatcher=pipeline.dispatcher,
-            backbone_mbps=pipeline.backbone_mbps,
-            failures=pipeline.failures,
-            failover=pipeline.failover,
-            rereplication=pipeline.rereplication,
-            failover_on_down=pipeline.failover_on_down,
-            setup=pipeline.setup,
         )
         fields.update(overrides)
         return cls(**fields)

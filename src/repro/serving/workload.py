@@ -39,6 +39,7 @@ __all__ = [
     "epoch_arrivals",
     "epoch_offered_rate",
     "epoch_trace",
+    "epoch_traces",
     "evolve_popularity",
     "WORKLOAD_TAG",
     "DRIFT_TAG",
@@ -53,10 +54,21 @@ DRIFT_TAG = 0xD21F
 _RAMP_START, _PEAK_START, _PEAK_END, _RAMP_END = 0.125, 0.375, 0.625, 0.875
 
 
-def epoch_rng(seed: int, epoch: int, tag: int) -> np.random.Generator:
-    """The epoch's private random stream for one purpose *tag*."""
+def epoch_rng(
+    seed: int, epoch: int, tag: int, shard: int = 0
+) -> np.random.Generator:
+    """The epoch's private random stream for one purpose *tag*.
+
+    Shard 0 keeps the historical key ``(tag, epoch)`` (bit-identical to
+    unsharded serving); shard ``k >= 1`` extends it to
+    ``(tag, epoch, k)`` — independent per shard and independent of the
+    shard count.
+    """
+    key = (int(tag), int(epoch))
+    if shard:
+        key = (*key, int(shard))
     return np.random.default_rng(
-        np.random.SeedSequence(int(seed), spawn_key=(int(tag), int(epoch)))
+        np.random.SeedSequence(int(seed), spawn_key=key)
     )
 
 
@@ -124,12 +136,17 @@ def epoch_offered_rate(config: ServingConfig, epoch: int) -> float:
 
 
 def epoch_trace(
-    config: ServingConfig, epoch: int, probabilities: np.ndarray
+    config: ServingConfig,
+    epoch: int,
+    probabilities: np.ndarray,
+    shard: int = 0,
 ) -> RequestTrace:
     """Generate epoch ``epoch``'s request trace for a true popularity.
 
-    Uses only ``(config, epoch, probabilities)`` — not controller state —
-    so manually chained batch epochs regenerate the identical trace.
+    Uses only ``(config, epoch, probabilities, shard)`` — not controller
+    state — so manually chained batch epochs regenerate the identical
+    trace.  ``shard`` selects the sub-stream of a sharded epoch (see
+    :func:`epoch_rng`); each shard draws a full-rate trace.
     """
     generator = WorkloadGenerator(
         PopularityModel.from_probabilities(probabilities),
@@ -137,8 +154,19 @@ def epoch_trace(
     )
     return generator.generate(
         config.resolved_epoch_minutes,
-        epoch_rng(config.resolved_seed, epoch, WORKLOAD_TAG),
+        epoch_rng(config.resolved_seed, epoch, WORKLOAD_TAG, shard),
     )
+
+
+def epoch_traces(
+    config: ServingConfig, epoch: int, probabilities: np.ndarray
+) -> list[RequestTrace]:
+    """All ``config.shards`` sub-stream traces of one epoch, in shard
+    order (a one-element list for unsharded configs)."""
+    return [
+        epoch_trace(config, epoch, probabilities, shard)
+        for shard in range(config.shards)
+    ]
 
 
 def evolve_popularity(

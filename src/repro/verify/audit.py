@@ -181,7 +181,8 @@ def _reconstruct(
     vid: np.ndarray,
     crash_records: list,
     servers: list[StreamingServer],
-    backbone: "BackboneLink | None",
+    backbones: "list[BackboneLink] | None",
+    servers_per_pod: int,
     enabled: frozenset,
 ) -> None:
     """Rebuild every shadow account from the admission/crash tables."""
@@ -237,10 +238,14 @@ def _reconstruct(
         weights=rate * (np.minimum(eff, H) - t0),
         minlength=num_servers,
     ).tolist()
+    # Backbone shadow accounts stay cluster-global (summed over pods);
+    # the peak check below is the only per-pod reconstruction.
     audit.shadow_backbone = (
-        float(rate[red & alive_end].sum()) if backbone is not None else 0.0
+        float(rate[red & alive_end].sum()) if backbones is not None else 0.0
     )
-    audit.backbone_used_mbps = backbone.used_mbps if backbone else 0.0
+    audit.backbone_used_mbps = (
+        sum(b.used_mbps for b in backbones) if backbones is not None else 0.0
+    )
 
     if "placement" in enabled and len(t0) and audit.rate_matrix is not None:
         # Every direct admission must land on a replica holder: its
@@ -378,17 +383,30 @@ def _reconstruct(
                         f"streams over its cap of {server.max_streams}",
                     )
                 )
-    if check_bw and backbone is not None and bool(red.any()):
-        peak, when = _peak_time(t0[red], eff[red], rate[red])
-        if peak > backbone.capacity_mbps * (1 + 1e-9) + _EPS_MBPS:
-            violations.append(
-                Violation(
-                    "bandwidth",
-                    when,
-                    f"backbone occupancy reconstructed at {peak:.9f} Mb/s "
-                    f"exceeds its {backbone.capacity_mbps:.9f} Mb/s capacity",
+    if check_bw and backbones is not None and bool(red.any()):
+        # Each pod's backbone is an independent link with the full
+        # per-pod capacity, so the peak is reconstructed per pod (the
+        # delegate's server block identifies the pod).
+        capacity = backbones[0].capacity_mbps
+        r_idx = np.flatnonzero(red)
+        pod_of = sid[r_idx] // servers_per_pod
+        for p in np.unique(pod_of):
+            sel = r_idx[pod_of == p]
+            peak, when = _peak_time(t0[sel], eff[sel], rate[sel])
+            if peak > capacity * (1 + 1e-9) + _EPS_MBPS:
+                label = (
+                    "backbone"
+                    if len(backbones) == 1
+                    else f"pod {int(p)} backbone"
                 )
-            )
+                violations.append(
+                    Violation(
+                        "bandwidth",
+                        when,
+                        f"{label} occupancy reconstructed at {peak:.9f} "
+                        f"Mb/s exceeds its {capacity:.9f} Mb/s capacity",
+                    )
+                )
 
 
 def run_audited(
@@ -441,11 +459,22 @@ def run_audited(
     ]
     num_servers = len(servers)
     dispatcher: Dispatcher = simulator._dispatcher_factory(simulator._layout)
-    backbone = (
-        BackboneLink(simulator._backbone_mbps)
-        if simulator._backbone_mbps > 0
-        else None
-    )
+    # Redirection pods: one independent BackboneLink per pod (P=1 is the
+    # paper's single shared backbone; see the optimized loop).
+    pods = simulator._redirection_pods
+    if simulator._backbone_mbps > 0:
+        backbones = [
+            BackboneLink(simulator._backbone_mbps) for _ in range(pods)
+        ]
+        videos_per_pod = simulator._videos.num_videos // pods
+        servers_per_pod = len(servers) // pods
+        pod_servers = [
+            servers[p * servers_per_pod : (p + 1) * servers_per_pod]
+            for p in range(pods)
+        ]
+    else:
+        backbones = None
+        servers_per_pod = len(servers)
     heap: list = []
     seq = 0
     backbone_by_server = [0.0] * num_servers
@@ -514,8 +543,10 @@ def run_audited(
                 (event[0], server_id, servers[server_id].used_mbps)
             )
             streams_dropped += servers[server_id].fail(event[0])
-            if backbone is not None and backbone_by_server[server_id] > 0:
-                backbone.release(backbone_by_server[server_id])
+            if backbones is not None and backbone_by_server[server_id] > 0:
+                backbones[server_id // servers_per_pod].release(
+                    backbone_by_server[server_id]
+                )
                 backbone_by_server[server_id] = 0.0
             if rerep is not None:
                 if videos_of_server is None:
@@ -724,7 +755,7 @@ def run_audited(
                 server.used_mbps = used
                 server.active_streams -= 1
                 if redirected:
-                    backbone.release(rate)
+                    backbones[server_id // servers_per_pod].release(rate)
                     backbone_by_server[server_id] -= rate
             else:
                 seq = handle_rare(event, seq)
@@ -785,14 +816,16 @@ def run_audited(
                     decisions[index] = admit_base + server_id
                     break
 
-        if not admitted and backbone is not None and (
+        if not admitted and backbones is not None and (
             rerep is None or any(row[s] > 0.0 for s in dispatcher_holders(video))
         ):
             rate = best_rates[video]
+            pod = video // videos_per_pod
+            backbone = backbones[pod]
             if backbone.used_mbps + rate <= backbone.capacity_mbps + eps:
                 delegate = None
                 best_util = _INF
-                for server in servers:
+                for server in pod_servers[pod]:
                     if (
                         server.is_up
                         and server.used_mbps + rate
@@ -868,7 +901,7 @@ def run_audited(
                 continue
             server.release(etime, rate)
             if redirected:
-                backbone.release(rate)
+                backbones[server_id // servers_per_pod].release(rate)
                 backbone_by_server[server_id] -= rate
         else:
             seq = handle_rare(event, seq)
@@ -890,7 +923,11 @@ def run_audited(
         server_served=np.array([s.served_requests for s in servers]),
         server_bandwidth_mbps=simulator._cluster.bandwidth_mbps,
         horizon_min=horizon_min,
-        num_redirected=backbone.redirected_streams if backbone else 0,
+        num_redirected=(
+            sum(b.redirected_streams for b in backbones)
+            if backbones is not None
+            else 0
+        ),
         streams_dropped=streams_dropped,
         num_truncated=num_truncated,
         num_events=events_processed,
@@ -991,7 +1028,8 @@ def run_audited(
         vid,
         crash_records,
         servers,
-        backbone,
+        backbones,
+        servers_per_pod,
         enabled,
     )
 

@@ -92,6 +92,27 @@ def _run_des(params: dict) -> tuple[list[str], dict]:
             f"events {result.num_events} vs {ref_result.num_events})"
         )
 
+    # Fourth lockstep engine: the vectorized event-batch core must match
+    # bit for bit on every case, fast path engaged or delegated.
+    from ..cluster_sim import VectorClusterSimulator
+
+    vector = VectorClusterSimulator(
+        optimized._cluster,
+        optimized._videos,
+        optimized._layout,
+        dispatcher_factory=optimized._dispatcher_factory,
+        backbone_mbps=optimized._backbone_mbps,
+        stream_limits=optimized._stream_limits,
+        redirection_pods=optimized._redirection_pods,
+    )
+    vec_result = vector.run(trace, **run_kwargs)
+    if not result.same_outcome(vec_result):
+        failures.append(
+            "des-vector-equivalence: vector engine diverged from optimized "
+            f"(rejected {result.num_rejected} vs {vec_result.num_rejected}, "
+            f"events {result.num_events} vs {vec_result.num_events})"
+        )
+
     audited, report = run_audited(
         optimized, trace, auditors=failure_auditors(), **run_kwargs
     )

@@ -148,8 +148,10 @@ def audit_shard_merge(
 
     ``simulator``/``traces``/``failure_schedules`` are the sharded run's
     inputs (``traces`` from :func:`shard_traces`, one schedule per shard);
-    ``merged`` its :func:`merge_results` output.  Requires
-    ``backbone_mbps == 0`` (see :func:`unsharded_equivalent`).
+    ``merged`` its :func:`merge_results` output.  ``backbone_mbps > 0``
+    is covered under the per-pod backbone split: the block system gets
+    one independent backbone link per shard via ``redirection_pods``
+    (see :func:`unsharded_equivalent`).
     """
     traces = list(traces)
     block_sim, block_trace, block_failures = unsharded_equivalent(

@@ -205,34 +205,65 @@ class TestConsolidatedCli:
         with pytest.raises(SystemExit):
             repro_main(["not-a-command"])
 
+    def test_top_level_help_lists_every_subcommand(self, capsys):
+        """``--help`` must enumerate all six subcommands with descriptions."""
+        with pytest.raises(SystemExit) as excinfo:
+            repro_main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        descriptions = {
+            "experiments": "figure harness",
+            "fuzz": "differential fuzzing",
+            "bench": "microbenchmark",
+            "pipeline": "facade",
+            "serve": "serving control plane",
+            "observe-report": "trace JSONL",
+        }
+        for name, blurb in descriptions.items():
+            assert name in out, f"--help is missing the {name} subcommand"
+            assert blurb in out, f"--help lacks a description for {name}"
 
-class TestDeprecatedAliases:
-    def test_run_report_aliases_warn_but_work(self):
+    def test_shared_sim_flags_identical_across_pipeline_and_serve(self, capsys):
+        """--engine/--shards/--jobs/--observe spell the same on both verbs."""
+        helps = {}
+        for verb in ("pipeline", "serve"):
+            with pytest.raises(SystemExit) as excinfo:
+                repro_main([verb, "--help"])
+            assert excinfo.value.code == 0
+            helps[verb] = capsys.readouterr().out
+        for flag in ("--engine", "--shards", "--jobs", "--observe"):
+            for verb, text in helps.items():
+                assert flag in text, f"{verb} --help is missing {flag}"
+        for engine in ("optimized", "vector", "reference", "audited"):
+            assert engine in helps["pipeline"] and engine in helps["serve"]
+
+
+class TestRemovedAliases:
+    """The pre-schema aliases completed their deprecation window (DESIGN.md
+    "Deprecation windows") and were removed — reading them is an error."""
+
+    def test_run_report_aliases_removed(self):
         report = RunReport()
         report.num_trials = 7
-        with pytest.deprecated_call():
-            assert report.trials == 7
-        with pytest.deprecated_call():
-            report.simulated = 3
-        assert report.num_simulated == 3
-        for old, new in [
-            ("cache_hits", "num_cache_hits"),
-            ("events", "num_events"),
-            ("sa_runs", "num_sa_runs"),
-            ("sa_steps", "num_sa_steps"),
-            ("audited_runs", "num_audited_runs"),
-            ("audited_events", "num_audited_events"),
-            ("audit_violations", "num_audit_violations"),
+        for old in [
+            "trials",
+            "simulated",
+            "cache_hits",
+            "events",
+            "sa_runs",
+            "sa_steps",
+            "audited_runs",
+            "audited_events",
+            "audit_violations",
         ]:
-            setattr(report, new, 11)
-            with pytest.deprecated_call():
-                assert getattr(report, old) == 11
+            with pytest.raises(AttributeError):
+                getattr(report, old)
 
-    def test_summary_n_alias_warns(self):
+    def test_summary_n_alias_removed(self):
         summary = summarize([1.0, 2.0, 3.0])
         assert summary.num_samples == 3
-        with pytest.deprecated_call():
-            assert summary.n == 3
+        with pytest.raises(AttributeError):
+            summary.n
 
     def test_canonical_names_do_not_warn(self):
         report = RunReport()

@@ -215,14 +215,67 @@ class TestUnshardedEquivalence:
         )
         assert report.ok, [str(v) for v in report.violations]
 
-    def test_backbone_redirection_rejected(self, setup, generator):
+    def test_backbone_merge_equals_block_system(self, setup):
+        # Per-pod backbone contract: each shard owns an independent link
+        # (the block system models this via redirection_pods), so the
+        # merge stays exact with redirection active.  A hot workload on a
+        # small backbone forces actual redirections in every shard.
+        layout = build_layout(setup, PAPER_COMBOS[0], 0.75, 1.2)
+        redirecting = VoDClusterSimulator(
+            setup.cluster(1.2), setup.videos(), layout, backbone_mbps=100.0
+        )
+        hot = WorkloadGenerator.poisson_zipf(setup.popularity(0.75), 200.0)
+        traces = shard_traces(hot, HORIZON, seed=3, num_shards=2)
+        merged, shard_results = run_sharded(
+            redirecting, traces, horizon_min=HORIZON
+        )
+        assert all(r.num_redirected > 0 for r in shard_results)
+        assert merged.num_redirected == sum(
+            r.num_redirected for r in shard_results
+        )
+        report = audit_shard_merge(
+            redirecting, traces, merged, horizon_min=HORIZON
+        )
+        assert report.ok, [str(v) for v in report.violations]
+
+    def test_backbone_chaos_merge_equals_block_system(self, setup):
+        layout = build_layout(setup, PAPER_COMBOS[0], 0.75, 1.2)
+        redirecting = VoDClusterSimulator(
+            setup.cluster(1.2), setup.videos(), layout, backbone_mbps=100.0
+        )
+        hot = WorkloadGenerator.poisson_zipf(setup.popularity(0.75), 150.0)
+        traces = shard_traces(hot, HORIZON, seed=7, num_shards=2)
+        spec = FailureSpec(kind="mtbf", mtbf_min=20.0, mttr_min=4.0)
+        schedules = shard_failure_schedules(
+            spec, setup.num_servers, HORIZON, seed=7, num_shards=2
+        )
+        merged, _ = run_sharded(
+            redirecting,
+            traces,
+            horizon_min=HORIZON,
+            failure_schedules=schedules,
+        )
+        assert merged.num_failures > 0
+        report = audit_shard_merge(
+            redirecting,
+            traces,
+            merged,
+            horizon_min=HORIZON,
+            failure_schedules=schedules,
+        )
+        assert report.ok, [str(v) for v in report.violations]
+
+    def test_block_system_carries_per_shard_pods(self, setup, generator):
+        # The block simulator must partition its backbone per shard:
+        # K shards x P base pods = K*P block pods.
         layout = build_layout(setup, PAPER_COMBOS[0], 0.75, 1.2)
         redirecting = VoDClusterSimulator(
             setup.cluster(1.2), setup.videos(), layout, backbone_mbps=100.0
         )
         traces = shard_traces(generator, HORIZON, seed=3, num_shards=2)
-        with pytest.raises(ValueError, match="backbone"):
-            unsharded_equivalent(redirecting, traces)
+        block_sim, _, _ = unsharded_equivalent(redirecting, traces)
+        assert block_sim._redirection_pods == 2
+        assert block_sim._backbone_mbps == 100.0
 
 
 class TestRunSharded:

@@ -105,10 +105,11 @@ class TestErlangBArray:
         with pytest.raises(ValueError, match="finite"):
             erlang_b(np.array([np.inf]), np.array([2]))
 
-    def test_deprecated_keyword_alias(self):
-        with pytest.warns(DeprecationWarning, match="offered_load_erlangs"):
-            aliased = erlang_b(offered_load_erlangs=10.0, num_servers=5)
-        assert aliased == erlang_b(10.0, 5)
+    def test_removed_keyword_alias(self):
+        # The transitional offered_load_erlangs= keyword finished its
+        # deprecation window (DESIGN.md "Deprecation windows").
+        with pytest.raises(TypeError):
+            erlang_b(offered_load_erlangs=10.0, num_servers=5)
 
     def test_monotone_in_load_vectorized(self):
         loads = np.linspace(0.1, 120.0, 64)
