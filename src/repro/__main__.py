@@ -81,13 +81,15 @@ def _pipeline_parser(subparsers) -> None:
     parser.add_argument(
         "--runs", type=int, default=None, help="simulation runs (default: setup's)"
     )
+    from .pipeline import PLACERS, REPLICATORS
+
     parser.add_argument(
         "--replicator",
         default="zipf",
-        choices=("zipf", "classification", "adams", "proportional"),
+        choices=tuple(REPLICATORS),
     )
     parser.add_argument(
-        "--placer", default="slf", choices=("slf", "round_robin", "greedy")
+        "--placer", default="slf", choices=tuple(PLACERS)
     )
     parser.add_argument(
         "--dispatcher",

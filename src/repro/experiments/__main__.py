@@ -29,6 +29,7 @@ from . import (
     adams_vs_zipf,
     availability,
     batching_experiment,
+    cache_scale_sweep,
     dynamic_experiment,
     fig4,
     fig5,
@@ -54,6 +55,7 @@ EXPERIMENTS = {
     "storage": storage_bottleneck.main,
     "surrogate": surrogate_sweep.main,
     "serving": serving_sweep.main,
+    "cache_scale": cache_scale_sweep.main,
 }
 
 

@@ -41,33 +41,27 @@ from .experiments.runner import workload_seed
 from .observe.profile import timed
 from .placement import (
     GreedyLeastLoadedPlacer,
+    PopularityStripePlacer,
     RoundRobinPlacer,
     SmallestLoadFirstPlacer,
     refine_placement,
 )
 from .runtime import ParallelRunner, make_trials, use_runner
-from .replication import (
-    AdamsReplicator,
-    ClassificationReplicator,
-    ProportionalReplicator,
-    ZipfIntervalReplicator,
-)
+from .replication import REPLICATOR_REGISTRY
 
 __all__ = ["PipelineConfig", "PipelineResult", "SurrogateScreen", "solve"]
 
-#: Replication algorithms selectable by name in :class:`PipelineConfig`.
-REPLICATORS = {
-    "zipf": ZipfIntervalReplicator,
-    "classification": ClassificationReplicator,
-    "adams": AdamsReplicator,
-    "proportional": ProportionalReplicator,
-}
+#: Replication algorithms selectable by name in :class:`PipelineConfig` —
+#: the shared registry in :mod:`repro.replication` (one source of truth
+#: for the facade, the CLI and the surrogate screen).
+REPLICATORS = REPLICATOR_REGISTRY
 
 #: Placement algorithms selectable by name in :class:`PipelineConfig`.
 PLACERS = {
     "slf": SmallestLoadFirstPlacer,
     "round_robin": RoundRobinPlacer,
     "greedy": GreedyLeastLoadedPlacer,
+    "p2p_stripe": PopularityStripePlacer,
 }
 
 

@@ -12,12 +12,15 @@ load-imbalance degree ``L`` over the per-replica communication weights.
 * :class:`GreedyLeastLoadedPlacer` — round-free greedy extension (supports
   heterogeneous clusters).
 * :class:`RandomFeasiblePlacer` — randomized reference placer for tests.
+* :class:`PopularityStripePlacer` — rotating popularity-ordered stripe,
+  the placement half of the Tan–Massoulié P2P scheme.
 """
 
 from .base import PlacementError, Placer, validate_placement_inputs
 from .bounds import placement_imbalance, slf_imbalance_bound, theorem2_holds
 from .greedy import GreedyLeastLoadedPlacer, greedy_least_loaded_placement
 from .local_search import RefinementResult, refine_placement
+from .p2p import PopularityStripePlacer, p2p_stripe_placement
 from .random_feasible import RandomFeasiblePlacer, random_feasible_placement
 from .round_robin import RoundRobinPlacer, round_robin_placement
 from .slf import SmallestLoadFirstPlacer, smallest_load_first_placement
@@ -33,6 +36,8 @@ __all__ = [
     "greedy_least_loaded_placement",
     "RefinementResult",
     "refine_placement",
+    "PopularityStripePlacer",
+    "p2p_stripe_placement",
     "RandomFeasiblePlacer",
     "random_feasible_placement",
     "RoundRobinPlacer",

@@ -1,0 +1,84 @@
+"""Popularity-ordered striping placement (the P2P scheme's counterpart).
+
+Tan & Massoulié's P2P model stripes each video's replicas across as many
+boxes as it has copies, so concurrent swarms for different hot videos
+decorrelate.  On the cluster this becomes: walk the videos from hottest
+to coldest and deal each video's ``r_i`` replicas onto the next ``r_i``
+*distinct* servers in cyclic order, advancing the stripe offset by
+``r_i`` per video.  The rotating offset is what distinguishes this from
+:func:`repro.placement.round_robin.round_robin_placement` with
+``sort_by_weight=True``: consecutive hot videos start their stripes on
+*different* servers, so the heads of the popularity distribution spread
+instead of piling onto the low-id servers.
+
+Servers whose storage is exhausted are skipped; because the deal keeps
+per-server fill levels within one replica of each other, a feasible
+instance (``sum r_i <= N * C``, guaranteed by
+:func:`~repro.placement.base.validate_placement_inputs`) always places.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..model.layout import ReplicaLayout
+from ..replication.base import ReplicationResult
+from .base import PlacementError, Placer, validate_placement_inputs
+
+__all__ = ["p2p_stripe_placement", "PopularityStripePlacer"]
+
+
+def p2p_stripe_placement(
+    replication: ReplicationResult,
+    capacity_replicas: int,
+    *,
+    bit_rate_mbps: float = 4.0,
+) -> ReplicaLayout:
+    """Deal each video's replicas onto a rotating stripe of servers."""
+    validate_placement_inputs(replication, capacity_replicas)
+    num_servers = replication.num_servers
+    num_videos = replication.num_videos
+    counts = replication.replica_counts
+
+    order = np.argsort(-replication.popularity, kind="stable")
+    fill = np.zeros(num_servers, dtype=np.int64)
+    matrix = np.zeros((num_videos, num_servers), dtype=np.float64)
+    offset = 0
+    for video in order:
+        needed = int(counts[video])
+        placed = 0
+        for step in range(num_servers):
+            server = (offset + step) % num_servers
+            if fill[server] >= capacity_replicas:
+                continue
+            matrix[video, server] = bit_rate_mbps
+            fill[server] += 1
+            placed += 1
+            if placed == needed:
+                break
+        if placed != needed:  # pragma: no cover - structural guard
+            raise PlacementError(
+                f"stripe ran out of distinct servers for video {video} "
+                f"({placed} of {needed} replicas placed)"
+            )
+        offset = (offset + needed) % num_servers
+    return ReplicaLayout(rate_matrix=matrix)
+
+
+class PopularityStripePlacer(Placer):
+    """Object-style wrapper around :func:`p2p_stripe_placement`."""
+
+    name = "p2p_stripe"
+
+    def place(
+        self,
+        replication: ReplicationResult,
+        capacity_replicas: int,
+        *,
+        bit_rate_mbps: float = 4.0,
+    ) -> ReplicaLayout:
+        return p2p_stripe_placement(
+            replication,
+            capacity_replicas,
+            bit_rate_mbps=bit_rate_mbps,
+        )

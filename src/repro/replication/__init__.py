@@ -19,12 +19,31 @@ Implemented algorithms:
   baselines.
 * :func:`optimal_min_max_weight`, :func:`oracle_replication` — an exact
   oracle for Eq. (8) used to verify Theorem 1 in the test suite.
+* :class:`CacheProportionalReplicator`, :class:`LargeCacheReplicator`,
+  :class:`P2PReplicator` — cache-scale baselines from the large-cache
+  and P2P VoD literature (see :mod:`repro.replication.cache_alloc` and
+  :mod:`repro.replication.p2p`).
+
+:data:`REPLICATOR_REGISTRY` maps every pipeline-selectable strategy name
+to its class; :func:`make_replicator` instantiates by name.  The
+registry is the single source of truth for ``PipelineConfig.replicator``
+choices, the ``python -m repro pipeline --replicator`` CLI and the
+surrogate screen's candidate field, and every registered strategy is run
+through the shared conformance suite in
+``tests/test_replication_properties.py``.
 """
 
 from .adams import AdamsReplicator, adams_replication
 from .base import ReplicationResult, Replicator, validate_replication_inputs
+from .cache_alloc import (
+    CacheProportionalReplicator,
+    LargeCacheReplicator,
+    cache_proportional_replication,
+    large_cache_replication,
+)
 from .classification import ClassificationReplicator, classification_replication
 from .oracle import optimal_min_max_weight, oracle_replication
+from .p2p import P2PReplicator, p2p_replication
 from .proportional import ProportionalReplicator, proportional_replication
 from .uniform import (
     RoundRobinReplicator,
@@ -39,12 +58,46 @@ from .zipf_interval import (
     zipf_interval_replication,
 )
 
+#: Pipeline-selectable replication strategies, by name.  Order matters:
+#: the surrogate screen enumerates candidates in registry order, so new
+#: strategies append (keeping historical candidate streams stable).
+REPLICATOR_REGISTRY: dict[str, type[Replicator]] = {
+    "zipf": ZipfIntervalReplicator,
+    "classification": ClassificationReplicator,
+    "adams": AdamsReplicator,
+    "proportional": ProportionalReplicator,
+    "cache_proportional": CacheProportionalReplicator,
+    "large_cache": LargeCacheReplicator,
+    "p2p": P2PReplicator,
+}
+
+
+def make_replicator(name: str) -> Replicator:
+    """Instantiate a registered replication strategy by name."""
+    try:
+        cls = REPLICATOR_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replicator {name!r}; "
+            f"choose from {sorted(REPLICATOR_REGISTRY)}"
+        ) from None
+    return cls()
+
+
 __all__ = [
+    "REPLICATOR_REGISTRY",
+    "make_replicator",
     "AdamsReplicator",
     "adams_replication",
     "ReplicationResult",
     "Replicator",
     "validate_replication_inputs",
+    "CacheProportionalReplicator",
+    "cache_proportional_replication",
+    "LargeCacheReplicator",
+    "large_cache_replication",
+    "P2PReplicator",
+    "p2p_replication",
     "ClassificationReplicator",
     "classification_replication",
     "optimal_min_max_weight",

@@ -1,0 +1,78 @@
+"""Tan–Massoulié P2P replication: proportional-to-demand with safety staffing.
+
+"Optimal Content Placement for Peer-to-Peer Video-on-Demand Systems"
+(Tan & Massoulié, PAPERS.md) shows that in a P2P swarm where each box
+stores a few videos and serves whichever it stores, the loss-optimal
+replication is *proportional to demand* in the many-box limit, with a
+finite-system correction that staffs each video slightly above its mean
+demand — the classical square-root safety rule.  Mapped onto this repo's
+cluster model, video ``i``'s expected demand in replica units is
+``d_i = p_i * budget`` and the target allocation is
+
+    ``t_i  proportional to  d_i + beta * sqrt(d_i)``,
+
+water-filled into the Eq. (7) box ``[1, N]`` and rounded by largest
+remainder (shared machinery in :mod:`repro.replication.cache_alloc`).
+``beta = 0`` degenerates to :class:`CacheProportionalReplicator`; the
+default ``beta = 1`` is the staffing level Tan & Massoulié's fluid+
+diffusion analysis suggests.  The placement counterpart — full striping
+so concurrent swarms decorrelate across boxes — is
+:class:`repro.placement.p2p.PopularityStripePlacer`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ReplicationResult, Replicator, validate_replication_inputs
+from .cache_alloc import box_waterfill_targets, round_targets
+
+__all__ = ["p2p_replication", "P2PReplicator"]
+
+
+def p2p_replication(
+    popularity: np.ndarray,
+    num_servers: int,
+    budget: int,
+    *,
+    safety_factor: float = 1.0,
+) -> ReplicationResult:
+    """Square-root-staffed proportional replication (Tan–Massoulié)."""
+    probs = validate_replication_inputs(popularity, num_servers, budget)
+    if safety_factor < 0:
+        raise ValueError(
+            f"safety_factor must be >= 0, got {safety_factor}"
+        )
+    budget = min(budget, num_servers * probs.size)
+    demand = probs * budget
+    weights = demand + safety_factor * np.sqrt(demand)
+    targets = box_waterfill_targets(weights, num_servers, budget)
+    counts = round_targets(targets, num_servers, budget)
+    return ReplicationResult(
+        replica_counts=counts,
+        num_servers=num_servers,
+        popularity=probs,
+        info={
+            "algorithm": "p2p",
+            "safety_factor": float(safety_factor),
+        },
+    )
+
+
+class P2PReplicator(Replicator):
+    """Object-style wrapper around :func:`p2p_replication`."""
+
+    name = "p2p"
+
+    def __init__(self, *, safety_factor: float = 1.0) -> None:
+        self._safety_factor = float(safety_factor)
+
+    def replicate(
+        self, popularity: np.ndarray, num_servers: int, budget: int
+    ) -> ReplicationResult:
+        return p2p_replication(
+            popularity,
+            num_servers,
+            budget,
+            safety_factor=self._safety_factor,
+        )

@@ -360,6 +360,7 @@ def fuzz(
     shrink: bool = True,
     chaos: bool = False,
     serving: bool = False,
+    adversarial: bool = False,
     log=None,
 ) -> FuzzReport:
     """Run a fuzz campaign; shrink + serialize failures when a dir is given.
@@ -370,7 +371,12 @@ def fuzz(
     would.  ``serving=True`` draws serving control-plane cases instead of
     the des/sa mix (the CI serving-smoke configuration); the default mix
     is untouched so historical campaign digests stay stable.
+    ``adversarial=True`` layers mid-horizon popularity shifts (inversion,
+    hotset flip, theta ramp — :mod:`repro.workload.adversarial`) onto
+    every DES case, injected post-draw from a child of each case's
+    ``trace_seed`` so the base case stream is unchanged.
     """
+    from .scenarios import draw_adversarial_params
     start = time.perf_counter()
     digest = hashlib.sha256()
     failing: list[CaseOutcome] = []
@@ -385,6 +391,12 @@ def fuzz(
         if chaos and case.kind == "des" and not case.params["failures"]:
             case = FuzzCase(
                 case.kind, case.name, {**case.params, "failures": True}
+            )
+        if adversarial and case.kind == "des":
+            case = FuzzCase(
+                case.kind,
+                case.name,
+                {**case.params, **draw_adversarial_params(case.params)},
             )
         outcome = run_case(case)
         digest.update(
@@ -450,6 +462,10 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--serving", action="store_true",
                         help="draw serving control-plane cases instead of "
                         "the des/sa mix")
+    parser.add_argument("--adversarial", action="store_true",
+                        help="layer mid-horizon popularity shifts "
+                        "(inversion / hotset flip / theta ramp) onto "
+                        "every DES case")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress output")
     args = parser.parse_args(argv)
@@ -462,6 +478,7 @@ def main(argv: "list[str] | None" = None) -> int:
         shrink=not args.no_shrink,
         chaos=args.chaos,
         serving=args.serving,
+        adversarial=args.adversarial,
         log=log,
     )
     print(

@@ -26,6 +26,7 @@ __all__ = [
     "FuzzCase",
     "draw_case",
     "draw_serving_case",
+    "draw_adversarial_params",
     "build_des",
     "build_sa",
     "build_serving",
@@ -128,6 +129,29 @@ def _draw_des(rng: np.random.Generator, index: int) -> FuzzCase:
     if params["failure_at_t0"] or params["failure_at_horizon"]:
         params["failures"] = True
     return FuzzCase(kind="des", name=f"des_{index:05d}", params=params)
+
+
+def draw_adversarial_params(params: dict) -> dict:
+    """Adversarial-workload knobs for a drawn DES case (``--adversarial``).
+
+    Derived from a *child* rng keyed off the case's own ``trace_seed``, so
+    the base case stream (and therefore the historical campaign digests
+    without the flag) is untouched — the same post-draw injection pattern
+    as ``--chaos``.  The knobs mirror
+    :class:`repro.workload.AdversarialSpec.to_params`.
+    """
+    rng = np.random.default_rng(
+        np.random.SeedSequence((int(params["trace_seed"]), 0xAD))
+    )
+    kind = ("inversion", "hotset_flip", "theta_ramp")[int(rng.integers(3))]
+    return {
+        "adversarial_kind": kind,
+        "adversarial_flip_at_frac": float(rng.uniform(0.2, 0.8)),
+        "adversarial_hotset_size": int(rng.integers(2, 12)),
+        "adversarial_theta_start": float(rng.uniform(0.0, 0.4)),
+        "adversarial_theta_end": float(rng.uniform(0.6, 1.2)),
+        "adversarial_ramp_segments": int(rng.integers(2, 9)),
+    }
 
 
 def _draw_sa(rng: np.random.Generator, index: int) -> FuzzCase:
@@ -282,17 +306,40 @@ def build_des(params: dict):
     watch_model = ExponentialWatch(float(params["watch_mean"])) if params[
         "watch_time"
     ] else None
-    generator = WorkloadGenerator(
-        popularity,
-        WorkloadGenerator.poisson_zipf(
-            popularity, float(params["rate_per_min"])
-        ).arrivals,
-        watch_time_model=watch_model,
-        video_durations_min=videos.durations_min if watch_model else None,
-    )
-    trace = generator.generate(
-        duration_min, np.random.default_rng(int(params["trace_seed"]))
-    )
+    # Adversarial popularity shifts (read with .get() so pre-adversarial
+    # corpus entries keep replaying).  The shifted trace replaces the
+    # stationary one for *all* lockstep engines, so the differential
+    # checks exercise mid-horizon distribution breaks; watch-time draws
+    # are layered on top from the same rng stream.
+    from ..workload.adversarial import AdversarialSpec, generate_adversarial_trace
+
+    spec = AdversarialSpec.from_params(params)
+    trace_rng = np.random.default_rng(int(params["trace_seed"]))
+    if spec is not None:
+        trace = generate_adversarial_trace(
+            popularity.probabilities,
+            float(params["rate_per_min"]),
+            duration_min,
+            spec,
+            trace_rng,
+        )
+        if watch_model is not None:
+            watch = watch_model.sample(
+                videos.durations_min[trace.videos], trace_rng
+            )
+            from ..workload import RequestTrace
+
+            trace = RequestTrace(trace.arrival_min, trace.videos, watch)
+    else:
+        generator = WorkloadGenerator(
+            popularity,
+            WorkloadGenerator.poisson_zipf(
+                popularity, float(params["rate_per_min"])
+            ).arrivals,
+            watch_time_model=watch_model,
+            video_durations_min=videos.durations_min if watch_model else None,
+        )
+        trace = generator.generate(duration_min, trace_rng)
 
     stream_limits = None
     if params["stream_limits"]:

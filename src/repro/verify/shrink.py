@@ -29,6 +29,8 @@ _NUMERIC_RULES: dict[str, list[tuple[str, float]]] = {
         ("bandwidth_mbps", 50.0),
         ("video_duration_min", 2.0),
         ("max_retries", 1),
+        ("adversarial_hotset_size", 2),
+        ("adversarial_ramp_segments", 2),
     ],
     "sa": [
         ("num_videos", 8),

@@ -81,6 +81,11 @@ class SurrogateAuditCase:
     horizon_min: float
     num_runs: int
     trace_seed: int
+    #: Strategy names resolved through the registries in
+    #: :data:`repro.pipeline.REPLICATORS` / ``PLACERS``; the defaults keep
+    #: the CI-pinned sample identical to the historical hardcoded pair.
+    replicator: str = "zipf"
+    placer: str = "slf"
 
     @property
     def slots_per_server(self) -> int:
@@ -94,8 +99,7 @@ class SurrogateAuditCase:
     def build(self):
         """``(cluster, videos, layout, popularity)`` for this case."""
         from .. import ClusterSpec, VideoCollection, ZipfPopularity
-        from ..placement import smallest_load_first_placement
-        from ..replication import zipf_interval_replication
+        from ..pipeline import PLACERS, REPLICATORS
 
         popularity = ZipfPopularity(self.num_videos, self.theta)
         videos = VideoCollection.homogeneous(
@@ -111,10 +115,10 @@ class SurrogateAuditCase:
             self.num_videos * self.num_servers,
         )
         capacity = math.ceil(budget / self.num_servers) + 1
-        replication = zipf_interval_replication(
+        replication = REPLICATORS[self.replicator]().replicate(
             popularity.probabilities, self.num_servers, budget
         )
-        layout = smallest_load_first_placement(replication, capacity)
+        layout = PLACERS[self.placer]().place(replication, capacity)
         return cluster, videos, layout, popularity
 
 

@@ -7,6 +7,13 @@ package provides the arrival processes, the request/trace containers, the
 combined generator and trace persistence.
 """
 
+from .adversarial import (
+    SHIFT_KINDS,
+    AdversarialSpec,
+    generate_adversarial_trace,
+    popularity_schedule,
+    shifted_popularity,
+)
 from .arrivals import (
     ArrivalProcess,
     DeterministicArrivals,
@@ -20,6 +27,11 @@ from .trace_io import load_trace, save_trace
 from .watch_time import BimodalWatch, ExponentialWatch, FullWatch, WatchTimeModel
 
 __all__ = [
+    "SHIFT_KINDS",
+    "AdversarialSpec",
+    "generate_adversarial_trace",
+    "popularity_schedule",
+    "shifted_popularity",
     "ArrivalProcess",
     "DeterministicArrivals",
     "NonHomogeneousPoissonArrivals",

@@ -31,6 +31,7 @@ class TestArgumentParsing:
             "storage",
             "surrogate",
             "serving",
+            "cache_scale",
         }
 
     def test_all_mains_accept_quick_and_chart(self):

@@ -177,3 +177,52 @@ class TestServingSweep:
         from repro.experiments.__main__ import EXPERIMENTS
 
         assert "serving" in EXPERIMENTS
+
+
+class TestCacheScaleSweep:
+    def run_rows(self):
+        from repro.experiments.cache_scale_sweep import (
+            cache_scale_setup,
+            run_sweep,
+        )
+
+        return run_sweep(cache_scale_setup(quick=True), thetas=(0.3, 0.9))
+
+    def test_grid_covers_strategies_and_regimes(self):
+        from repro.experiments.cache_scale_sweep import REGIMES, STRATEGIES
+
+        rows = self.run_rows()
+        assert len(rows) == 2 * len(REGIMES)
+        labels = {label for label, _, _ in STRATEGIES}
+        assert len(labels) >= 4
+        for row in rows:
+            assert set(row["rejections"]) == labels
+            assert all(0.0 <= r <= 1.0 for r in row["rejections"].values())
+            assert row["winner"] in labels
+            assert row["zipf_gap"] >= 0.0
+
+    def test_shift_regimes_never_reject_less(self):
+        # A layout designed for the stationary distribution cannot do
+        # better once that distribution is adversarially shifted.
+        rows = self.run_rows()
+        by_cell = {(r["theta"], r["regime"]): r for r in rows}
+        for theta in (0.3, 0.9):
+            stationary = by_cell[(theta, "stationary")]["rejections"]
+            for regime in ("inversion", "hotset_flip"):
+                shifted = by_cell[(theta, regime)]["rejections"]
+                for label, rejection in shifted.items():
+                    assert rejection >= stationary[label] - 1e-9, (
+                        theta, regime, label,
+                    )
+
+    def test_format_reports_crossover(self):
+        from repro.experiments.cache_scale_sweep import format_sweep
+
+        text = format_sweep(self.run_rows())
+        assert "E17" in text
+        assert "crossover" in text
+
+    def test_registered_in_harness(self):
+        from repro.experiments.__main__ import EXPERIMENTS
+
+        assert "cache_scale" in EXPERIMENTS

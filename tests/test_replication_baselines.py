@@ -8,12 +8,20 @@ from repro.replication import (
     ClassificationReplicator,
     ProportionalReplicator,
     adams_replication,
+    cache_proportional_replication,
     classification_replication,
     full_replication,
+    large_cache_replication,
     no_replication,
+    p2p_replication,
     proportional_replication,
     round_robin_replication,
 )
+from repro.replication.cache_alloc import box_waterfill_targets, round_targets
+
+#: Full sweep incl. the uniform (theta=0) and super-Zipf (1.2) edges that
+#: historically exposed tie-handling flakes in rounding code.
+THETA_SWEEP = (0.0, 0.25, 0.5, 0.75, 1.0, 1.2)
 
 
 class TestClassification:
@@ -133,3 +141,92 @@ class TestTrivialBaselines:
         probs = zipf_probabilities(4, 0.75)
         result = round_robin_replication(probs, 2, 8)
         np.testing.assert_array_equal(result.replica_counts, 2)
+
+
+class TestCacheProportional:
+    @pytest.mark.parametrize("theta", THETA_SWEEP)
+    def test_theta_sweep_feasible_and_exact(self, theta):
+        probs = zipf_probabilities(100, theta)
+        result = cache_proportional_replication(probs, 8, 160)
+        assert result.replica_counts.min() >= 1
+        assert result.replica_counts.max() <= 8
+        assert result.total_replicas == 160
+
+    def test_waterfill_budget_exact(self):
+        probs = zipf_probabilities(50, 0.75)
+        targets = box_waterfill_targets(probs, 6, 90)
+        assert targets.min() >= 1.0 - 1e-9
+        assert targets.max() <= 6.0 + 1e-9
+        assert targets.sum() == pytest.approx(90.0, abs=1e-6)
+
+    def test_rounding_preserves_budget_and_caps(self):
+        probs = zipf_probabilities(50, 0.75)
+        targets = box_waterfill_targets(probs, 6, 90)
+        counts = round_targets(targets, 6, 90)
+        assert counts.sum() == 90
+        assert counts.min() >= 1 and counts.max() <= 6
+
+    def test_proportional_above_floor(self):
+        # Uncapped, unfloored interior videos scale linearly with p_i.
+        probs = np.array([0.30, 0.25, 0.20, 0.15, 0.10])
+        targets = box_waterfill_targets(probs, 10, 25)
+        ratios = targets / probs
+        interior = (targets > 1.0 + 1e-9) & (targets < 10.0 - 1e-9)
+        assert np.allclose(ratios[interior], ratios[interior][0])
+
+
+class TestLargeCache:
+    @pytest.mark.parametrize("theta", THETA_SWEEP)
+    def test_theta_sweep_feasible(self, theta):
+        probs = zipf_probabilities(100, theta)
+        result = large_cache_replication(probs, 8, 160)
+        assert result.replica_counts.min() >= 1
+        assert result.replica_counts.max() <= 8
+        assert result.total_replicas <= 160
+
+    def test_diagnostics_recorded(self):
+        probs = zipf_probabilities(60, 0.75)
+        result = large_cache_replication(probs, 6, 96)
+        assert result.info["algorithm"] == "large_cache"
+        assert 0.0 <= result.info["predicted_blocked_fraction"] <= 1.0
+        assert result.info["offered_erlangs"] > 0.0
+
+    def test_skew_concentrates_replicas(self):
+        probs_flat = zipf_probabilities(100, 0.0)
+        probs_skew = zipf_probabilities(100, 1.0)
+        flat = large_cache_replication(probs_flat, 8, 160).replica_counts
+        skew = large_cache_replication(probs_skew, 8, 160).replica_counts
+        assert skew.max() >= flat.max()
+
+    def test_parameter_validation(self):
+        probs = zipf_probabilities(10, 0.5)
+        with pytest.raises(ValueError, match="slots_per_replica"):
+            large_cache_replication(probs, 4, 20, slots_per_replica=0)
+        with pytest.raises(ValueError, match="load_factor"):
+            large_cache_replication(probs, 4, 20, load_factor=0.0)
+
+
+class TestP2P:
+    @pytest.mark.parametrize("theta", THETA_SWEEP)
+    def test_theta_sweep_feasible_and_exact(self, theta):
+        probs = zipf_probabilities(100, theta)
+        result = p2p_replication(probs, 8, 160)
+        assert result.replica_counts.min() >= 1
+        assert result.replica_counts.max() <= 8
+        assert result.total_replicas == 160
+
+    def test_safety_staffing_flattens_tail(self):
+        # sqrt safety staffing gives cold videos relatively more replicas
+        # than plain proportional, so the tail count can only go up.
+        probs = zipf_probabilities(100, 1.0)
+        p2p = p2p_replication(probs, 8, 200).replica_counts
+        prop = cache_proportional_replication(probs, 8, 200).replica_counts
+        assert p2p[-1] >= prop[-1]
+
+    def test_safety_factor_zero_matches_proportional_weights(self):
+        probs = zipf_probabilities(60, 0.75)
+        p2p = p2p_replication(probs, 6, 96, safety_factor=0.0)
+        prop = cache_proportional_replication(probs, 6, 96)
+        np.testing.assert_array_equal(
+            p2p.replica_counts, prop.replica_counts
+        )

@@ -1,0 +1,198 @@
+"""Property suite over *every* registered replication strategy.
+
+Parametrized over :data:`repro.replication.REPLICATOR_REGISTRY`, so a new
+strategy registered there is automatically held to the shared contract:
+storage feasibility (Eq. 7 bounds), budget respected, determinism,
+permutation equivariance, placeability, and strict popularity-monotone
+allocation where the algorithm promises it.  The registry-conformance
+class additionally checks every name flows through the public surfaces —
+``PipelineConfig``, the ``python -m repro pipeline`` CLI, and the
+versioned npz result cache.
+"""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.popularity import zipf_probabilities
+from repro.replication import REPLICATOR_REGISTRY, make_replicator
+
+REPLICATOR_NAMES = tuple(REPLICATOR_REGISTRY)
+
+#: Strategies promising counts non-increasing in popularity.  The plain
+#: proportional baseline is excluded: largest-remainder rounding can hand
+#: the extra replica to a slightly less popular video.
+MONOTONE_NAMES = tuple(n for n in REPLICATOR_NAMES if n != "proportional")
+
+THETAS = (0.0, 0.25, 0.5, 0.75, 1.0, 1.2)
+
+
+def _distinct_probs(num_videos: int, seed: int = 11) -> np.ndarray:
+    """A tie-free random probability vector (equivariance needs no ties)."""
+    rng = np.random.default_rng(seed)
+    probs = rng.dirichlet(np.ones(num_videos) * 3.0)
+    assert len(np.unique(probs)) == num_videos
+    return probs
+
+
+@pytest.mark.parametrize("name", REPLICATOR_NAMES)
+class TestReplicatorContract:
+    def test_feasible_over_theta_sweep(self, name):
+        replicator = REPLICATOR_REGISTRY[name]()
+        for theta in THETAS:
+            probs = zipf_probabilities(60, theta)
+            result = replicator.replicate(probs, 6, 90)
+            assert result.replica_counts.min() >= 1, (name, theta)
+            assert result.replica_counts.max() <= 6, (name, theta)
+            assert result.total_replicas <= 90, (name, theta)
+
+    def test_budget_respected_at_extremes(self, name):
+        probs = zipf_probabilities(40, 0.75)
+        replicator = REPLICATOR_REGISTRY[name]()
+        for budget in (40, 41, 159, 160):  # M (tight) .. N*M (full)
+            result = replicator.replicate(probs, 4, budget)
+            assert result.total_replicas <= budget
+
+    def test_deterministic(self, name):
+        probs = _distinct_probs(50)
+        first = REPLICATOR_REGISTRY[name]().replicate(probs, 5, 80)
+        second = REPLICATOR_REGISTRY[name]().replicate(probs, 5, 80)
+        np.testing.assert_array_equal(
+            first.replica_counts, second.replica_counts
+        )
+
+    def test_permutation_equivariant(self, name):
+        probs = _distinct_probs(50)
+        perm = np.random.default_rng(3).permutation(50)
+        replicator = REPLICATOR_REGISTRY[name]()
+        base = replicator.replicate(probs, 5, 80).replica_counts
+        shuffled = replicator.replicate(probs[perm], 5, 80).replica_counts
+        np.testing.assert_array_equal(shuffled, base[perm])
+
+    def test_placeable_with_slf(self, name):
+        from repro.placement import smallest_load_first_placement
+
+        probs = zipf_probabilities(60, 0.75)
+        budget = 96
+        replication = REPLICATOR_REGISTRY[name]().replicate(probs, 6, budget)
+        capacity = math.ceil(budget / 6) + 1
+        layout = smallest_load_first_placement(replication, capacity)
+        placed = (layout.rate_matrix > 0).sum(axis=1)
+        np.testing.assert_array_equal(placed, replication.replica_counts)
+
+
+@pytest.mark.parametrize("name", MONOTONE_NAMES)
+def test_monotone_in_popularity(name):
+    probs = np.sort(_distinct_probs(50))[::-1]
+    counts = REPLICATOR_REGISTRY[name]().replicate(probs, 5, 80).replica_counts
+    assert np.all(np.diff(counts) <= 0), name
+
+
+def test_proportional_monotone_up_to_rounding():
+    # The exclusion above is only the +/-1 largest-remainder wobble.
+    probs = np.sort(_distinct_probs(60, seed=7))[::-1]
+    counts = REPLICATOR_REGISTRY["proportional"]().replicate(
+        probs, 6, 96
+    ).replica_counts
+    assert np.all(np.diff(counts.astype(int)) <= 1)
+
+
+class TestP2PStripePlacement:
+    def test_exact_capacity_distinct_servers(self):
+        from repro.placement import p2p_stripe_placement
+
+        probs = zipf_probabilities(80, 0.75)
+        replication = REPLICATOR_REGISTRY["p2p"]().replicate(probs, 8, 160)
+        layout = p2p_stripe_placement(replication, 20)  # ceil(160/8)
+        placed = (layout.rate_matrix > 0).sum(axis=1)
+        np.testing.assert_array_equal(placed, replication.replica_counts)
+        assert (layout.rate_matrix > 0).sum(axis=0).max() <= 20
+
+
+class TestRegistryConformance:
+    def test_make_replicator_round_trip(self):
+        for name in REPLICATOR_NAMES:
+            assert type(make_replicator(name)).name == name
+        with pytest.raises(ValueError, match="unknown replicator"):
+            make_replicator("bogus")
+
+    def test_pipeline_config_accepts_every_name(self):
+        from repro.pipeline import PipelineConfig
+
+        for name in REPLICATOR_NAMES:
+            config = PipelineConfig(replicator=name)
+            assert config.replicator == name
+        with pytest.raises(ValueError, match="unknown replicator"):
+            PipelineConfig(replicator="bogus")
+
+    def test_cli_help_lists_every_name(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["pipeline", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for name in REPLICATOR_NAMES:
+            assert name in out
+        assert "p2p_stripe" in out  # placer choices are dynamic too
+
+    def test_npz_cache_round_trip_every_name(self, tmp_path):
+        from repro.experiments import PaperSetup
+        from repro.experiments.runner import workload_seed
+        from repro.pipeline import PLACERS
+        from repro.runtime import ResultCache
+        from repro.runtime.trial import make_trials, run_trial, trial_cache_key
+
+        setup = PaperSetup().scaled_down(
+            num_videos=20, num_servers=3, num_runs=1
+        )
+        cache = ResultCache(tmp_path)
+        for name in REPLICATOR_NAMES:
+            replication = REPLICATOR_REGISTRY[name]().replicate(
+                setup.popularity(0.75).probabilities,
+                setup.num_servers,
+                setup.replica_budget(1.2),
+            )
+            layout = PLACERS["slf"]().place(
+                replication, setup.capacity_replicas(1.2) + 1
+            )
+            (spec,) = make_trials(
+                setup,
+                layout,
+                theta=0.75,
+                degree=1.2,
+                arrival_rate_per_min=10.0,
+                seed=workload_seed(setup.seed, 10.0, 0.75),
+                num_runs=1,
+            )
+            # The key is content-addressed: strategies that produce an
+            # identical layout at this design point share one, by design.
+            key = trial_cache_key(spec)
+            result = run_trial(spec)
+            cache.put(key, result)
+            loaded = cache.get(key)
+            assert loaded is not None, name
+            assert loaded.num_requests == result.num_requests
+            assert loaded.rejection_rate == result.rejection_rate
+
+
+@pytest.mark.parametrize(
+    "replicator,placer",
+    [
+        ("cache_proportional", "slf"),
+        ("large_cache", "slf"),
+        ("p2p", "p2p_stripe"),
+    ],
+)
+def test_new_strategies_pass_surrogate_audit(replicator, placer):
+    """The audit contract extends to layouts the new strategies build."""
+    from repro.verify.surrogate_audit import audit_case, sample_audit_cases
+
+    base = sample_audit_cases(2, num_runs=2)[1]  # least_loaded, near knee
+    case = dataclasses.replace(base, replicator=replicator, placer=placer)
+    result = audit_case(case)
+    assert result.converged
+    assert result.bracketed
+    assert result.within(0.03), result.format()
